@@ -1,0 +1,40 @@
+# DeltaPath build/test/eval entry points.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench eval examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation artifacts into results/.
+eval:
+	mkdir -p results
+	$(GO) run ./cmd/dpbench -experiment table1 | tee results/table1.txt
+	$(GO) run ./cmd/dpbench -experiment fig8 -scale 1.0 -repeats 5 | tee results/fig8_full.txt
+	$(GO) run ./cmd/dpbench -experiment table2 -scale 0.3 | tee results/table2.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/logging
+	$(GO) run ./examples/profiling
+	$(GO) run ./examples/dynamicload
+	$(GO) run ./examples/anomaly
+
+clean:
+	rm -f results/*.txt test_output.txt bench_output.txt

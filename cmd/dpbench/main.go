@@ -1,0 +1,103 @@
+// Command dpbench regenerates the paper's evaluation: Table 1 (static
+// program characteristics), Figure 8 (normalized execution speed of PCC
+// versus DeltaPath with and without call path tracking), and Table 2
+// (dynamic program characteristics), over the fifteen synthetic
+// SPECjvm2008-shaped benchmarks.
+//
+// Usage:
+//
+//	dpbench -experiment table1|fig8|table2|decode|all [-scale 0.2]
+//	        [-repeats 3] [-workers 1] [-bench compress,sunflow] [-json]
+//
+// Scale multiplies workload loop-trip counts: 1.0 is the full configured
+// run (minutes), 0.1 a quick pass. -bench restricts to a comma-separated
+// subset of benchmark names. -json emits machine-readable rows instead of
+// the formatted tables.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deltapath/internal/eval"
+	"deltapath/internal/workload"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table1, fig8, table2, or all")
+	scale := flag.Float64("scale", 0.2, "workload scale factor (1.0 = full runs)")
+	repeats := flag.Int("repeats", 3, "throughput repetitions per configuration (fig8)")
+	workers := flag.Int("workers", 1, "concurrent benchmark worker threads (fig8)")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
+	asJSON := flag.Bool("json", false, "emit JSON rows instead of formatted tables")
+	flag.Parse()
+
+	suite := workload.Suite()
+	if *benchList != "" {
+		var filtered []workload.Params
+		for _, name := range strings.Split(*benchList, ",") {
+			p, ok := workload.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dpbench: unknown benchmark %q\n", name)
+				os.Exit(2)
+			}
+			filtered = append(filtered, p)
+		}
+		suite = filtered
+	}
+
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	emit := func(name string, rows any, rendered string) error {
+		if !*asJSON {
+			fmt.Println(rendered)
+			return nil
+		}
+		out, err := json.MarshalIndent(map[string]any{name: rows}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+
+	run("table1", func() error {
+		rows, err := eval.Table1(suite)
+		if err != nil {
+			return err
+		}
+		return emit("table1", rows, eval.RenderTable1(rows))
+	})
+	run("fig8", func() error {
+		rows, err := eval.Figure8Workers(suite, *scale, *repeats, *workers)
+		if err != nil {
+			return err
+		}
+		return emit("fig8", rows, eval.RenderFigure8(rows))
+	})
+	run("table2", func() error {
+		rows, err := eval.Table2(suite, *scale)
+		if err != nil {
+			return err
+		}
+		return emit("table2", rows, eval.RenderTable2(rows))
+	})
+	run("decode", func() error {
+		rows, err := eval.DecodeLatency(suite, *scale, 2048)
+		if err != nil {
+			return err
+		}
+		return emit("decode", rows, eval.RenderDecodeLatency(rows))
+	})
+}

@@ -1,0 +1,122 @@
+// Command dpdecode decodes binary context records produced by
+// "dprun -record": the offline half of the event-logging workflow. The log
+// carries only integer-sized encodings; dpdecode re-runs the static
+// analysis on the same program (it is deterministic) and prints the exact
+// calling context of every record.
+//
+// Usage:
+//
+//	dpdecode [-app] [-unique] program.mv log.bin
+//	dpdecode -analysis saved.dpa [-unique] log.bin
+//
+// In the first form the program is re-analysed (deterministically); the
+// options must match the recording run. In the second form a persisted
+// analysis file (dpencode -save) is used — no program needed.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"deltapath"
+)
+
+func main() {
+	app := flag.Bool("app", false, "encoding-application setting (must match the recording run)")
+	unique := flag.Bool("unique", false, "aggregate identical contexts with counts")
+	analysisFile := flag.String("analysis", "", "persisted analysis file (replaces the program argument)")
+	flag.Parse()
+
+	var decode func([]byte) ([]string, error)
+	var logPath string
+	switch {
+	case *analysisFile != "" && flag.NArg() == 1:
+		af, err := os.Open(*analysisFile)
+		if err != nil {
+			fatal(err)
+		}
+		dec, err := deltapath.LoadDecoder(af)
+		af.Close()
+		if err != nil {
+			fatal(err)
+		}
+		decode = dec.DecodeBytes
+		logPath = flag.Arg(0)
+	case *analysisFile == "" && flag.NArg() == 2:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := deltapath.ParseProgram(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		an, err := deltapath.Analyze(prog, deltapath.Options{ApplicationOnly: *app})
+		if err != nil {
+			fatal(err)
+		}
+		decode = an.DecodeBytes
+		logPath = flag.Arg(1)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dpdecode [-app] [-unique] program.mv log.bin")
+		fmt.Fprintln(os.Stderr, "       dpdecode -analysis saved.dpa [-unique] log.bin")
+		os.Exit(2)
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	counts := make(map[string]int)
+	n := 0
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			fatal(fmt.Errorf("record %d: %w", n, err))
+		}
+		size := binary.LittleEndian.Uint32(hdr[:])
+		if size > 1<<20 {
+			fatal(fmt.Errorf("record %d: implausible size %d", n, size))
+		}
+		rec := make([]byte, size)
+		if _, err := io.ReadFull(f, rec); err != nil {
+			fatal(fmt.Errorf("record %d: %w", n, err))
+		}
+		n++
+		names, err := decode(rec)
+		if err != nil {
+			fatal(fmt.Errorf("record %d: %w", n, err))
+		}
+		ctx := strings.Join(names, " > ")
+		if *unique {
+			counts[ctx]++
+		} else {
+			fmt.Println(ctx)
+		}
+	}
+	if *unique {
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return counts[keys[i]] > counts[keys[j]] })
+		for _, k := range keys {
+			fmt.Printf("%8d  %s\n", counts[k], k)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "decoded %d records\n", n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpdecode:", err)
+	os.Exit(1)
+}

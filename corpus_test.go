@@ -1,0 +1,75 @@
+package deltapath
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorpus runs every program in testdata/ through the full public
+// pipeline — analyze, execute with several dispatch seeds, decode every
+// context, round-trip every context through binary serialization — under
+// both encoding settings. The corpus covers recursion, exceptions,
+// executor tasks, selective encoding, and dynamic class loading.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("corpus too small: %v", files)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := ParseProgram(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, appOnly := range []bool{false, true} {
+				an, err := Analyze(prog, Options{ApplicationOnly: appOnly})
+				if err != nil {
+					t.Fatalf("appOnly=%v: %v", appOnly, err)
+				}
+				decoded := 0
+				for seed := uint64(0); seed < 4; seed++ {
+					contexts, err := an.Run(seed, nil)
+					if err != nil {
+						t.Fatalf("appOnly=%v seed=%d: %v", appOnly, seed, err)
+					}
+					for _, c := range contexts {
+						names, err := an.Decode(c)
+						if err != nil {
+							// Emits inside dynamic classes are legitimately
+							// outside the analysed program.
+							if strings.Contains(err.Error(), "outside the analysed") {
+								continue
+							}
+							t.Fatalf("appOnly=%v seed=%d decode at %s: %v", appOnly, seed, c.At, err)
+						}
+						decoded++
+						rec, err := c.MarshalBinary()
+						if err != nil {
+							t.Fatal(err)
+						}
+						back, err := an.DecodeBytes(rec)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if strings.Join(back, ">") != strings.Join(names, ">") {
+							t.Fatalf("serialization changed decode: %v vs %v", back, names)
+						}
+					}
+				}
+				if decoded == 0 {
+					t.Fatalf("appOnly=%v: nothing decoded", appOnly)
+				}
+			}
+		})
+	}
+}

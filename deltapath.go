@@ -1,0 +1,356 @@
+// Package deltapath is the public API of this repository: a complete
+// implementation of "DeltaPath: Precise and Scalable Calling Context
+// Encoding" (Zeng, Rhee, Zhang, Arora, Jiang, Liu — CGO 2014).
+//
+// DeltaPath tracks the calling context of a running program as a small
+// integer maintained by constant-time additions at call sites, and decodes
+// that integer — precisely and instantly — back into the exact sequence of
+// active method invocations. Unlike its predecessors it supports
+// object-oriented programs (one addition value per call site, even under
+// dynamic dispatch), large programs (anchor nodes divide contexts so no
+// integer ever overflows), and dynamic class loading (call path tracking
+// detects unexpected call paths and keeps encodings correct).
+//
+// The pipeline mirrors the paper's implementation (Section 5):
+//
+//	program source (package lang / minivm)
+//	    │  Analyze: call-graph construction (cha) + Algorithm 2 (core)
+//	    ▼         + SID computation (cpt)
+//	Analysis
+//	    │  NewSession: bind addition values / anchors / SIDs to the
+//	    ▼  program's call sites and method entries (instrument)
+//	Session ──── Run / probes ───▶ per-emit Context records
+//	    │  Decode: invert an encoding into the exact method sequence
+//	    ▼
+//	[]Frame (with explicit gaps where unanalysed code ran)
+//
+// Quick start:
+//
+//	prog, _ := deltapath.ParseProgram(src)
+//	an, _ := deltapath.Analyze(prog, deltapath.Options{})
+//	contexts, _ := an.Run(0, nil)
+//	for _, c := range contexts {
+//	    names, _ := an.Decode(c)
+//	    fmt.Println(strings.Join(names, " > "))
+//	}
+//
+// See the examples directory for event logging, context-sensitive
+// profiling, and dynamic-class-loading scenarios, and cmd/dpbench for the
+// full reproduction of the paper's evaluation.
+package deltapath
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"deltapath/internal/analysisio"
+	"deltapath/internal/callgraph"
+	"deltapath/internal/cha"
+	"deltapath/internal/core"
+	"deltapath/internal/cpt"
+	"deltapath/internal/encoding"
+	"deltapath/internal/instrument"
+	"deltapath/internal/lang"
+	"deltapath/internal/minivm"
+)
+
+// Program is a minivm program (re-exported for API convenience).
+type Program = minivm.Program
+
+// MethodRef names a method: Class.method.
+type MethodRef = minivm.MethodRef
+
+// ParseProgram parses the textual program form (see package lang for the
+// grammar).
+func ParseProgram(src string) (*Program, error) { return lang.Parse(src) }
+
+// Options configures Analyze.
+type Options struct {
+	// ApplicationOnly selects the encoding-application setting
+	// (Section 4.2): library classes are excluded from analysis and
+	// instrumentation, and call path tracking bridges the gaps.
+	ApplicationOnly bool
+
+	// DisableCPT turns call path tracking off. Only safe for programs
+	// with no dynamic class loading and full instrumentation; kept for
+	// overhead experiments.
+	DisableCPT bool
+
+	// MaxID caps the encoding integer (inclusive). Zero means 2^63-1.
+	// Algorithm 2 introduces anchor nodes as needed to respect it.
+	MaxID uint64
+
+	// TargetMethods, when non-empty, enables the pruned encoding of
+	// Section 8 (Future Work): only methods that can reach one of the
+	// targets ("Class.method" names) — plus the targets themselves —
+	// are encoded; everything else is skipped, with call path tracking
+	// keeping the remaining contexts exact. Requires call path tracking
+	// (incompatible with DisableCPT).
+	TargetMethods []string
+
+	// TrunkAnchors forces the named methods to be anchor nodes — the
+	// DeltaPath half of Section 8's hybrid encoding, where profiling
+	// identifies hot "trunk" functions and contexts are encoded relative
+	// to them.
+	TrunkAnchors []string
+}
+
+// Analysis is the static-analysis product: everything needed to run a
+// program with encoding probes and to decode the results.
+type Analysis struct {
+	prog    *Program
+	build   *cha.Result
+	result  *core.Result
+	plan    *instrument.Plan
+	decoder *encoding.Decoder
+}
+
+// Analyze builds the call graph, runs the DeltaPath encoding algorithm
+// (Algorithm 2), computes SIDs for call path tracking, and resolves the
+// instrumentation plan.
+func Analyze(prog *Program, opts Options) (*Analysis, error) {
+	setting := cha.EncodingAll
+	if opts.ApplicationOnly {
+		setting = cha.EncodingApplication
+	}
+	var exclude map[minivm.MethodRef]bool
+	if len(opts.TargetMethods) > 0 {
+		if opts.DisableCPT {
+			return nil, fmt.Errorf("deltapath: pruned encoding requires call path tracking")
+		}
+		targets := make(map[minivm.MethodRef]bool, len(opts.TargetMethods))
+		for _, name := range opts.TargetMethods {
+			dot := strings.LastIndexByte(name, '.')
+			if dot <= 0 || dot == len(name)-1 {
+				return nil, fmt.Errorf("deltapath: target %q is not a Class.method name", name)
+			}
+			targets[minivm.MethodRef{Class: name[:dot], Method: name[dot+1:]}] = true
+		}
+		var err error
+		if exclude, err = cha.PruneForTargets(prog, targets); err != nil {
+			return nil, err
+		}
+	}
+	// KeepUnreachable: a Java agent instruments every class it sees
+	// loaded, including methods the static call graph considers
+	// unreachable — which is what makes contexts decodable when dynamic
+	// code calls into them (they become piece-start anchors).
+	build, err := cha.Build(prog, cha.Options{
+		Setting:         setting,
+		KeepUnreachable: true,
+		ExcludeMethods:  exclude,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var force []callgraph.NodeID
+	for _, name := range opts.TrunkAnchors {
+		n := build.Graph.Lookup(name)
+		if n == callgraph.InvalidNode {
+			return nil, fmt.Errorf("deltapath: trunk anchor %q is not in the call graph", name)
+		}
+		force = append(force, n)
+	}
+	res, err := core.Encode(build.Graph, core.Options{MaxID: opts.MaxID, ForceAnchors: force})
+	if err != nil {
+		return nil, err
+	}
+	var cptPlan *cpt.Plan
+	if !opts.DisableCPT {
+		cptPlan = cpt.Compute(build.Graph)
+	}
+	plan, err := instrument.NewPlan(build, res.Spec, cptPlan)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		prog:    prog,
+		build:   build,
+		result:  res,
+		plan:    plan,
+		decoder: encoding.NewDecoder(res.Spec),
+	}, nil
+}
+
+// Anchors returns the names of the overflow anchor nodes Algorithm 2 added.
+func (a *Analysis) Anchors() []string {
+	out := make([]string, 0, len(a.result.OverflowAnchors))
+	for _, n := range a.result.OverflowAnchors {
+		out = append(out, a.build.Graph.Name(n))
+	}
+	return out
+}
+
+// MaxID returns the largest encoding ID any context can produce under this
+// analysis — the static encoding-space requirement.
+func (a *Analysis) MaxID() uint64 { return a.result.MaxID }
+
+// NumInstrumentedSites reports how many call sites carry instrumentation.
+func (a *Analysis) NumInstrumentedSites() int { return a.plan.NumInstrumentedSites() }
+
+// Context is one captured calling-context encoding: the state snapshot plus
+// the program point where it was captured.
+type Context struct {
+	// At is the method containing the emit point.
+	At MethodRef
+	// Tag is the emit point's tag.
+	Tag   string
+	state *encoding.State
+	node  callgraph.NodeID
+	known bool
+}
+
+// Session couples a VM with a DeltaPath encoder, ready to run.
+type Session struct {
+	an  *Analysis
+	vm  *minivm.VM
+	enc *instrument.Encoder
+}
+
+// NewSession prepares an instrumented execution of the analysed program.
+// seed drives virtual-dispatch choices deterministically.
+func (a *Analysis) NewSession(seed uint64) (*Session, error) {
+	vm, err := minivm.NewVM(a.prog, seed)
+	if err != nil {
+		return nil, err
+	}
+	enc := instrument.NewEncoder(a.plan)
+	vm.SetProbes(enc)
+	vm.SetInstrumented(a.plan.InstrumentedMethods())
+	return &Session{an: a, vm: vm, enc: enc}, nil
+}
+
+// VM exposes the underlying virtual machine (e.g. for ground-truth stack
+// walks in tests and experiments).
+func (s *Session) VM() *minivm.VM { return s.vm }
+
+// Hazards reports how many hazardous unexpected call paths the run
+// detected.
+func (s *Session) Hazards() uint64 { return s.enc.Hazards }
+
+// Capture snapshots the current encoding at an emit point. It is intended
+// to be called from an OnEmit callback.
+func (s *Session) Capture(at MethodRef, tag string) Context {
+	node, known := s.an.build.NodeOf[at]
+	return Context{
+		At:    at,
+		Tag:   tag,
+		state: s.enc.State().Snapshot(),
+		node:  node,
+		known: known,
+	}
+}
+
+// Run executes the program. If onEmit is non-nil it receives a captured
+// Context at every emit point; otherwise all contexts are collected and
+// returned.
+func (s *Session) Run(onEmit func(Context)) ([]Context, error) {
+	var collected []Context
+	s.vm.OnEmit = func(_ *minivm.VM, m MethodRef, tag string) {
+		c := s.Capture(m, tag)
+		if onEmit != nil {
+			onEmit(c)
+		} else {
+			collected = append(collected, c)
+		}
+	}
+	if err := s.vm.Run(); err != nil {
+		return nil, err
+	}
+	return collected, nil
+}
+
+// Run is the convenience path: analyze-once callers that just want every
+// context of one execution. It creates a session and runs it.
+func (a *Analysis) Run(seed uint64, onEmit func(Context)) ([]Context, error) {
+	s, err := a.NewSession(seed)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(onEmit)
+}
+
+// Decode recovers the exact calling context of a captured encoding, from
+// the program entry to the capture point. Gaps — stretches of dynamically
+// loaded or excluded code the encoding intentionally does not track — are
+// rendered as "...".
+func (a *Analysis) Decode(c Context) ([]string, error) {
+	if !c.known {
+		return nil, fmt.Errorf("deltapath: emit point %s is outside the analysed program", c.At)
+	}
+	return a.decoder.DecodeNames(c.state, c.node)
+}
+
+// Key returns the canonical encoding key of a context: equal keys decode to
+// equal contexts, so keys serve as exact context identifiers for profiling
+// and logging.
+func (c Context) Key() string {
+	if !c.known {
+		return "?" + c.At.String()
+	}
+	return c.state.Key(c.node)
+}
+
+// StackDepth reports the number of encoding pieces representing the
+// context (Table 2's stack metric).
+func (c Context) StackDepth() int { return c.state.Depth() }
+
+// ID returns the current encoding integer of the context's deepest piece.
+func (c Context) ID() uint64 { return c.state.ID }
+
+// MarshalBinary serializes a captured context into a compact binary record
+// (typically a handful of bytes): the persistence format for event logs.
+// Records from unanalysed emit points cannot be serialized.
+func (c Context) MarshalBinary() ([]byte, error) {
+	if !c.known {
+		return nil, fmt.Errorf("deltapath: emit point %s is outside the analysed program", c.At)
+	}
+	return encoding.MarshalContext(c.state, c.node), nil
+}
+
+// DecodeBytes decodes a context record produced by Context.MarshalBinary
+// under this analysis. The analysis must be the one (or an identical rerun
+// of the one) that produced the record — encodings are meaningful only
+// relative to their addition values.
+func (a *Analysis) DecodeBytes(record []byte) ([]string, error) {
+	st, end, err := encoding.UnmarshalContext(record)
+	if err != nil {
+		return nil, err
+	}
+	return a.decoder.DecodeNames(st, end)
+}
+
+// SaveAnalysis persists the analysis — call graph, addition values,
+// anchors, SIDs — so that context records can be decoded later by any host
+// holding the file, without the program and without re-analysis (see
+// LoadDecoder and cmd/dpdecode -analysis).
+func (a *Analysis) SaveAnalysis(w io.Writer) error {
+	var cptPlan *cpt.Plan = a.plan.CPT
+	return analysisio.Save(w, a.result.Spec, cptPlan)
+}
+
+// OfflineDecoder decodes context records against a persisted analysis.
+type OfflineDecoder struct {
+	bundle  *analysisio.Bundle
+	decoder *encoding.Decoder
+}
+
+// LoadDecoder restores a persisted analysis for offline decoding.
+func LoadDecoder(r io.Reader) (*OfflineDecoder, error) {
+	bundle, err := analysisio.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &OfflineDecoder{bundle: bundle, decoder: encoding.NewDecoder(bundle.Spec)}, nil
+}
+
+// DecodeBytes decodes a context record produced under the persisted
+// analysis.
+func (d *OfflineDecoder) DecodeBytes(record []byte) ([]string, error) {
+	st, end, err := encoding.UnmarshalContext(record)
+	if err != nil {
+		return nil, err
+	}
+	return d.decoder.DecodeNames(st, end)
+}

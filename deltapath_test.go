@@ -1,0 +1,482 @@
+package deltapath
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const testSrc = `
+entry Main.main
+class Main {
+  method main {
+    load Plug
+    call Main.work
+    loop 4 { vcall Base.go }
+    emit top
+  }
+  method work { emit w }
+}
+class Base { method go { emit g } }
+class Sub extends Base { method go { call Main.work; emit g } }
+library class Lib { method helper { work 1 } }
+dynamic class Plug extends Base { method go { call Main.work; emit p } }
+`
+
+func TestAnalyzeRunDecode(t *testing.T) {
+	prog, err := ParseProgram(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contexts, err := an.Run(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contexts) == 0 {
+		t.Fatal("no contexts captured")
+	}
+	for _, c := range contexts {
+		if c.At.Class == "Plug" {
+			if _, err := an.Decode(c); err == nil {
+				t.Error("emit inside a dynamic class decoded without error")
+			}
+			continue
+		}
+		names, err := an.Decode(c)
+		if err != nil {
+			t.Fatalf("decode at %s: %v", c.At, err)
+		}
+		if names[0] != "Main.main" {
+			t.Fatalf("context does not start at entry: %v", names)
+		}
+		last := names[len(names)-1]
+		if last != c.At.String() {
+			t.Fatalf("context ends at %s, emitted at %s", last, c.At)
+		}
+	}
+}
+
+func TestKeysIdentifyContexts(t *testing.T) {
+	prog, err := ParseProgram(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodedByKey := make(map[string]string)
+	for seed := uint64(0); seed < 6; seed++ {
+		contexts, err := an.Run(seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range contexts {
+			names, err := an.Decode(c)
+			if err != nil {
+				continue
+			}
+			joined := strings.Join(names, ">")
+			if prev, ok := decodedByKey[c.Key()]; ok && prev != joined {
+				t.Fatalf("key %q decodes as %q and %q", c.Key(), prev, joined)
+			}
+			decodedByKey[c.Key()] = joined
+		}
+	}
+	if len(decodedByKey) < 3 {
+		t.Fatalf("too few distinct contexts: %d", len(decodedByKey))
+	}
+}
+
+func TestApplicationOnly(t *testing.T) {
+	prog, err := ParseProgram(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Analyze(prog, Options{ApplicationOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.NumInstrumentedSites() > all.NumInstrumentedSites() {
+		t.Fatalf("application-only instruments more sites (%d) than all (%d)",
+			app.NumInstrumentedSites(), all.NumInstrumentedSites())
+	}
+}
+
+func TestSessionHazards(t *testing.T) {
+	prog, err := ParseProgram(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := an.NewSession(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	// The Plug dynamic class calls Main.work: with some dispatch seeds the
+	// plugin is selected and the hazard fires. Across seeds at least one
+	// must.
+	total := s.Hazards()
+	for seed := uint64(3); seed < 10 && total == 0; seed++ {
+		s2, err := an.NewSession(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s2.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		total += s2.Hazards()
+	}
+	if total == 0 {
+		t.Fatal("dynamic plugin never produced a hazardous UCP across seeds")
+	}
+}
+
+func TestAnchorsReported(t *testing.T) {
+	// A doubling-diamond program with a tiny MaxID must report anchors.
+	var b strings.Builder
+	b.WriteString("entry L0.a\n")
+	b.WriteString("class L0 { method a { call L1.a; call L1.b } method b { call L1.a; call L1.b } }\n")
+	for i := 1; i < 8; i++ {
+		next := i + 1
+		if next < 8 {
+			b.WriteString(strings.ReplaceAll(strings.ReplaceAll(
+				"class LI { method a { call LN.a; call LN.b } method b { call LN.a; call LN.b } }\n",
+				"LI", nodeName(i)), "LN", nodeName(next)))
+		} else {
+			b.WriteString("class " + nodeName(i) + " { method a { emit leaf } method b { emit leaf } }\n")
+		}
+	}
+	prog, err := ParseProgram(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(prog, Options{MaxID: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Anchors()) == 0 {
+		t.Fatal("no anchors reported despite MaxID 15")
+	}
+	if an.MaxID() > 15 {
+		t.Fatalf("MaxID %d exceeds configured limit", an.MaxID())
+	}
+	// And the encoding still round-trips.
+	contexts, err := an.Run(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range contexts {
+		if _, err := an.Decode(c); err != nil {
+			t.Fatalf("decode with anchors: %v", err)
+		}
+	}
+}
+
+func nodeName(i int) string { return "L" + string(rune('0'+i)) }
+
+func TestBadProgramRejected(t *testing.T) {
+	if _, err := ParseProgram("class A {"); err == nil {
+		t.Fatal("malformed program accepted")
+	}
+	prog, err := ParseProgram("entry A.m\nclass A { method m { } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, Options{}); err != nil {
+		t.Fatalf("minimal program rejected: %v", err)
+	}
+}
+
+// TestPrunedEncoding exercises Section 8's pruned encoding: only methods
+// leading to the target are encoded, the rest is skipped, and contexts of
+// the target remain exact (with gaps over skipped code).
+func TestPrunedEncoding(t *testing.T) {
+	src := `
+entry M.main
+class M {
+  method main {
+    loop 3 { call M.request }
+    call M.housekeeping
+    emit top
+  }
+  method request { call M.parse; call M.respond }
+  method parse { call M.target }
+  method respond { work 2 }
+  method housekeeping { call M.gc }
+  method gc { work 5 }
+  method target { emit hit }
+}
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Analyze(prog, Options{TargetMethods: []string{"M.target"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.NumInstrumentedSites() >= full.NumInstrumentedSites() {
+		t.Fatalf("pruned encoding instruments %d sites, full %d — no savings",
+			pruned.NumInstrumentedSites(), full.NumInstrumentedSites())
+	}
+	contexts, err := pruned.Run(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, c := range contexts {
+		if c.Tag != "hit" {
+			continue
+		}
+		hits++
+		names, err := pruned.Decode(c)
+		if err != nil {
+			t.Fatalf("decode target context: %v", err)
+		}
+		want := "M.main>M.request>M.parse>M.target"
+		var got []string
+		for _, n := range names {
+			if n != "..." {
+				got = append(got, n)
+			}
+		}
+		if strings.Join(got, ">") != want {
+			t.Fatalf("target context = %v, want %s", names, want)
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("target emitted %d times, want 3", hits)
+	}
+	// Pruning with CPT disabled must be rejected.
+	if _, err := Analyze(prog, Options{TargetMethods: []string{"M.target"}, DisableCPT: true}); err == nil {
+		t.Fatal("pruned encoding without CPT accepted")
+	}
+	// Unknown targets must be rejected.
+	if _, err := Analyze(prog, Options{TargetMethods: []string{"M.nope"}}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if _, err := Analyze(prog, Options{TargetMethods: []string{"garbage"}}); err == nil {
+		t.Fatal("unqualified target accepted")
+	}
+}
+
+// TestTrunkAnchors exercises the hybrid-encoding building block: forcing
+// profiled "trunk" methods to be anchors shrinks the encoding space while
+// round trips stay exact.
+func TestTrunkAnchors(t *testing.T) {
+	// A doubling diamond: trunk anchor in the middle halves the space.
+	src := `
+entry T.main
+class T {
+  method main { call T.a1; call T.b1 }
+  method a1 { call T.mid }
+  method b1 { call T.mid }
+  method mid { call T.a2; call T.b2 }
+  method a2 { call T.leaf }
+  method b2 { call T.leaf }
+  method leaf { emit leaf }
+}
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunk, err := Analyze(prog, Options{TrunkAnchors: []string{"T.mid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunk.MaxID() >= plain.MaxID() {
+		t.Fatalf("trunk anchor did not shrink the space: %d vs %d", trunk.MaxID(), plain.MaxID())
+	}
+	contexts, err := trunk.Run(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, c := range contexts {
+		names, err := trunk.Decode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[strings.Join(names, ">")] = true
+	}
+	for _, want := range []string{
+		"T.main>T.a1>T.mid>T.a2>T.leaf",
+		"T.main>T.b1>T.mid>T.b2>T.leaf",
+	} {
+		if !seen[want] {
+			t.Fatalf("context %s not observed; got %v", want, seen)
+		}
+	}
+	if _, err := Analyze(prog, Options{TrunkAnchors: []string{"T.ghost"}}); err == nil {
+		t.Fatal("unknown trunk anchor accepted")
+	}
+}
+
+func TestContextSerializationRoundTrip(t *testing.T) {
+	prog, err := ParseProgram(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contexts, err := an.Run(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialized := 0
+	for _, c := range contexts {
+		rec, err := c.MarshalBinary()
+		if err != nil {
+			continue // unanalysed emit (inside the dynamic plugin)
+		}
+		serialized++
+		want, err := an.Decode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := an.DecodeBytes(rec)
+		if err != nil {
+			t.Fatalf("DecodeBytes: %v", err)
+		}
+		if strings.Join(got, ">") != strings.Join(want, ">") {
+			t.Fatalf("serialized decode %v != live decode %v", got, want)
+		}
+		if len(rec) > 64 {
+			t.Fatalf("record unexpectedly large: %d bytes", len(rec))
+		}
+	}
+	if serialized == 0 {
+		t.Fatal("nothing serialized")
+	}
+	if _, err := an.DecodeBytes([]byte{255}); err == nil {
+		t.Fatal("corrupt record accepted")
+	}
+}
+
+// TestSpawnedTasksDecode: executor tasks root their contexts at the task
+// entry; the public API decodes them exactly.
+func TestSpawnedTasksDecode(t *testing.T) {
+	prog, err := ParseProgram(`
+entry M.main
+class M {
+  method main { spawn W.run; call W.helper; emit main_done }
+}
+class W {
+  method run { call W.helper; emit ran }
+  method helper { emit h }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := an.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if _, err := s.Run(func(c Context) {
+		names, err := an.Decode(c)
+		if err != nil {
+			t.Fatalf("decode at %s: %v", c.At, err)
+		}
+		got = append(got, strings.Join(names, ">"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"M.main>W.helper": true, // synchronous call from main
+		"M.main":          true,
+		"W.run>W.helper":  true, // task-rooted context
+		"W.run":           true,
+	}
+	seen := map[string]bool{}
+	for _, g := range got {
+		seen[g] = true
+	}
+	for w := range want {
+		if !seen[w] {
+			t.Fatalf("context %s not observed; got %v", w, got)
+		}
+	}
+	if s.VM().Tasks != 1 {
+		t.Fatalf("tasks run = %d, want 1", s.VM().Tasks)
+	}
+}
+
+// TestOfflineDecoderWorkflow: save the analysis, record contexts, decode
+// them with a decoder restored from the file — no program in sight.
+func TestOfflineDecoderWorkflow(t *testing.T) {
+	prog, err := ParseProgram(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact bytes.Buffer
+	if err := an.SaveAnalysis(&artifact); err != nil {
+		t.Fatal(err)
+	}
+	var records [][]byte
+	var want []string
+	if _, err := an.Run(3, func(c Context) {
+		rec, err := c.MarshalBinary()
+		if err != nil {
+			return
+		}
+		names, err := an.Decode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, rec)
+		want = append(want, strings.Join(names, ">"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := LoadDecoder(&artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range records {
+		names, err := dec.DecodeBytes(rec)
+		if err != nil {
+			t.Fatalf("offline decode %d: %v", i, err)
+		}
+		if got := strings.Join(names, ">"); got != want[i] {
+			t.Fatalf("offline decode %d: %s, want %s", i, got, want[i])
+		}
+	}
+	if _, err := LoadDecoder(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("junk analysis accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Dynamic class loading (Section 4.1). A plugin class that static analysis
+// never saw joins virtual dispatch at runtime, creating unexpected call
+// paths (UCPs). Call path tracking classifies them:
+//
+//   - benign — the plugin forwards into a method the call site could have
+//     reached anyway: the decoded context is exact, with the plugin frame
+//     transparently absent;
+//   - hazardous — the plugin calls into an unrelated method: detected at
+//     that method's entry, the encoding restarts a piece, and the decoded
+//     context shows an explicit "..." gap instead of silently lying.
+//
+// Run with -nocpt to see why the technique exists: without call path
+// tracking the same program decodes to wrong contexts.
+//
+//	go run ./examples/dynamicload [-nocpt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"deltapath"
+)
+
+const host = `
+entry Host.main
+
+class Host {
+  method main {
+    call Host.warmup         # dispatch set is still the static one
+    load AuditPlugin         # the plugin appears mid-execution
+    loop 6 { vcall Filter.apply }
+    emit end
+  }
+  method warmup { vcall Filter.apply }
+}
+
+class Filter {
+  method apply { call Sink.accept; emit applied }
+}
+class Upper extends Filter {
+  method apply { call Sink.accept; emit applied }
+}
+
+class Sink {
+  method accept { work 2; emit sunk }
+}
+class Alarm {
+  method raise { emit alarm }
+}
+
+# The plugin overrides Filter.apply. Its call to Sink.accept is a benign
+# UCP (Sink.accept is where the site's static targets lead anyway is NOT
+# the case here — it is reached from unanalysed code, but its SID matches
+# no saved expectation, so it is detected); its call to Alarm.raise is the
+# clearly hazardous path.
+dynamic class AuditPlugin extends Filter {
+  method apply { call Sink.accept; call Alarm.raise; emit plugged }
+}
+`
+
+func main() {
+	nocpt := flag.Bool("nocpt", false, "disable call path tracking (demonstrates corruption)")
+	flag.Parse()
+
+	prog, err := deltapath.ParseProgram(host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := deltapath.Analyze(prog, deltapath.Options{DisableCPT: *nocpt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := an.NewSession(11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("call path tracking: %v\n\n", !*nocpt)
+	if _, err := session.Run(func(c deltapath.Context) {
+		// Ground truth from the VM's stack, for comparison.
+		var truth []string
+		for _, f := range session.VM().Stack() {
+			truth = append(truth, f.String())
+		}
+		names, derr := an.Decode(c)
+		decoded := "<undecodable>"
+		if derr == nil {
+			decoded = strings.Join(names, " > ")
+		}
+		status := "ok"
+		if gapless(names) != appOnly(truth, an) {
+			status = "WRONG"
+		}
+		if c.Tag == "plugged" {
+			status = "inside plugin (not analysed)"
+			decoded = "-"
+		}
+		fmt.Printf("%-8s %-34s decoded: %-52s [%s]\n",
+			c.Tag, strings.Join(truth, ">"), decoded, status)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhazardous UCPs detected: %d\n", session.Hazards())
+}
+
+// gapless strips "..." gap markers.
+func gapless(names []string) string {
+	var out []string
+	for _, n := range names {
+		if n != "..." {
+			out = append(out, n)
+		}
+	}
+	return strings.Join(out, ">")
+}
+
+// appOnly filters a ground-truth stack to analysed methods (the dynamic
+// plugin's frames are intentionally not tracked).
+func appOnly(truth []string, an *deltapath.Analysis) string {
+	var out []string
+	for _, f := range truth {
+		if !strings.HasPrefix(f, "AuditPlugin.") {
+			out = append(out, f)
+		}
+	}
+	return strings.Join(out, ">")
+}

@@ -1,0 +1,3 @@
+module deltapath
+
+go 1.22

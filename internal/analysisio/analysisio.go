@@ -1,0 +1,304 @@
+// Package analysisio persists and restores a complete encoding analysis:
+// the call graph, the addition values/anchors/push edges of the Spec, and
+// the call-path-tracking SIDs. This is the artifact a deployment ships next
+// to its logs — a collector records integer-sized context records
+// (encoding.MarshalContext), and any host holding the analysis file can
+// decode them exactly, with no access to the program and no re-analysis.
+//
+// Format: the header "DPA1\n", then unsigned varints and length-prefixed
+// strings. The file is self-contained and versioned; Load rejects unknown
+// versions and truncated input.
+package analysisio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"deltapath/internal/callgraph"
+	"deltapath/internal/cpt"
+	"deltapath/internal/encoding"
+)
+
+const magic = "DPA1\n"
+
+// Bundle is a restored analysis: everything needed to decode context
+// records.
+type Bundle struct {
+	Graph *callgraph.Graph
+	Spec  *encoding.Spec
+	CPT   *cpt.Plan // nil if the analysis ran without call path tracking
+}
+
+// Save writes the analysis to w. cptPlan may be nil.
+func Save(w io.Writer, spec *encoding.Spec, cptPlan *cpt.Plan) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	g := spec.Graph
+	putUvarint(bw, uint64(g.NumNodes()))
+	for _, id := range g.Nodes() {
+		n := g.Node(id)
+		putString(bw, n.Name)
+		putBool(bw, n.Library)
+	}
+	entry, ok := g.Entry()
+	if !ok {
+		return fmt.Errorf("analysisio: graph has no entry")
+	}
+	putUvarint(bw, uint64(entry))
+	roots := g.ContextRoots()
+	putUvarint(bw, uint64(len(roots)))
+	for _, r := range roots {
+		putUvarint(bw, uint64(r))
+	}
+	// Edges in deterministic site order.
+	sites := g.Sites()
+	var edgeCount uint64
+	for _, s := range sites {
+		edgeCount += uint64(len(g.SiteTargets(s)))
+	}
+	putUvarint(bw, edgeCount)
+	for _, s := range sites {
+		for _, e := range g.SiteTargets(s) {
+			putUvarint(bw, uint64(e.Caller))
+			putUvarint(bw, uint64(e.Label))
+			putUvarint(bw, uint64(e.Callee))
+		}
+	}
+
+	// Spec.
+	putBool(bw, spec.PerEdge)
+	putUvarint(bw, uint64(len(spec.SiteAV)))
+	for _, s := range sites {
+		if av, ok := spec.SiteAV[s]; ok {
+			putUvarint(bw, uint64(s.Caller))
+			putUvarint(bw, uint64(s.Label))
+			putUvarint(bw, av)
+		}
+	}
+	// Per-edge AVs (PCCE mode).
+	putUvarint(bw, uint64(len(spec.EdgeAV)))
+	for _, s := range sites {
+		for _, e := range g.SiteTargets(s) {
+			if av, ok := spec.EdgeAV[e]; ok {
+				putUvarint(bw, uint64(e.Caller))
+				putUvarint(bw, uint64(e.Label))
+				putUvarint(bw, uint64(e.Callee))
+				putUvarint(bw, av)
+			}
+		}
+	}
+	putUvarint(bw, uint64(len(spec.Push)))
+	for _, s := range sites {
+		for _, e := range g.SiteTargets(s) {
+			if kind, ok := spec.Push[e]; ok {
+				putUvarint(bw, uint64(e.Caller))
+				putUvarint(bw, uint64(e.Label))
+				putUvarint(bw, uint64(e.Callee))
+				putUvarint(bw, uint64(kind))
+			}
+		}
+	}
+	putUvarint(bw, uint64(len(spec.Anchors)))
+	for _, id := range g.Nodes() {
+		if spec.Anchors[id] {
+			putUvarint(bw, uint64(id))
+		}
+	}
+
+	// CPT.
+	if cptPlan == nil {
+		putBool(bw, false)
+	} else {
+		putBool(bw, true)
+		putUvarint(bw, uint64(len(cptPlan.SID)))
+		for _, sid := range cptPlan.SID {
+			putUvarint(bw, uint64(sid))
+		}
+		putUvarint(bw, uint64(cptPlan.NumSets))
+		putUvarint(bw, uint64(len(cptPlan.Expected)))
+		for _, s := range sites {
+			if sid, ok := cptPlan.Expected[s]; ok {
+				putUvarint(bw, uint64(s.Caller))
+				putUvarint(bw, uint64(s.Label))
+				putUvarint(bw, uint64(sid))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores an analysis from r.
+func Load(r io.Reader) (*Bundle, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("analysisio: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("analysisio: bad magic %q (unsupported version?)", head)
+	}
+	d := &decoder{r: br}
+
+	g := callgraph.New()
+	nodes := d.uvarint()
+	if d.err == nil && nodes > 1<<26 {
+		return nil, fmt.Errorf("analysisio: implausible node count %d", nodes)
+	}
+	for i := uint64(0); i < nodes && d.err == nil; i++ {
+		name := d.str()
+		lib := d.boolean()
+		g.AddNode(name, lib)
+	}
+	g.SetEntry(d.node(nodes))
+	nroots := d.uvarint()
+	for i := uint64(0); i < nroots && d.err == nil; i++ {
+		g.MarkContextRoot(d.node(nodes))
+	}
+	nedges := d.uvarint()
+	if d.err == nil && nedges > 1<<28 {
+		return nil, fmt.Errorf("analysisio: implausible edge count %d", nedges)
+	}
+	for i := uint64(0); i < nedges && d.err == nil; i++ {
+		caller := d.node(nodes)
+		label := int32(d.uvarint())
+		callee := d.node(nodes)
+		g.AddEdge(caller, label, callee)
+	}
+
+	spec := &encoding.Spec{
+		Graph:   g,
+		SiteAV:  make(map[callgraph.Site]uint64),
+		EdgeAV:  make(map[callgraph.Edge]uint64),
+		Push:    make(map[callgraph.Edge]encoding.PieceKind),
+		Anchors: make(map[callgraph.NodeID]bool),
+	}
+	spec.PerEdge = d.boolean()
+	nav := d.uvarint()
+	for i := uint64(0); i < nav && d.err == nil; i++ {
+		s := callgraph.Site{Caller: d.node(nodes), Label: int32(d.uvarint())}
+		spec.SiteAV[s] = d.uvarint()
+	}
+	neav := d.uvarint()
+	for i := uint64(0); i < neav && d.err == nil; i++ {
+		e := callgraph.Edge{Caller: d.node(nodes)}
+		e.Label = int32(d.uvarint())
+		e.Callee = d.node(nodes)
+		spec.EdgeAV[e] = d.uvarint()
+	}
+	npush := d.uvarint()
+	for i := uint64(0); i < npush && d.err == nil; i++ {
+		e := callgraph.Edge{Caller: d.node(nodes)}
+		e.Label = int32(d.uvarint())
+		e.Callee = d.node(nodes)
+		spec.Push[e] = encoding.PieceKind(d.uvarint())
+	}
+	nanch := d.uvarint()
+	for i := uint64(0); i < nanch && d.err == nil; i++ {
+		spec.Anchors[d.node(nodes)] = true
+	}
+
+	bundle := &Bundle{Graph: g, Spec: spec}
+	if d.boolean() {
+		plan := &cpt.Plan{Expected: make(map[callgraph.Site]int32)}
+		nsid := d.uvarint()
+		if d.err == nil && nsid != nodes {
+			return nil, fmt.Errorf("analysisio: SID count %d != node count %d", nsid, nodes)
+		}
+		for i := uint64(0); i < nsid && d.err == nil; i++ {
+			plan.SID = append(plan.SID, int32(d.uvarint()))
+		}
+		plan.NumSets = int(d.uvarint())
+		nexp := d.uvarint()
+		for i := uint64(0); i < nexp && d.err == nil; i++ {
+			s := callgraph.Site{Caller: d.node(nodes), Label: int32(d.uvarint())}
+			plan.Expected[s] = int32(d.uvarint())
+		}
+		bundle.CPT = plan
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("analysisio: corrupt file: %w", d.err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("analysisio: %w", err)
+	}
+	return bundle, nil
+}
+
+// --- primitive readers/writers ---
+
+func putUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func putString(w *bufio.Writer, s string) {
+	putUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func putBool(w *bufio.Writer, b bool) {
+	if b {
+		w.WriteByte(1)
+	} else {
+		w.WriteByte(0)
+	}
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *decoder) node(numNodes uint64) callgraph.NodeID {
+	v := d.uvarint()
+	if d.err == nil && v >= numNodes {
+		d.err = fmt.Errorf("node id %d out of range (%d nodes)", v, numNodes)
+		return 0
+	}
+	return callgraph.NodeID(v)
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("implausible string length %d", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+func (d *decoder) boolean() bool {
+	if d.err != nil {
+		return false
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = err
+		return false
+	}
+	return b != 0
+}

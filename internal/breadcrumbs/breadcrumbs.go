@@ -1,0 +1,137 @@
+// Package breadcrumbs implements the essence of Breadcrumbs (Bond, Baker &
+// Guyer, PLDI 2010), the system the paper contrasts DeltaPath against in
+// Sections 1–2: PCC's hash value V is "decoded" by searching the static
+// call graph for contexts that hash to V.
+//
+// Because PCC's update is V' = 3·V + cs over a 32-bit ring and 3 is
+// invertible modulo 2^32, each candidate incoming call site permits one
+// exact backward step, V = (V' − cs) · 3⁻¹. Decoding is then a depth-first
+// search from the query node toward the entry, branching over all incoming
+// sites at each step. The search can:
+//
+//   - succeed uniquely — the common case for shallow contexts;
+//   - return several candidate contexts — PCC values are probabilistic, so
+//     distinct contexts can decode ambiguously (the "accuracy/reliability"
+//     cost the paper cites); or
+//   - blow up combinatorially on deep or wide graphs — Breadcrumbs' offline
+//     decoder ran with a 5-second budget per context; ours takes a step
+//     budget.
+//
+// DeltaPath's decoder needs none of this: BenchmarkAblationBreadcrumbs
+// puts the two side by side.
+package breadcrumbs
+
+import (
+	"fmt"
+
+	"deltapath/internal/callgraph"
+	"deltapath/internal/cha"
+	"deltapath/internal/minivm"
+	"deltapath/internal/pcc"
+)
+
+// inv3 is the multiplicative inverse of 3 modulo 2^32.
+const inv3 = 0xaaaaaaab
+
+const mask32 = 0xffffffff
+
+// Decoder searches PCC values against a call graph.
+type Decoder struct {
+	build *cha.Result
+	// cs caches the per-edge site constants of the PCC encoder.
+	cs map[callgraph.Edge]uint64
+	// Budget bounds the number of search steps per Decode call; zero
+	// means 1e6. When exhausted, Decode returns ErrBudget.
+	Budget int
+}
+
+// ErrBudget is returned when the search exceeds its step budget.
+var ErrBudget = fmt.Errorf("breadcrumbs: search budget exhausted")
+
+// NewDecoder prepares a search-based decoder for the graph in build, using
+// the same site constants as pcc.New.
+func NewDecoder(build *cha.Result) *Decoder {
+	d := &Decoder{
+		build: build,
+		cs:    make(map[callgraph.Edge]uint64),
+	}
+	g := build.Graph
+	for _, s := range g.Sites() {
+		ref := build.RefOf[s.Caller]
+		c := pcc.SiteConstant(minivm.SiteRef{In: ref, Site: s.Label})
+		for _, e := range g.SiteTargets(s) {
+			d.cs[e] = c
+		}
+	}
+	return d
+}
+
+// Candidate is one context the search found: the node sequence from the
+// entry to the query node.
+type Candidate []callgraph.NodeID
+
+// Decode searches for all contexts ending at node whose PCC value is v,
+// up to max candidates (0 = unlimited). steps reports the search effort.
+func (d *Decoder) Decode(v uint64, node callgraph.NodeID, max int) (cands []Candidate, steps int, err error) {
+	budget := d.Budget
+	if budget == 0 {
+		budget = 1_000_000
+	}
+	entry, ok := d.build.Graph.Entry()
+	if !ok {
+		return nil, 0, fmt.Errorf("breadcrumbs: graph has no entry")
+	}
+	g := d.build.Graph
+
+	var path []callgraph.NodeID
+	var search func(n callgraph.NodeID, v uint64) error
+	search = func(n callgraph.NodeID, v uint64) error {
+		steps++
+		if steps > budget {
+			return ErrBudget
+		}
+		path = append(path, n)
+		defer func() { path = path[:len(path)-1] }()
+		if n == entry && v == 0 {
+			cand := make(Candidate, len(path))
+			for i, p := range path {
+				cand[len(path)-1-i] = p
+			}
+			cands = append(cands, cand)
+			if max > 0 && len(cands) >= max {
+				return errDone
+			}
+			// The entry can also have been reached mid-hash in
+			// pathological graphs; fall through and keep searching
+			// only if it has in-edges (it normally does not).
+		}
+		for _, e := range g.In(n) {
+			prev := ((v - d.cs[e]) * inv3) & mask32
+			// A valid predecessor hash must be reproducible: forward
+			// application must return v (always true in modular
+			// arithmetic, so no pruning is available from the hash
+			// itself — this is exactly why the search explodes).
+			if err := search(e.Caller, prev); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err = search(node, v&mask32)
+	if err == errDone {
+		err = nil
+	}
+	return cands, steps, err
+}
+
+var errDone = fmt.Errorf("done")
+
+// Ambiguous reports whether decoding v at node yields more than one
+// candidate within the budget.
+func (d *Decoder) Ambiguous(v uint64, node callgraph.NodeID) (bool, error) {
+	cands, _, err := d.Decode(v, node, 2)
+	if err != nil {
+		return false, err
+	}
+	return len(cands) > 1, nil
+}

@@ -1,0 +1,286 @@
+// Package callgraph defines the call-graph intermediate representation used
+// by every encoding algorithm in this repository (PCCE, DeltaPath Algorithm 1
+// and Algorithm 2, and call path tracking).
+//
+// A graph is a set of nodes (functions/methods) and directed edges. Following
+// Section 3.1 of the DeltaPath paper, an edge is a triple ⟨caller, callee,
+// label⟩ where ⟨caller, label⟩ identifies a call site; several edges may share
+// one call site, which is exactly how virtual dispatch is modelled: one site,
+// many callee targets.
+//
+// The package also provides the graph algorithms the encodings depend on:
+// deterministic topological ordering, Tarjan strongly-connected components,
+// and the classification of recursive (intra-SCC) edges that must be excluded
+// from Ball–Larus-style numbering.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node (a function or method) within one Graph.
+// IDs are dense: 0..NumNodes()-1.
+type NodeID int32
+
+// InvalidNode is returned by lookups that find nothing.
+const InvalidNode NodeID = -1
+
+// Node is a function or method in the program under analysis.
+type Node struct {
+	ID NodeID
+	// Name is the fully qualified method name, e.g. "spec.Main.run".
+	Name string
+	// Library marks nodes excluded under the encoding-application setting
+	// (Section 4.2, "flexible encoding"). Library nodes stay in the graph
+	// so that call path tracking can reason about paths through them, but
+	// the selective-encoding builders strip them.
+	Library bool
+}
+
+// Site identifies a call site: a position (Label) inside a caller method.
+// In Java the label would be the bytecode index of the invoke instruction;
+// in the minivm it is the instruction's site number within the method.
+type Site struct {
+	Caller NodeID
+	Label  int32
+}
+
+func (s Site) String() string { return fmt.Sprintf("site(%d@%d)", s.Caller, s.Label) }
+
+// Edge is a directed call edge ⟨Caller, Callee, Label⟩.
+type Edge struct {
+	Caller NodeID
+	Callee NodeID
+	Label  int32
+}
+
+// Site returns the call site this edge originates from.
+func (e Edge) Site() Site { return Site{Caller: e.Caller, Label: e.Label} }
+
+// Graph is a call graph. The zero value is not usable; call New.
+//
+// Edge insertion order is preserved and is significant: the encoding
+// algorithms process a node's incoming edges in insertion order, which is the
+// order the static analyser discovered them, mirroring the deterministic
+// traversal the paper assumes.
+type Graph struct {
+	nodes  []Node
+	byName map[string]NodeID
+
+	out map[NodeID][]Edge
+	in  map[NodeID][]Edge
+
+	// sites maps a call site to its dispatch target edges, in insertion
+	// order. A monomorphic (static) site has one entry; a virtual site has
+	// one per possible dispatch target.
+	sites map[Site][]Edge
+
+	entry    NodeID
+	hasEntry bool
+
+	// roots are additional context roots besides the entry: methods at
+	// which calling contexts can begin (executor-task entries). Encoding
+	// algorithms treat them as piece-start anchors.
+	roots []NodeID
+
+	edgeSet map[Edge]struct{}
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		byName:  make(map[string]NodeID),
+		out:     make(map[NodeID][]Edge),
+		in:      make(map[NodeID][]Edge),
+		sites:   make(map[Site][]Edge),
+		entry:   InvalidNode,
+		edgeSet: make(map[Edge]struct{}),
+	}
+}
+
+// AddNode inserts a node with the given name and returns its ID.
+// Adding a name twice returns the existing ID (the Library flag of the
+// first insertion wins).
+func (g *Graph) AddNode(name string, library bool) NodeID {
+	if id, ok := g.byName[name]; ok {
+		return id
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Library: library})
+	g.byName[name] = id
+	return id
+}
+
+// Lookup returns the node ID for name, or InvalidNode.
+func (g *Graph) Lookup(name string) NodeID {
+	if id, ok := g.byName[name]; ok {
+		return id
+	}
+	return InvalidNode
+}
+
+// Node returns the node with the given ID. It panics on an invalid ID.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Name returns the node's name, or "<invalid>" for InvalidNode.
+func (g *Graph) Name(id NodeID) string {
+	if id == InvalidNode {
+		return "<invalid>"
+	}
+	return g.nodes[id].Name
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edgeSet) }
+
+// SetEntry declares the program entry node (the paper's "main").
+func (g *Graph) SetEntry(id NodeID) {
+	g.entry = id
+	g.hasEntry = true
+}
+
+// Entry returns the entry node. The second result reports whether one was set.
+func (g *Graph) Entry() (NodeID, bool) { return g.entry, g.hasEntry }
+
+// MarkContextRoot declares n an additional context root: calling contexts
+// may begin there (an executor-task entry). Idempotent.
+func (g *Graph) MarkContextRoot(n NodeID) {
+	for _, r := range g.roots {
+		if r == n {
+			return
+		}
+	}
+	g.roots = append(g.roots, n)
+}
+
+// ContextRoots returns the additional context roots in marking order.
+func (g *Graph) ContextRoots() []NodeID { return g.roots }
+
+// AddEdge inserts the edge ⟨caller, callee, label⟩. Duplicate edges are
+// ignored. It returns the edge.
+func (g *Graph) AddEdge(caller NodeID, label int32, callee NodeID) Edge {
+	e := Edge{Caller: caller, Callee: callee, Label: label}
+	if _, dup := g.edgeSet[e]; dup {
+		return e
+	}
+	g.edgeSet[e] = struct{}{}
+	g.out[caller] = append(g.out[caller], e)
+	g.in[callee] = append(g.in[callee], e)
+	s := e.Site()
+	g.sites[s] = append(g.sites[s], e)
+	return e
+}
+
+// HasEdge reports whether the exact edge exists.
+func (g *Graph) HasEdge(e Edge) bool {
+	_, ok := g.edgeSet[e]
+	return ok
+}
+
+// Out returns the outgoing edges of n in insertion order.
+// The returned slice must not be modified.
+func (g *Graph) Out(n NodeID) []Edge { return g.out[n] }
+
+// In returns the incoming edges of n in insertion order.
+// The returned slice must not be modified.
+func (g *Graph) In(n NodeID) []Edge { return g.in[n] }
+
+// SiteTargets returns the dispatch target edges of a call site, in insertion
+// order. The returned slice must not be modified.
+func (g *Graph) SiteTargets(s Site) []Edge { return g.sites[s] }
+
+// Sites returns every call site in the graph in a deterministic order
+// (by caller ID, then label).
+func (g *Graph) Sites() []Site {
+	out := make([]Site, 0, len(g.sites))
+	for s := range g.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Caller != out[j].Caller {
+			return out[i].Caller < out[j].Caller
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// NumSites reports the number of distinct call sites.
+func (g *Graph) NumSites() int { return len(g.sites) }
+
+// NumVirtualSites reports the number of call sites with more than one
+// dispatch target (the paper's VCS column in Table 1).
+func (g *Graph) NumVirtualSites() int {
+	n := 0
+	for _, targets := range g.sites {
+		if len(targets) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Nodes returns all node IDs in increasing order.
+func (g *Graph) Nodes() []NodeID {
+	ids := make([]NodeID, len(g.nodes))
+	for i := range g.nodes {
+		ids[i] = NodeID(i)
+	}
+	return ids
+}
+
+// Validate checks structural invariants: an entry is set, the entry has no
+// incoming edges is NOT required (recursion to main is legal), but every
+// edge endpoint must be a valid node.
+func (g *Graph) Validate() error {
+	if !g.hasEntry {
+		return fmt.Errorf("callgraph: no entry node set")
+	}
+	if int(g.entry) >= len(g.nodes) || g.entry < 0 {
+		return fmt.Errorf("callgraph: entry node %d out of range", g.entry)
+	}
+	for e := range g.edgeSet {
+		if e.Caller < 0 || int(e.Caller) >= len(g.nodes) {
+			return fmt.Errorf("callgraph: edge %v has invalid caller", e)
+		}
+		if e.Callee < 0 || int(e.Callee) >= len(g.nodes) {
+			return fmt.Errorf("callgraph: edge %v has invalid callee", e)
+		}
+	}
+	return nil
+}
+
+// DOT renders the graph in Graphviz dot format, with virtual sites drawn as
+// dashed edges and library nodes in grey. Useful for debugging analyses.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph callgraph {\n")
+	for _, n := range g.nodes {
+		attr := ""
+		if n.Library {
+			attr = " [color=grey,fontcolor=grey]"
+		}
+		if g.hasEntry && n.ID == g.entry {
+			attr = " [shape=doublecircle]"
+		}
+		fmt.Fprintf(&b, "  %q%s;\n", n.Name, attr)
+	}
+	for _, s := range g.Sites() {
+		targets := g.sites[s]
+		style := ""
+		if len(targets) > 1 {
+			style = " [style=dashed]"
+		}
+		for _, e := range targets {
+			fmt.Fprintf(&b, "  %q -> %q%s; // label %d\n",
+				g.Name(e.Caller), g.Name(e.Callee), style, e.Label)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package cct
+
+import (
+	"strings"
+	"testing"
+
+	"deltapath/internal/lang"
+	"deltapath/internal/minivm"
+	"deltapath/internal/stackwalk"
+)
+
+const src = `
+entry A.main
+class A {
+  method main {
+    loop 3 { call B.f }
+    call B.g
+    emit top
+  }
+}
+class B {
+  method f { call C.h; emit f }
+  method g { call C.h; emit g }
+}
+class C { method h { emit h } }
+`
+
+func runTree(t *testing.T, seed uint64) (*Tree, int) {
+	t.Helper()
+	prog := lang.MustParse(src)
+	vm, err := minivm.NewVM(prog, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := New(prog.Entry)
+	vm.SetProbes(tree)
+	walker := &stackwalk.Walker{}
+	checked := 0
+	vm.OnEmit = func(v *minivm.VM, _ minivm.MethodRef, _ string) {
+		tree.Mark()
+		// The cursor's path must equal the ground-truth stack.
+		var got []string
+		for _, f := range tree.Cursor().Path() {
+			got = append(got, f.String())
+		}
+		want := stackwalk.Key(walker.Capture(v))
+		if strings.Join(got, ">") != want {
+			t.Fatalf("cursor path %v != stack %s", got, want)
+		}
+		checked++
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return tree, checked
+}
+
+func TestCursorTracksStack(t *testing.T) {
+	tree, checked := runTree(t, 1)
+	if checked == 0 {
+		t.Fatal("no emits checked")
+	}
+	if tree.Cursor() != tree.Root() {
+		t.Fatal("cursor did not return to root")
+	}
+}
+
+func TestNodeCounts(t *testing.T) {
+	tree, _ := runTree(t, 1)
+	// Distinct contexts: A; A>B.f; A>B.f>C.h; A>B.g; A>B.g>C.h = 5 nodes.
+	if tree.Nodes() != 5 {
+		t.Fatalf("nodes = %d, want 5:\n%s", tree.Nodes(), tree.Render())
+	}
+	if tree.MaxDepth() != 3 {
+		t.Fatalf("max depth = %d, want 3", tree.MaxDepth())
+	}
+	hot := tree.Hot(2)
+	if len(hot) != 2 {
+		t.Fatalf("Hot(2) returned %d", len(hot))
+	}
+	// The loop runs B.f (and its C.h) three times: those are the hottest.
+	if hot[0].Count != 3 {
+		t.Fatalf("hottest count = %d, want 3\n%s", hot[0].Count, tree.Render())
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	tree, _ := runTree(t, 1)
+	r := tree.Render()
+	for _, frag := range []string{"A.main", "B.f", "B.g", "C.h", "×3"} {
+		if !strings.Contains(r, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, r)
+		}
+	}
+}
+
+func TestVirtualDispatchSplitsChildren(t *testing.T) {
+	prog := lang.MustParse(`
+entry A.main
+class A { method main { loop 8 { vcall S.go } emit top } }
+class S { method go { emit s } }
+class T extends S { method go { emit t } }
+`)
+	vm, err := minivm.NewVM(prog, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := New(prog.Entry)
+	vm.SetProbes(tree)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// One site, two dynamic targets: both contexts must exist.
+	found := map[string]bool{}
+	for _, n := range tree.Hot(100) {
+		var parts []string
+		for _, f := range n.Path() {
+			parts = append(parts, f.String())
+		}
+		found[strings.Join(parts, ">")] = true
+	}
+	_ = found
+	if tree.Nodes() != 3 { // root + S.go + T.go
+		t.Fatalf("nodes = %d, want 3:\n%s", tree.Nodes(), tree.Render())
+	}
+}
+
+func TestRecursionGrowsTree(t *testing.T) {
+	prog := lang.MustParse(`
+entry A.main
+class A { method main { call A.r } method r { rcall 6 A.r; emit e } }
+`)
+	vm, err := minivm.NewVM(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := New(prog.Entry)
+	vm.SetProbes(tree)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Unlike encodings (constant state + stack), the CCT materializes one
+	// node per recursion depth.
+	if tree.MaxDepth() < 5 {
+		t.Fatalf("recursive chain not materialized: depth %d\n%s", tree.MaxDepth(), tree.Render())
+	}
+}

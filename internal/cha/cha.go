@@ -1,0 +1,284 @@
+// Package cha constructs call graphs from minivm programs using class
+// hierarchy analysis, the role WALA's 0-CFA builder plays in the paper's
+// implementation (Section 5): a context-insensitive call graph where a
+// virtual call site gets one edge per possible dispatch target.
+//
+// Two settings mirror Section 6.1:
+//
+//   - encoding-all: every method of every statically loaded class is a node;
+//   - encoding-application: library classes are excluded entirely — their
+//     methods are neither nodes nor instrumented, and calls that flow through
+//     them surface at runtime as unexpected call paths handled by call path
+//     tracking (Section 4.2).
+//
+// Dynamically loadable classes are never part of the graph; that is the
+// whole point of the paper's Section 4.1.
+package cha
+
+import (
+	"fmt"
+
+	"deltapath/internal/callgraph"
+	"deltapath/internal/minivm"
+)
+
+// Setting selects which methods are analysed and instrumented.
+type Setting int
+
+const (
+	// EncodingAll includes library classes in the call graph.
+	EncodingAll Setting = iota
+	// EncodingApplication excludes library classes (Section 4.2).
+	EncodingApplication
+)
+
+func (s Setting) String() string {
+	if s == EncodingApplication {
+		return "encoding-application"
+	}
+	return "encoding-all"
+}
+
+// Options configures graph construction.
+type Options struct {
+	Setting Setting
+	// KeepUnreachable retains methods not reachable from the entry.
+	// The default (false) prunes them, as the paper's static analysis does
+	// when reporting call-graph sizes.
+	KeepUnreachable bool
+	// ExcludeMethods removes individual methods from the graph the same
+	// way library classes are removed under EncodingApplication: they are
+	// neither nodes nor instrumented, and call path tracking bridges
+	// paths through them. Used by the pruned encoding of Section 8.
+	ExcludeMethods map[minivm.MethodRef]bool
+}
+
+// Result is a constructed call graph plus the mappings the instrumenter
+// needs to connect graph entities back to program entities.
+type Result struct {
+	Graph *callgraph.Graph
+	// NodeOf maps a method to its node. Methods excluded from the graph
+	// (library methods under EncodingApplication, unreachable methods)
+	// are absent.
+	NodeOf map[minivm.MethodRef]callgraph.NodeID
+	// RefOf is the inverse of NodeOf, indexed by NodeID.
+	RefOf []minivm.MethodRef
+	// SpawnEntries lists the statically known executor-task entry methods
+	// (OpSpawn targets) present in the graph. Calling contexts of a task
+	// root at its entry, so these must be piece-start anchors.
+	SpawnEntries []minivm.MethodRef
+	// Setting records which setting built this result.
+	Setting Setting
+}
+
+// Node returns the node for a method, or callgraph.InvalidNode.
+func (r *Result) Node(m minivm.MethodRef) callgraph.NodeID {
+	if id, ok := r.NodeOf[m]; ok {
+		return id
+	}
+	return callgraph.InvalidNode
+}
+
+// Build constructs the call graph of prog's statically loaded classes.
+func Build(prog *minivm.Program, opts Options) (*Result, error) {
+	h := newHierarchy(prog.Classes)
+
+	// Full static graph first (both settings need it: reachability under
+	// encoding-application is still defined through library code).
+	type edgeRec struct {
+		from minivm.MethodRef
+		site int32
+		to   minivm.MethodRef
+	}
+	var edges []edgeRec
+	var spawns []minivm.MethodRef
+	spawnSeen := make(map[minivm.MethodRef]bool)
+	appOnly := opts.Setting == EncodingApplication
+
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			from := minivm.MethodRef{Class: c.Name, Method: m.Name}
+			walkCalls(m.Body, func(in *minivm.Instr) {
+				switch in.Op {
+				case minivm.OpCall:
+					edges = append(edges, edgeRec{from, in.Site, minivm.MethodRef{Class: in.Class, Method: in.Name}})
+				case minivm.OpVCall:
+					for _, target := range h.dispatch(in.Class, in.Name) {
+						edges = append(edges, edgeRec{from, in.Site, target})
+					}
+				case minivm.OpSpawn:
+					// A spawn is not a call edge — the task runs on its
+					// own stack — but its target is a reachability root
+					// and a context root.
+					ref := minivm.MethodRef{Class: in.Class, Method: in.Name}
+					if !spawnSeen[ref] {
+						spawnSeen[ref] = true
+						spawns = append(spawns, ref)
+					}
+				}
+			})
+		}
+	}
+
+	// Reachability over the full graph from the entry and every
+	// statically known task entry.
+	adj := make(map[minivm.MethodRef][]minivm.MethodRef)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reach := map[minivm.MethodRef]bool{prog.Entry: true}
+	work := []minivm.MethodRef{prog.Entry}
+	for _, sp := range spawns {
+		if !reach[sp] {
+			reach[sp] = true
+			work = append(work, sp)
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, w := range adj[v] {
+			if !reach[w] {
+				reach[w] = true
+				work = append(work, w)
+			}
+		}
+	}
+
+	include := func(ref minivm.MethodRef) bool {
+		cls := h.class(ref.Class)
+		if cls == nil || cls.Method(ref.Method) == nil {
+			return false // call to a dynamic or unknown class: not a static node
+		}
+		if appOnly && cls.Library {
+			return false
+		}
+		if opts.ExcludeMethods[ref] {
+			return false
+		}
+		if !opts.KeepUnreachable && !reach[ref] {
+			return false
+		}
+		return true
+	}
+	if opts.ExcludeMethods[prog.Entry] {
+		return nil, fmt.Errorf("cha: entry method %s cannot be excluded", prog.Entry)
+	}
+
+	if appOnly {
+		ec := h.class(prog.Entry.Class)
+		if ec != nil && ec.Library {
+			return nil, fmt.Errorf("cha: entry method %s is in a library class; it cannot be excluded", prog.Entry)
+		}
+	}
+
+	res := &Result{
+		Graph:   callgraph.New(),
+		NodeOf:  make(map[minivm.MethodRef]callgraph.NodeID),
+		Setting: opts.Setting,
+	}
+	add := func(ref minivm.MethodRef) callgraph.NodeID {
+		if id, ok := res.NodeOf[ref]; ok {
+			return id
+		}
+		cls := h.class(ref.Class)
+		id := res.Graph.AddNode(ref.String(), cls.Library)
+		res.NodeOf[ref] = id
+		res.RefOf = append(res.RefOf, ref)
+		return id
+	}
+
+	// Deterministic node order: declaration order, entry's method first if
+	// included (it always is — reach includes it).
+	if !include(prog.Entry) {
+		return nil, fmt.Errorf("cha: entry method %s not found among static classes", prog.Entry)
+	}
+	add(prog.Entry)
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			ref := minivm.MethodRef{Class: c.Name, Method: m.Name}
+			if include(ref) {
+				add(ref)
+			}
+		}
+	}
+	for _, e := range edges {
+		if include(e.from) && include(e.to) {
+			res.Graph.AddEdge(res.NodeOf[e.from], e.site, res.NodeOf[e.to])
+		}
+	}
+	for _, sp := range spawns {
+		if n, ok := res.NodeOf[sp]; ok {
+			res.SpawnEntries = append(res.SpawnEntries, sp)
+			res.Graph.MarkContextRoot(n)
+		}
+	}
+	res.Graph.SetEntry(res.NodeOf[prog.Entry])
+	if err := res.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// walkCalls applies f to every instruction in body, recursing into loops
+// and try/catch blocks.
+func walkCalls(body []minivm.Instr, f func(*minivm.Instr)) {
+	for i := range body {
+		in := &body[i]
+		f(in)
+		switch in.Op {
+		case minivm.OpLoop:
+			walkCalls(in.Body, f)
+		case minivm.OpTry:
+			walkCalls(in.Body, f)
+			walkCalls(in.Handler, f)
+		}
+	}
+}
+
+// hierarchy indexes the static class set.
+type hierarchy struct {
+	byName   map[string]*minivm.Class
+	children map[string][]string // class -> direct static subclasses, declaration order
+}
+
+func newHierarchy(classes []*minivm.Class) *hierarchy {
+	h := &hierarchy{
+		byName:   make(map[string]*minivm.Class, len(classes)),
+		children: make(map[string][]string),
+	}
+	for _, c := range classes {
+		h.byName[c.Name] = c
+	}
+	for _, c := range classes {
+		if c.Super != "" {
+			h.children[c.Super] = append(h.children[c.Super], c.Name)
+		}
+	}
+	return h
+}
+
+func (h *hierarchy) class(name string) *minivm.Class { return h.byName[name] }
+
+// dispatch returns the CHA dispatch set of a virtual call on class.method:
+// every static class at or below class that declares method, in
+// pre-order over the declaration-ordered hierarchy. This matches the VM's
+// runtime dispatch-table construction restricted to static classes.
+func (h *hierarchy) dispatch(class, method string) []minivm.MethodRef {
+	var out []minivm.MethodRef
+	var visit func(name string)
+	visit = func(name string) {
+		c := h.byName[name]
+		if c == nil {
+			return
+		}
+		if c.Method(method) != nil {
+			out = append(out, minivm.MethodRef{Class: name, Method: method})
+		}
+		for _, sub := range h.children[name] {
+			visit(sub)
+		}
+	}
+	visit(class)
+	return out
+}

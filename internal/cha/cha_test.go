@@ -1,0 +1,300 @@
+package cha
+
+import (
+	"strings"
+	"testing"
+
+	"deltapath/internal/callgraph"
+	"deltapath/internal/lang"
+	"deltapath/internal/minivm"
+)
+
+const src = `
+entry Main.main
+class Main {
+  method main {
+    call Main.init
+    vcall Shape.area
+    call Lib.helper
+  }
+  method init { work 1 }
+  method unused { work 1 }
+}
+class Shape { method area { work 1 } }
+class Circle extends Shape { method area { call Lib.log } }
+class Square extends Shape { method area { work 1 } }
+class Tri extends Circle { }          # inherits area, declares nothing
+library class Lib {
+  method helper { call Main2.appCallback }
+  method log { work 1 }
+}
+class Main2 {
+  method appCallback { emit cb }
+}
+dynamic class Dyn extends Shape { method area { work 1 } }
+`
+
+func build(t *testing.T, setting Setting) *Result {
+	t.Helper()
+	prog := lang.MustParse(src)
+	res, err := Build(prog, Options{Setting: setting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEncodingAllNodes(t *testing.T) {
+	res := build(t, EncodingAll)
+	g := res.Graph
+	// Reachable: Main.main, Main.init, Shape.area, Circle.area,
+	// Square.area, Lib.helper, Lib.log, Main2.appCallback = 8.
+	if g.NumNodes() != 8 {
+		t.Fatalf("nodes = %d, want 8:\n%s", g.NumNodes(), g.DOT())
+	}
+	if res.Node(minivm.MethodRef{Class: "Main", Method: "unused"}) != callgraph.InvalidNode {
+		t.Fatal("unreachable method included")
+	}
+	if res.Node(minivm.MethodRef{Class: "Dyn", Method: "area"}) != callgraph.InvalidNode {
+		t.Fatal("dynamic class method included in static graph")
+	}
+}
+
+func TestVirtualDispatchEdges(t *testing.T) {
+	res := build(t, EncodingAll)
+	g := res.Graph
+	mainN := res.Node(minivm.MethodRef{Class: "Main", Method: "main"})
+	// The vcall Shape.area site must have 3 targets: Shape, Circle, Square
+	// (Tri declares nothing so it adds no target).
+	var vsite callgraph.Site
+	found := false
+	for _, s := range g.Sites() {
+		if s.Caller == mainN && len(g.SiteTargets(s)) > 1 {
+			vsite = s
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no virtual site found for Main.main")
+	}
+	targets := g.SiteTargets(vsite)
+	if len(targets) != 3 {
+		t.Fatalf("dispatch targets = %d, want 3", len(targets))
+	}
+	names := make(map[string]bool)
+	for _, e := range targets {
+		names[g.Name(e.Callee)] = true
+	}
+	for _, want := range []string{"Shape.area", "Circle.area", "Square.area"} {
+		if !names[want] {
+			t.Errorf("missing dispatch target %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestDispatchSetMatchesVM(t *testing.T) {
+	// The static CHA dispatch set must equal the VM's runtime dispatch set
+	// before any dynamic loading: otherwise call path tracking would see
+	// phantom UCPs.
+	prog := lang.MustParse(src)
+	res, err := Build(prog, Options{Setting: EncodingAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := minivm.NewVM(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmSet := make(map[string]bool)
+	for _, r := range vm.DispatchTargets("Shape", "area") {
+		vmSet[r.String()] = true
+	}
+	g := res.Graph
+	mainN := res.Node(minivm.MethodRef{Class: "Main", Method: "main"})
+	for _, s := range g.Sites() {
+		if s.Caller != mainN || len(g.SiteTargets(s)) <= 1 {
+			continue
+		}
+		chaSet := make(map[string]bool)
+		for _, e := range g.SiteTargets(s) {
+			chaSet[g.Name(e.Callee)] = true
+		}
+		if len(chaSet) != len(vmSet) {
+			t.Fatalf("CHA set %v != VM set %v", chaSet, vmSet)
+		}
+		for k := range chaSet {
+			if !vmSet[k] {
+				t.Fatalf("CHA target %s not in VM set %v", k, vmSet)
+			}
+		}
+	}
+}
+
+func TestEncodingApplicationExcludesLibrary(t *testing.T) {
+	res := build(t, EncodingApplication)
+	g := res.Graph
+	for _, id := range g.Nodes() {
+		if strings.HasPrefix(g.Name(id), "Lib.") {
+			t.Fatalf("library method %s present under encoding-application", g.Name(id))
+		}
+	}
+	// Main2.appCallback is reachable only through Lib.helper; it must STILL
+	// be a node (Figure 7: G stays in the app graph) but with no incoming
+	// edges.
+	cb := res.Node(minivm.MethodRef{Class: "Main2", Method: "appCallback"})
+	if cb == callgraph.InvalidNode {
+		t.Fatal("app method reachable only via library dropped from graph")
+	}
+	if len(g.In(cb)) != 0 {
+		t.Fatalf("appCallback has %d in-edges, want 0 (library edges excluded)", len(g.In(cb)))
+	}
+	// The call Main.main -> Lib.helper must not be an edge.
+	mainN := res.Node(minivm.MethodRef{Class: "Main", Method: "main"})
+	for _, e := range g.Out(mainN) {
+		if strings.HasPrefix(g.Name(e.Callee), "Lib.") {
+			t.Fatalf("edge into library survived: %s", g.Name(e.Callee))
+		}
+	}
+}
+
+func TestEncodingApplicationSmaller(t *testing.T) {
+	all := build(t, EncodingAll)
+	app := build(t, EncodingApplication)
+	if app.Graph.NumNodes() >= all.Graph.NumNodes() {
+		t.Fatalf("application graph (%d nodes) not smaller than all (%d)",
+			app.Graph.NumNodes(), all.Graph.NumNodes())
+	}
+	if app.Graph.NumSites() >= all.Graph.NumSites() {
+		t.Fatalf("application sites (%d) not fewer than all (%d)",
+			app.Graph.NumSites(), all.Graph.NumSites())
+	}
+}
+
+func TestKeepUnreachable(t *testing.T) {
+	prog := lang.MustParse(src)
+	res, err := Build(prog, Options{Setting: EncodingAll, KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node(minivm.MethodRef{Class: "Main", Method: "unused"}) == callgraph.InvalidNode {
+		t.Fatal("KeepUnreachable dropped an unreachable method")
+	}
+}
+
+func TestLibraryEntryRejected(t *testing.T) {
+	prog := lang.MustParse(`
+entry L.m
+library class L { method m { work 1 } }`)
+	if _, err := Build(prog, Options{Setting: EncodingApplication}); err == nil {
+		t.Fatal("library entry accepted under encoding-application")
+	}
+	if _, err := Build(prog, Options{Setting: EncodingAll}); err != nil {
+		t.Fatalf("library entry rejected under encoding-all: %v", err)
+	}
+}
+
+func TestRefOfInverse(t *testing.T) {
+	res := build(t, EncodingAll)
+	for ref, id := range res.NodeOf {
+		if res.RefOf[id] != ref {
+			t.Fatalf("RefOf[%d] = %v, want %v", id, res.RefOf[id], ref)
+		}
+		if res.Graph.Name(id) != ref.String() {
+			t.Fatalf("node name %q != ref %q", res.Graph.Name(id), ref)
+		}
+	}
+}
+
+func TestRecursionEdgesInGraph(t *testing.T) {
+	prog := lang.MustParse(`
+entry A.main
+class A {
+  method main { call A.rec }
+  method rec { call A.rec; work 1 }
+}`)
+	res, err := Build(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Graph.RecursiveEdges()
+	if len(rec) != 1 {
+		t.Fatalf("recursive edges = %d, want 1 (self loop)", len(rec))
+	}
+}
+
+func TestEntryIsNodeZero(t *testing.T) {
+	res := build(t, EncodingAll)
+	entry, ok := res.Graph.Entry()
+	if !ok || entry != 0 {
+		t.Fatalf("entry node = %d (ok=%v), want 0", entry, ok)
+	}
+}
+
+func TestPruneForTargets(t *testing.T) {
+	prog := lang.MustParse(`
+entry P.main
+class P {
+  method main { call P.a; call P.b }
+  method a { call P.t }
+  method b { work 1 }
+  method t { emit hit }
+}`)
+	exclude, err := PruneForTargets(prog, map[minivm.MethodRef]bool{
+		{Class: "P", Method: "t"}: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exclude[minivm.MethodRef{Class: "P", Method: "b"}] {
+		t.Fatal("P.b cannot reach the target and must be excluded")
+	}
+	for _, keep := range []string{"main", "a", "t"} {
+		if exclude[minivm.MethodRef{Class: "P", Method: keep}] {
+			t.Fatalf("P.%s leads to the target and must be kept", keep)
+		}
+	}
+	// Build with the exclusion: P.b gone from the graph.
+	res, err := Build(prog, Options{ExcludeMethods: exclude})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node(minivm.MethodRef{Class: "P", Method: "b"}) != callgraph.InvalidNode {
+		t.Fatal("excluded method still in graph")
+	}
+	// Errors: unknown target, empty target set, excluded entry.
+	if _, err := PruneForTargets(prog, map[minivm.MethodRef]bool{{Class: "X", Method: "y"}: true}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if _, err := PruneForTargets(prog, nil); err == nil {
+		t.Fatal("empty target set accepted")
+	}
+	if _, err := Build(prog, Options{ExcludeMethods: map[minivm.MethodRef]bool{prog.Entry: true}}); err == nil {
+		t.Fatal("excluded entry accepted")
+	}
+}
+
+func TestPruneForTargetsVirtual(t *testing.T) {
+	// Reaching a target through a virtual call keeps the caller.
+	prog := lang.MustParse(`
+entry P.main
+class P { method main { vcall Base.go; call P.other } method other { work 1 } }
+class Base { method go { work 1 } }
+class Sub extends Base { method go { call P2.hit } }
+class P2 { method hit { emit hit } }
+`)
+	exclude, err := PruneForTargets(prog, map[minivm.MethodRef]bool{
+		{Class: "P2", Method: "hit"}: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exclude[minivm.MethodRef{Class: "Sub", Method: "go"}] {
+		t.Fatal("Sub.go reaches the target via its body and must be kept")
+	}
+	if exclude[minivm.MethodRef{Class: "P", Method: "main"}] {
+		t.Fatal("P.main reaches the target via dispatch and must be kept")
+	}
+	if !exclude[minivm.MethodRef{Class: "P", Method: "other"}] {
+		t.Fatal("P.other must be excluded")
+	}
+}

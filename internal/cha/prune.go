@@ -1,0 +1,72 @@
+package cha
+
+import (
+	"fmt"
+
+	"deltapath/internal/minivm"
+)
+
+// PruneForTargets implements the pruned-encoding analysis of Section 8
+// (Future Work): when the user only needs the calling contexts of a known
+// set of target methods, every method that does not invoke a target —
+// directly or transitively — can skip encoding entirely. The returned set
+// contains the methods to exclude (via Options.ExcludeMethods); methods
+// that can reach a target, and the targets themselves, are kept.
+//
+// The entry method is always kept: it is the root of every context.
+func PruneForTargets(prog *minivm.Program, targets map[minivm.MethodRef]bool) (map[minivm.MethodRef]bool, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cha: no target methods given")
+	}
+	h := newHierarchy(prog.Classes)
+	// Reverse edges of the full static graph.
+	rev := make(map[minivm.MethodRef][]minivm.MethodRef)
+	all := make([]minivm.MethodRef, 0, 64)
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			from := minivm.MethodRef{Class: c.Name, Method: m.Name}
+			all = append(all, from)
+			walkCalls(m.Body, func(in *minivm.Instr) {
+				switch in.Op {
+				case minivm.OpCall:
+					to := minivm.MethodRef{Class: in.Class, Method: in.Name}
+					rev[to] = append(rev[to], from)
+				case minivm.OpVCall:
+					for _, to := range h.dispatch(in.Class, in.Name) {
+						rev[to] = append(rev[to], from)
+					}
+				}
+			})
+		}
+	}
+	keep := make(map[minivm.MethodRef]bool)
+	var work []minivm.MethodRef
+	for t := range targets {
+		cls := h.class(t.Class)
+		if cls == nil || cls.Method(t.Method) == nil {
+			return nil, fmt.Errorf("cha: target method %s not found among static classes", t)
+		}
+		if !keep[t] {
+			keep[t] = true
+			work = append(work, t)
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range rev[v] {
+			if !keep[p] {
+				keep[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	keep[prog.Entry] = true
+	exclude := make(map[minivm.MethodRef]bool)
+	for _, ref := range all {
+		if !keep[ref] {
+			exclude[ref] = true
+		}
+	}
+	return exclude, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"deltapath/internal/callgraph"
+)
+
+// EstimateSpace computes, with arbitrary-precision integers, the encoding
+// space the graph would need without any overflow anchors: the largest
+// encoding ID any context could take when only the entry and the
+// recursive-edge targets start pieces. This is Table 1's "max. ID" column,
+// which for the largest SPECjvm programs exceeds a 64-bit integer — the
+// very observation motivating Algorithm 2.
+//
+// It mirrors Encode's pass exactly, substituting big.Int arithmetic for
+// uint64 and never overflowing; the equivalence is property-tested against
+// Encode on graphs that fit in uint64.
+//
+// The second result is the number of bits required (bit length of the
+// space bound), handy for "needs N-bit integers" reporting.
+func EstimateSpace(g *callgraph.Graph) (*big.Int, int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, 0, err
+	}
+	entry, _ := g.Entry()
+	rec := g.RecursiveEdges()
+	topo, err := g.TopoOrder(rec)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: %w", err)
+	}
+	an := map[callgraph.NodeID]bool{entry: true}
+	for e := range rec {
+		an[e.Callee] = true
+	}
+	for _, n := range g.ContextRoots() {
+		an[n] = true
+	}
+
+	p := &pass{
+		nanchors: make(map[callgraph.NodeID][]callgraph.NodeID),
+		eanchors: make(map[callgraph.Edge][]callgraph.NodeID),
+	}
+	identifyTerritories(g, rec, an, p)
+
+	one := big.NewInt(1)
+	cav := make(map[callgraph.NodeID]map[callgraph.NodeID]*big.Int)
+	icc := make(map[callgraph.NodeID]map[callgraph.NodeID]*big.Int)
+	for n, anchors := range p.nanchors {
+		m := make(map[callgraph.NodeID]*big.Int, len(anchors))
+		for _, r := range anchors {
+			m[r] = big.NewInt(0)
+		}
+		cav[n] = m
+	}
+	maxCAV := big.NewInt(0)
+	processed := make(map[callgraph.Site]bool)
+
+	for _, n := range topo {
+		for _, e := range g.ForwardIn(n, rec) {
+			cs := e.Site()
+			if processed[cs] {
+				continue
+			}
+			processed[cs] = true
+			a := big.NewInt(0)
+			targets := g.SiteTargets(cs)
+			for _, te := range targets {
+				if rec[te] {
+					continue
+				}
+				for _, r := range p.eanchors[te] {
+					if v := cav[te.Callee][r]; v.Cmp(a) > 0 {
+						a = v
+					}
+				}
+			}
+			a = new(big.Int).Set(a)
+			for _, te := range targets {
+				if rec[te] {
+					continue
+				}
+				iccP := icc[te.Caller]
+				for _, r := range p.eanchors[te] {
+					w := iccP[r]
+					if w == nil {
+						w = big.NewInt(0)
+					}
+					v := new(big.Int).Add(w, a)
+					cav[te.Callee][r] = v
+					if v.Cmp(maxCAV) > 0 {
+						maxCAV = v
+					}
+				}
+			}
+		}
+		if an[n] {
+			icc[n] = map[callgraph.NodeID]*big.Int{n: one}
+		} else if cavN := cav[n]; len(cavN) > 0 {
+			m := make(map[callgraph.NodeID]*big.Int, len(cavN))
+			for r, v := range cavN {
+				m[r] = v
+			}
+			icc[n] = m
+		}
+	}
+	maxValue := new(big.Int).Set(maxCAV)
+	if maxValue.Sign() > 0 {
+		maxValue.Sub(maxValue, one) // exclusive bound -> largest ID
+	}
+	return maxValue, maxValue.BitLen(), nil
+}
+
+// FormatSpace renders a space bound the way Table 1 does: small numbers in
+// full, large ones in scientific notation with one decimal (e.g. "4.4e21").
+func FormatSpace(v *big.Int) string {
+	if v.BitLen() <= 13 { // < 8192: print exactly
+		return v.String()
+	}
+	f := new(big.Float).SetInt(v)
+	return fmt.Sprintf("%.1e", f)
+}

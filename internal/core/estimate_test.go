@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"deltapath/internal/callgraph"
+)
+
+// TestEstimateMatchesEncodeWhenSmall: on graphs that fit in uint64, the
+// big-integer estimate equals Encode's MaxID exactly.
+func TestEstimateMatchesEncodeWhenSmall(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(30), true)
+		res, err := Encode(g, Options{})
+		if err != nil {
+			return false
+		}
+		est, bits, err := EstimateSpace(g)
+		if err != nil {
+			return false
+		}
+		if est.Cmp(new(big.Int).SetUint64(res.MaxID)) != 0 {
+			t.Logf("seed %d: estimate %s != MaxID %d", seed, est, res.MaxID)
+			return false
+		}
+		if bits != est.BitLen() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimateExceeds64Bit builds a deep doubling chain whose context count
+// exceeds 2^64, the situation that forces anchors in Table 1.
+func TestEstimateExceeds64Bit(t *testing.T) {
+	g := callgraph.New()
+	prev := []callgraph.NodeID{g.AddNode("main", false)}
+	g.SetEntry(prev[0])
+	var label int32
+	for layer := 0; layer < 70; layer++ {
+		var cur []callgraph.NodeID
+		for i := 0; i < 2; i++ {
+			n := g.AddNode(fmt.Sprintf("L%dN%d", layer, i), false)
+			cur = append(cur, n)
+			for _, p := range prev {
+				g.AddEdge(p, label, n)
+				label++
+			}
+		}
+		prev = cur
+	}
+	est, bits, err := EstimateSpace(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits <= 64 {
+		t.Fatalf("estimate %s fits in %d bits; wanted >64", est, bits)
+	}
+	// Exact: 2^69 contexts at the deepest layer (index 69), largest
+	// ID 2^69 - 1.
+	want := new(big.Int).Lsh(big.NewInt(1), 69)
+	want.Sub(want, big.NewInt(1))
+	if est.Cmp(want) != 0 {
+		t.Fatalf("estimate = %s, want %s", est, want)
+	}
+	// Algorithm 2 must now introduce anchors at 63-bit width and succeed.
+	res, err := Encode(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OverflowAnchors) == 0 {
+		t.Fatal("no anchors despite >64-bit space requirement")
+	}
+	t.Logf("anchors added: %d, residual MaxID: %d", len(res.OverflowAnchors), res.MaxID)
+}
+
+// TestEstimateWithRecursion: recursive targets root their own pieces, so the
+// estimate stays finite on cyclic graphs.
+func TestEstimateWithRecursion(t *testing.T) {
+	g := callgraph.New()
+	mainN := g.AddNode("main", false)
+	f := g.AddNode("f", false)
+	h := g.AddNode("h", false)
+	g.SetEntry(mainN)
+	g.AddEdge(mainN, 0, f)
+	g.AddEdge(f, 0, h)
+	g.AddEdge(h, 0, f) // cycle f <-> h
+	est, _, err := EstimateSpace(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.IsUint64() || est.Uint64() > 4 {
+		t.Fatalf("estimate on tiny cyclic graph = %s", est)
+	}
+}
+
+func TestFormatSpace(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"0", "0"},
+		{"12", "12"},
+		{"8191", "8191"},
+		{"78000000", "7.8e+07"},
+		{"4400000000000000000000", "4.4e+21"},
+	}
+	for _, c := range cases {
+		v, ok := new(big.Int).SetString(c.in, 10)
+		if !ok {
+			t.Fatal("bad test input")
+		}
+		got := FormatSpace(v)
+		if got != c.want && !strings.EqualFold(got, c.want) {
+			t.Errorf("FormatSpace(%s) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

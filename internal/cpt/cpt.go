@@ -1,0 +1,119 @@
+// Package cpt implements the call path tracking technique of Section 4.1 —
+// the piece of DeltaPath that keeps encodings correct when dynamically
+// loaded classes introduce call paths static analysis never saw, and that
+// enables the selective ("flexible") encoding of Section 4.2.
+//
+// Static side (this package): every node starts in its own set; for each
+// call site, the sets of all its dispatch targets are merged (union–find).
+// Each final set gets a set identifier (SID); all possible targets of any
+// one call site share a SID.
+//
+// Runtime side (package instrument): before an instrumented call, the
+// expected callee SID, the call site, and the current encoding ID are
+// saved; at the entry of every statically loaded function, the function's
+// SID is compared with the saved expectation. A mismatch means control
+// reached this function through at least one unanalysed frame — a
+// hazardous unexpected call path (UCP) — and the encoding responds by
+// pushing the saved information and restarting a piece. Equal SIDs mean the
+// UCP, if any, was benign: the decoded context is exact except that
+// unanalysed frames are transparently absent (Figure 6's B→X→D case).
+package cpt
+
+import (
+	"deltapath/internal/callgraph"
+)
+
+// Plan is the static output of call path tracking analysis.
+type Plan struct {
+	// SID maps each node to its set identifier. SIDs are dense, 0-based.
+	SID []int32
+	// Expected maps each call site to the SID every one of its static
+	// dispatch targets carries.
+	Expected map[callgraph.Site]int32
+	// NumSets is the number of distinct SIDs.
+	NumSets int
+}
+
+// Compute runs the set-merging analysis on g.
+func Compute(g *callgraph.Graph) *Plan {
+	n := g.NumNodes()
+	uf := newUnionFind(n)
+	for _, s := range g.Sites() {
+		targets := g.SiteTargets(s)
+		for i := 1; i < len(targets); i++ {
+			uf.union(int(targets[0].Callee), int(targets[i].Callee))
+		}
+	}
+	plan := &Plan{
+		SID:      make([]int32, n),
+		Expected: make(map[callgraph.Site]int32),
+	}
+	// Densify set identifiers in node order for determinism.
+	next := int32(0)
+	sidOfRoot := make(map[int]int32)
+	for i := 0; i < n; i++ {
+		root := uf.find(i)
+		sid, ok := sidOfRoot[root]
+		if !ok {
+			sid = next
+			next++
+			sidOfRoot[root] = sid
+		}
+		plan.SID[i] = sid
+	}
+	plan.NumSets = int(next)
+	for _, s := range g.Sites() {
+		targets := g.SiteTargets(s)
+		if len(targets) > 0 {
+			plan.Expected[s] = plan.SID[targets[0].Callee]
+		}
+	}
+	return plan
+}
+
+// SharedSID reports whether every target of the site has the same SID —
+// an internal invariant, exported for tests and validation.
+func (p *Plan) SharedSID(g *callgraph.Graph, s callgraph.Site) bool {
+	targets := g.SiteTargets(s)
+	for _, e := range targets {
+		if p.SID[e.Callee] != p.Expected[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// unionFind is a standard union–find with path halving and union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}

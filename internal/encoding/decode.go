@@ -1,0 +1,238 @@
+package encoding
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"deltapath/internal/callgraph"
+)
+
+// Frame is one entry of a decoded calling context. A Gap frame stands for
+// one or more frames of unanalysed code (dynamically loaded classes, or
+// library code excluded under selective encoding) whose identity the
+// encoding intentionally does not track; the decoded context is exact on
+// both sides of the gap (Section 4.1: benign-vs-hazardous UCPs).
+type Frame struct {
+	Node callgraph.NodeID
+	Gap  bool
+}
+
+// Decoder recovers calling contexts from runtime encoding states. It is
+// deterministic and instant (no search), which is the paper's headline
+// advantage over Breadcrumbs-style probabilistic decoding.
+//
+// A Decoder is safe for concurrent use: the lazily built per-node and
+// per-territory caches are guarded internally, so one decoder can serve
+// the decode requests of many goroutines (the log-processing deployment
+// shape).
+type Decoder struct {
+	spec *Spec
+
+	mu sync.RWMutex
+
+	// inEdges[n] caches the non-push in-edges of n with their addition
+	// values, sorted by descending AV (ties broken by insertion order,
+	// which never matters within one territory — ranges are disjoint).
+	inEdges map[callgraph.NodeID][]avEdge
+
+	// territory caches, per piece-start node, the set of edges a piece
+	// starting there can traverse: the bounded DFS of Section 3.2 that
+	// retreats at anchor nodes.
+	territory map[callgraph.NodeID]map[callgraph.Edge]bool
+}
+
+type avEdge struct {
+	e  callgraph.Edge
+	av uint64
+}
+
+// NewDecoder builds a decoder for the spec.
+func NewDecoder(spec *Spec) *Decoder {
+	return &Decoder{
+		spec:      spec,
+		inEdges:   make(map[callgraph.NodeID][]avEdge),
+		territory: make(map[callgraph.NodeID]map[callgraph.Edge]bool),
+	}
+}
+
+// Decode recovers the full calling context whose encoding is st and which
+// ends at node end. The result is ordered from the program entry (index 0)
+// to end.
+func (d *Decoder) Decode(st *State, end callgraph.NodeID) ([]Frame, error) {
+	frames, err := d.decodePiece(st.ID, end, st.Start)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(st.Stack) - 1; i >= 0; i-- {
+		el := &st.Stack[i]
+		outer, err := d.decodePiece(el.DecodeID, el.OuterEnd, el.OuterStart)
+		if err != nil {
+			return nil, fmt.Errorf("piece %d (%s): %w", i, el.Kind, err)
+		}
+		switch el.Kind {
+		case PieceAnchor:
+			// The outer piece ends at the anchor, which is also the
+			// first frame of the inner piece: drop the duplicate.
+			if len(frames) == 0 || frames[0].Node != el.OuterEnd {
+				return nil, fmt.Errorf("anchor piece does not start at %s",
+					d.spec.Graph.Name(el.OuterEnd))
+			}
+			frames = append(outer, frames[1:]...)
+		case PieceRecursion, PiecePruned:
+			// The recorded call site connects caller (end of outer)
+			// to the inner piece's start.
+			frames = append(outer, frames...)
+		case PieceUCP:
+			gap := Frame{Gap: true}
+			joined := append(outer, gap)
+			frames = append(joined, frames...)
+		default:
+			return nil, fmt.Errorf("unexpected piece kind %v on stack", el.Kind)
+		}
+	}
+	return frames, nil
+}
+
+// DecodeNames is Decode rendering node names, with gaps shown as "...".
+func (d *Decoder) DecodeNames(st *State, end callgraph.NodeID) ([]string, error) {
+	frames, err := d.Decode(st, end)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(frames))
+	for i, f := range frames {
+		if f.Gap {
+			out[i] = "..."
+		} else {
+			out[i] = d.spec.Graph.Name(f.Node)
+		}
+	}
+	return out, nil
+}
+
+// FormatContext joins decoded names with " > ".
+func FormatContext(names []string) string { return strings.Join(names, " > ") }
+
+// decodePiece recovers one piece: the acyclic path from start to end whose
+// addition values sum to id. It walks bottom-up, at each node choosing the
+// in-edge (within start's territory) with the greatest addition value not
+// exceeding the remaining id — the decoding rule of Section 2, restricted
+// to the piece's territory as Section 3.2 requires.
+func (d *Decoder) decodePiece(id uint64, end, start callgraph.NodeID) ([]Frame, error) {
+	terr := d.territoryOf(start)
+	frames := []Frame{{Node: end}}
+	n := end
+	for steps := 0; ; steps++ {
+		if steps > d.spec.Graph.NumNodes()+1 {
+			return nil, fmt.Errorf("decode did not terminate (corrupt encoding?)")
+		}
+		if n == start {
+			if id != 0 {
+				return nil, fmt.Errorf("reached piece start %s with residual id %d",
+					d.spec.Graph.Name(start), id)
+			}
+			break
+		}
+		best, ok := d.pickEdge(n, id, terr)
+		if !ok {
+			return nil, fmt.Errorf("no in-edge of %s matches id %d (piece start %s)",
+				d.spec.Graph.Name(n), id, d.spec.Graph.Name(start))
+		}
+		id -= best.av
+		n = best.e.Caller
+		frames = append(frames, Frame{Node: n})
+	}
+	// Reverse into entry-to-end order.
+	for i, j := 0, len(frames)-1; i < j; i, j = i+1, j-1 {
+		frames[i], frames[j] = frames[j], frames[i]
+	}
+	return frames, nil
+}
+
+// pickEdge returns the in-edge of n, within the territory, with the largest
+// addition value that is at most id.
+func (d *Decoder) pickEdge(n callgraph.NodeID, id uint64, terr map[callgraph.Edge]bool) (avEdge, bool) {
+	for _, cand := range d.sortedIn(n) {
+		if cand.av > id {
+			continue // sorted descending: keep looking for a smaller AV
+		}
+		if terr != nil && !terr[cand.e] {
+			continue
+		}
+		return cand, true
+	}
+	return avEdge{}, false
+}
+
+// sortedIn returns n's non-push in-edges sorted by descending AV.
+func (d *Decoder) sortedIn(n callgraph.NodeID) []avEdge {
+	d.mu.RLock()
+	cached, ok := d.inEdges[n]
+	d.mu.RUnlock()
+	if ok {
+		return cached
+	}
+	var list []avEdge
+	for _, e := range d.spec.Graph.In(n) {
+		if _, pushed := d.spec.Push[e]; pushed {
+			continue
+		}
+		list = append(list, avEdge{e: e, av: d.spec.AV(e)})
+	}
+	// Insertion sort by descending av: in-edge lists are short and mostly
+	// already ordered ascending, so reverse then fix up.
+	for i, j := 0, len(list)-1; i < j; i, j = i+1, j-1 {
+		list[i], list[j] = list[j], list[i]
+	}
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j-1].av < list[j].av; j-- {
+			list[j-1], list[j] = list[j], list[j-1]
+		}
+	}
+	d.mu.Lock()
+	d.inEdges[n] = list
+	d.mu.Unlock()
+	return list
+}
+
+// territoryOf returns the set of edges a piece starting at start may
+// traverse: every non-push edge reachable from start without leaving
+// through another anchor node. A nil result means "no restriction", used
+// when the spec has no anchors at all (then every edge qualifies and the
+// filter would be pure overhead).
+func (d *Decoder) territoryOf(start callgraph.NodeID) map[callgraph.Edge]bool {
+	if len(d.spec.Anchors) == 0 {
+		return nil
+	}
+	d.mu.RLock()
+	t, ok := d.territory[start]
+	d.mu.RUnlock()
+	if ok {
+		return t
+	}
+	t = make(map[callgraph.Edge]bool)
+	seen := map[callgraph.NodeID]bool{start: true}
+	work := []callgraph.NodeID{start}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		if v != start && d.spec.Anchors[v] {
+			continue // retreat at other anchors
+		}
+		for _, e := range d.spec.Graph.Out(v) {
+			if _, pushed := d.spec.Push[e]; pushed {
+				continue
+			}
+			t[e] = true
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				work = append(work, e.Callee)
+			}
+		}
+	}
+	d.mu.Lock()
+	d.territory[start] = t
+	d.mu.Unlock()
+	return t
+}

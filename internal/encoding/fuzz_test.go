@@ -1,0 +1,31 @@
+package encoding
+
+import "testing"
+
+// FuzzUnmarshalContext asserts record parsing never panics on arbitrary
+// bytes and that valid records round-trip.
+func FuzzUnmarshalContext(f *testing.F) {
+	st := NewState(3)
+	st.ID = 41
+	st.PushAnchor(7)
+	st.Add(5)
+	f.Add(MarshalContext(st, 9))
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{1, 0x80, 0x80, 0x80})
+	f.Add([]byte{1, 1, 1, 1, 250, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, end, err := UnmarshalContext(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-serialize to an equivalent record.
+		again, end2, err := UnmarshalContext(MarshalContext(got, end))
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if end2 != end || !statesEqual(got, again) {
+			t.Fatalf("marshal/unmarshal not idempotent")
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package encoding
+
+import (
+	"fmt"
+
+	"deltapath/internal/callgraph"
+)
+
+// Validate machine-checks the invariant of Section 3.1 on a produced Spec:
+// for every node, the encoding sub-ranges of its incoming edges must be
+// pairwise disjoint *within each piece-start territory*, and piece starts
+// must have their reserved width. widths gives, per (node, piece start),
+// the exclusive encoding bound (the algorithm's ICC); entries absent from
+// widths are treated as width 0 (no contexts flow there).
+//
+// This is an internal audit: the encoding algorithms are property-tested
+// against it, and long-running deployments can re-run it after loading a
+// persisted analysis to detect corruption.
+func (s *Spec) Validate(widths map[callgraph.NodeID]map[callgraph.NodeID]uint64) error {
+	g := s.Graph
+	if g == nil {
+		return fmt.Errorf("encoding: spec has no graph")
+	}
+	entry, ok := g.Entry()
+	if !ok {
+		return fmt.Errorf("encoding: graph has no entry")
+	}
+	rec := g.RecursiveEdges()
+
+	// Identify piece starts: entry, runtime anchors, context roots.
+	starts := map[callgraph.NodeID]bool{entry: true}
+	for n := range s.Anchors {
+		starts[n] = true
+	}
+	for _, n := range g.ContextRoots() {
+		starts[n] = true
+	}
+
+	// Recompute territories exactly as the decoder does and check range
+	// disjointness per (node, territory start).
+	for start := range starts {
+		terr := territory(s, start)
+		type rng struct {
+			lo, hi uint64
+			e      callgraph.Edge
+		}
+		byNode := make(map[callgraph.NodeID][]rng)
+		for e := range terr {
+			if _, pushed := s.Push[e]; pushed {
+				continue
+			}
+			w := widths[e.Caller][start]
+			if s.Anchors[e.Caller] || e.Caller == start {
+				// A piece-start caller owns a reserved width of 1
+				// relative to itself.
+				if e.Caller == start {
+					w = widths[e.Caller][e.Caller]
+					if w == 0 {
+						w = 1
+					}
+				}
+			}
+			if w == 0 {
+				continue // no contexts flow along e from this start
+			}
+			av := s.AV(e)
+			byNode[e.Callee] = append(byNode[e.Callee], rng{lo: av, hi: av + w, e: e})
+		}
+		for n, ranges := range byNode {
+			for i := 0; i < len(ranges); i++ {
+				for j := i + 1; j < len(ranges); j++ {
+					a, b := ranges[i], ranges[j]
+					if a.lo < b.hi && b.lo < a.hi {
+						return fmt.Errorf(
+							"encoding: node %s, territory of %s: ranges [%d,%d) via %v and [%d,%d) via %v overlap",
+							g.Name(n), g.Name(start), a.lo, a.hi, a.e, b.lo, b.hi, b.e)
+					}
+				}
+			}
+		}
+	}
+
+	// Every recursive edge must be a push edge.
+	for e := range rec {
+		if _, pushed := s.Push[e]; !pushed {
+			return fmt.Errorf("encoding: recursive edge %v carries no push", e)
+		}
+	}
+	return nil
+}
+
+// territory recomputes the piece-start territory the decoder would use,
+// without touching the decoder's caches.
+func territory(s *Spec, start callgraph.NodeID) map[callgraph.Edge]bool {
+	t := make(map[callgraph.Edge]bool)
+	seen := map[callgraph.NodeID]bool{start: true}
+	work := []callgraph.NodeID{start}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		if v != start && s.Anchors[v] {
+			continue
+		}
+		for _, e := range s.Graph.Out(v) {
+			if _, pushed := s.Push[e]; pushed {
+				continue
+			}
+			t[e] = true
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				work = append(work, e.Callee)
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,93 @@
+package encoding
+
+import (
+	"fmt"
+
+	"deltapath/internal/callgraph"
+)
+
+// EncodePath simulates the runtime encoding of a call path: starting at the
+// graph entry, it applies for each edge exactly the operations the
+// instrumentation performs — push-and-reset for recursive/pruned edges, an
+// addition for ordinary edges, and a save-and-reset upon entering an anchor
+// node. It is the reference semantics the instrumented interpreter must
+// agree with, and it lets analyses be tested without running a VM.
+//
+// The path is the sequence of call edges from the entry; an empty path is
+// the context consisting of the entry alone.
+func EncodePath(spec *Spec, path []callgraph.Edge) (*State, error) {
+	entry, ok := spec.Graph.Entry()
+	if !ok {
+		return nil, fmt.Errorf("encoding: graph has no entry")
+	}
+	st := NewState(entry)
+	cur := entry
+	for _, e := range path {
+		if e.Caller != cur {
+			return nil, fmt.Errorf("encoding: path edge %v does not continue from %s",
+				e, spec.Graph.Name(cur))
+		}
+		if kind, pushed := spec.Push[e]; pushed {
+			// The pushed piece already starts at the callee, so a
+			// subsequent anchor push at its entry would only add an
+			// empty piece; the instrumentation skips it and so do we.
+			st.PushCallEdge(kind, e.Site(), e.Callee)
+		} else {
+			st.Add(spec.AV(e))
+			if spec.Anchors[e.Callee] {
+				st.PushAnchor(e.Callee)
+			}
+		}
+		cur = e.Callee
+	}
+	return st, nil
+}
+
+// EnumeratePaths yields every call path from the entry in which each
+// recursive edge appears at most maxRec times consecutively-in-total, up to
+// maxLen edges. It calls fn with each path (the slice is reused; copy it to
+// retain). Used by property tests and the exhaustive-uniqueness checks.
+func EnumeratePaths(g *callgraph.Graph, maxRec, maxLen int, fn func(path []callgraph.Edge)) {
+	entry, ok := g.Entry()
+	if !ok {
+		return
+	}
+	rec := g.RecursiveEdges()
+	var path []callgraph.Edge
+	recUse := make(map[callgraph.Edge]int)
+	var visit func(n callgraph.NodeID)
+	visit = func(n callgraph.NodeID) {
+		fn(path)
+		if len(path) >= maxLen {
+			return
+		}
+		for _, e := range g.Out(n) {
+			if rec[e] {
+				if recUse[e] >= maxRec {
+					continue
+				}
+				recUse[e]++
+				path = append(path, e)
+				visit(e.Callee)
+				path = path[:len(path)-1]
+				recUse[e]--
+			} else {
+				path = append(path, e)
+				visit(e.Callee)
+				path = path[:len(path)-1]
+			}
+		}
+	}
+	visit(entry)
+}
+
+// PathNodes renders a path as the node sequence it traverses, starting at
+// the graph entry.
+func PathNodes(g *callgraph.Graph, path []callgraph.Edge) []callgraph.NodeID {
+	entry, _ := g.Entry()
+	nodes := []callgraph.NodeID{entry}
+	for _, e := range path {
+		nodes = append(nodes, e.Callee)
+	}
+	return nodes
+}

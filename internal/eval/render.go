@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable1 prints Table 1 in the paper's layout: one row per program,
+// static characteristics under encoding-all and encoding-application.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Static program characteristics (synthetic SPECjvm2008-shaped suite)\n")
+	fmt.Fprintf(&b, "%-22s %8s | %6s %6s %6s %6s %9s %4s | %6s %6s %6s %6s %9s %4s\n",
+		"program", "size(B)",
+		"nodes", "edges", "CS", "VCS", "max.ID", "anc",
+		"nodes", "edges", "CS", "VCS", "max.ID", "anc")
+	fmt.Fprintf(&b, "%-22s %8s | %-48s | %-48s\n", "", "",
+		"---------------- encoding-all ------------------",
+		"------------- encoding-application -------------")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %8d | %6d %6d %6d %6d %9s %4d | %6d %6d %6d %6d %9s %4d\n",
+			r.Program, r.Size,
+			r.All.Nodes, r.All.Edges, r.All.CS, r.All.VCS, r.All.MaxID, r.All.Anchors,
+			r.App.Nodes, r.App.Edges, r.App.CS, r.App.VCS, r.App.MaxID, r.App.Anchors)
+	}
+	return b.String()
+}
+
+// RenderFigure8 prints Figure 8 as a text table plus bar chart: normalized
+// execution speed (1.00 = native) under PCC, DeltaPath without call path
+// tracking, and DeltaPath with call path tracking.
+func RenderFigure8(rows []Fig8Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: Normalized execution speed (1.00 = native; higher is better)\n")
+	fmt.Fprintf(&b, "%-22s %8s %10s %9s  %s\n", "program", "PCC", "DP(woCPT)", "DP(wCPT)", "speed bars (PCC/woCPT/wCPT)")
+	bar := func(v float64) string {
+		n := int(v*30 + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		if n > 45 {
+			n = 45
+		}
+		return strings.Repeat("█", n)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %8.3f %10.3f %9.3f\n", r.Program, r.PCC, r.DeltaNoCPT, r.DeltaCPT)
+		fmt.Fprintf(&b, "%22s P %s\n", "", bar(r.PCC))
+		fmt.Fprintf(&b, "%22s D %s\n", "", bar(r.DeltaNoCPT))
+		fmt.Fprintf(&b, "%22s C %s\n", "", bar(r.DeltaCPT))
+	}
+	gm := func(sel func(Fig8Row) float64) float64 { return GeoMean(rows, sel) }
+	fmt.Fprintf(&b, "%-22s %8.3f %10.3f %9.3f   (geometric means)\n", "geomean",
+		gm(func(r Fig8Row) float64 { return r.PCC }),
+		gm(func(r Fig8Row) float64 { return r.DeltaNoCPT }),
+		gm(func(r Fig8Row) float64 { return r.DeltaCPT }))
+	fmt.Fprintf(&b, "average slowdowns: PCC %.2f%%, DeltaPath wo/CPT %.2f%%, w/CPT %.2f%%\n",
+		100*(1-gm(func(r Fig8Row) float64 { return r.PCC })),
+		100*(1-gm(func(r Fig8Row) float64 { return r.DeltaNoCPT })),
+		100*(1-gm(func(r Fig8Row) float64 { return r.DeltaCPT })))
+	return b.String()
+}
+
+// RenderTable2 prints Table 2 in the paper's layout: dynamic
+// characteristics of the collected calling contexts.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Dynamic program characteristics\n")
+	fmt.Fprintf(&b, "%-22s %10s %5s %6s | %8s | %8s %6s %6s %4s %6s %10s | %6s\n",
+		"program", "total ctx", "max.d", "avg.d", "PCC uniq",
+		"DP uniq", "max.st", "avg.st", "mUCP", "aUCP", "max.ID", "dec.err")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %10d %5d %6.1f | %8d | %8d %6d %6.1f %4d %6.2f %10d | %6d\n",
+			r.Program, r.TotalContexts, r.MaxDepth, r.AvgDepth, r.UniquePCC,
+			r.UniqueDelta, r.MaxStack, r.AvgStack, r.MaxUCP, r.AvgUCP, r.MaxID, r.DecodeErrors)
+	}
+	return b.String()
+}
+
+// RenderDecodeLatency prints the decode-latency table.
+func RenderDecodeLatency(rows []DecodeRow) string {
+	var b strings.Builder
+	b.WriteString("Decode latency (microseconds per context; deterministic, no search)\n")
+	fmt.Fprintf(&b, "%-22s %9s %10s %10s %10s %7s\n",
+		"program", "contexts", "mean µs", "p99 µs", "max µs", "max.d")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %9d %10.2f %10.2f %10.2f %7d\n",
+			r.Program, r.Contexts, r.MeanMicros, r.P99Micros, r.MaxMicros, r.MaxDepth)
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTable1(t *testing.T) {
+	rows := []Table1Row{{
+		Program: "demo",
+		Size:    1234,
+		All:     Table1Cols{Nodes: 10, Edges: 20, CS: 15, VCS: 5, MaxID: "4.4e+21", MaxIDBits: 72, Anchors: 6},
+		App:     Table1Cols{Nodes: 3, Edges: 2, CS: 2, VCS: 1, MaxID: "12", Anchors: 0},
+	}}
+	out := RenderTable1(rows)
+	for _, frag := range []string{"demo", "4.4e+21", "encoding-all", "encoding-application", "12"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 1 render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRenderFigure8(t *testing.T) {
+	rows := []Fig8Row{
+		{Program: "a", PCC: 0.8, DeltaNoCPT: 0.7, DeltaCPT: 0.65, NativeSteps: 1e8},
+		{Program: "b", PCC: 0.9, DeltaNoCPT: 0.85, DeltaCPT: 0.8, NativeSteps: 2e8},
+	}
+	out := RenderFigure8(rows)
+	for _, frag := range []string{"geomean", "average slowdowns", "0.800", "0.650"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Figure 8 render missing %q:\n%s", frag, out)
+		}
+	}
+	// Bars present and bounded.
+	if !strings.Contains(out, "█") {
+		t.Error("no bars rendered")
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	rows := []Table2Row{{
+		Program: "demo", TotalContexts: 100, MaxDepth: 9, AvgDepth: 4.5,
+		UniqueTrue: 40, UniquePCC: 38, UniqueDelta: 42,
+		MaxStack: 5, AvgStack: 1.2, MaxUCP: 2, AvgUCP: 0.3, MaxID: 77,
+	}}
+	out := RenderTable2(rows)
+	for _, frag := range []string{"demo", "100", "4.5", "38", "42", "77"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 2 render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestGeoMeanEdgeCases(t *testing.T) {
+	if GeoMean(nil, func(Fig8Row) float64 { return 1 }) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	rows := []Fig8Row{{PCC: 4}, {PCC: 1}}
+	if g := GeoMean(rows, func(r Fig8Row) float64 { return r.PCC }); g < 1.99 || g > 2.01 {
+		t.Errorf("GeoMean(4,1) = %f, want 2", g)
+	}
+}

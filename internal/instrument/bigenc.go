@@ -1,0 +1,121 @@
+package instrument
+
+import (
+	"math/big"
+
+	"deltapath/internal/cha"
+	"deltapath/internal/core"
+	"deltapath/internal/minivm"
+)
+
+// BigEncoder is the runtime half of the design Section 3.2 rejects: the
+// encoding ID is an arbitrary-precision integer and every instrumented call
+// performs a big.Int addition ("it is very inefficient to represent and
+// operate on addition values using some class (e.g., BigInteger in Java)").
+// It exists purely as a measured ablation against the anchor-based Encoder;
+// it maintains no call path tracking and no decoder is provided.
+type BigEncoder struct {
+	sites   map[minivm.SiteRef]*bigSitePayload
+	entries map[minivm.MethodRef]bool // true = anchor entry (save/reset)
+	nodeOf  map[minivm.MethodRef]struct{}
+
+	id    *big.Int
+	saved []*big.Int
+	// scratch avoids one allocation per Sub.
+	scratch *big.Int
+}
+
+type bigSitePayload struct {
+	av   *big.Int
+	push map[minivm.MethodRef]bool // recursive targets
+}
+
+// NewBigEncoder binds a big-int analysis to the program entities in build.
+func NewBigEncoder(build *cha.Result, res *core.BigResult) *BigEncoder {
+	e := &BigEncoder{
+		sites:   make(map[minivm.SiteRef]*bigSitePayload),
+		entries: make(map[minivm.MethodRef]bool),
+		id:      big.NewInt(0),
+		scratch: big.NewInt(0),
+	}
+	g := build.Graph
+	for _, s := range g.Sites() {
+		pay := &bigSitePayload{av: res.AV[s]}
+		if pay.av == nil {
+			pay.av = big.NewInt(0)
+		}
+		for _, edge := range g.SiteTargets(s) {
+			if _, pushed := res.Push[edge]; pushed {
+				if pay.push == nil {
+					pay.push = make(map[minivm.MethodRef]bool)
+				}
+				pay.push[build.RefOf[edge.Callee]] = true
+			}
+		}
+		e.sites[minivm.SiteRef{In: build.RefOf[s.Caller], Site: s.Label}] = pay
+	}
+	for ref, node := range build.NodeOf {
+		e.entries[ref] = res.Anchors[node]
+	}
+	return e
+}
+
+// Value returns the current big encoding ID.
+func (e *BigEncoder) Value() *big.Int { return e.id }
+
+// Reset clears the state.
+func (e *BigEncoder) Reset() {
+	e.id.SetInt64(0)
+	e.saved = e.saved[:0]
+}
+
+// BeforeCall implements minivm.Probes.
+func (e *BigEncoder) BeforeCall(site minivm.SiteRef, target minivm.MethodRef) uint8 {
+	pay := e.sites[site]
+	if pay == nil {
+		return 0
+	}
+	if pay.push != nil && pay.push[target] {
+		e.saved = append(e.saved, e.id)
+		e.id = big.NewInt(0)
+		return tokPushedEdge
+	}
+	e.id.Add(e.id, pay.av)
+	return tokAdded
+}
+
+// AfterCall implements minivm.Probes.
+func (e *BigEncoder) AfterCall(site minivm.SiteRef, _ minivm.MethodRef, token uint8) {
+	switch {
+	case token&tokPushedEdge != 0:
+		e.id = e.saved[len(e.saved)-1]
+		e.saved = e.saved[:len(e.saved)-1]
+	case token&tokAdded != 0:
+		e.id.Sub(e.id, e.sites[site].av)
+	}
+}
+
+// Enter implements minivm.Probes.
+func (e *BigEncoder) Enter(m minivm.MethodRef) uint8 {
+	anchor, known := e.entries[m]
+	if !known || !anchor {
+		return 0
+	}
+	e.saved = append(e.saved, e.id)
+	e.id = big.NewInt(0)
+	return tokPushedAnchor
+}
+
+// Exit implements minivm.Probes.
+func (e *BigEncoder) Exit(_ minivm.MethodRef, token uint8) {
+	if token&tokPushedAnchor != 0 {
+		e.id = e.saved[len(e.saved)-1]
+		e.saved = e.saved[:len(e.saved)-1]
+	}
+}
+
+// BeginTask implements minivm.TaskProbes.
+func (e *BigEncoder) BeginTask(minivm.MethodRef) { e.Reset() }
+
+var _ minivm.Probes = (*BigEncoder)(nil)
+var _ minivm.TaskProbes = (*BigEncoder)(nil)

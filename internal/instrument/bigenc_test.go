@@ -1,0 +1,132 @@
+package instrument
+
+import (
+	"math/big"
+	"testing"
+
+	"deltapath/internal/cha"
+	"deltapath/internal/core"
+	"deltapath/internal/minivm"
+	"deltapath/internal/workload"
+)
+
+// TestBigEncoderMatchesUint64: on programs whose encoding space fits a
+// machine integer (so core.Encode introduces no overflow anchors), the
+// big-int strawman and the anchor-based encoder must compute identical IDs
+// at every emit point — they run the same algorithm over different
+// arithmetic.
+func TestBigEncoderMatchesUint64(t *testing.T) {
+	prog, err := stressParams(9).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, err := cha.Build(prog, cha.Options{KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Encode(build.Graph, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OverflowAnchors) != 0 {
+		t.Skip("graph needs overflow anchors; equivalence undefined")
+	}
+	bigRes, err := core.EncodeBig(build.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(build, res.Spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(probes minivm.Probes, capture func() *big.Int) []string {
+		vm, err := minivm.NewVM(prog, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm.SetProbes(probes)
+		vm.SetInstrumented(plan.InstrumentedMethods())
+		var ids []string
+		vm.OnEmit = func(_ *minivm.VM, m minivm.MethodRef, _ string) {
+			if _, known := build.NodeOf[m]; known {
+				ids = append(ids, capture().String())
+			}
+		}
+		if err := vm.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+
+	enc := NewEncoder(plan)
+	small := run(enc, func() *big.Int { return new(big.Int).SetUint64(enc.State().ID) })
+	bigEnc := NewBigEncoder(build, bigRes)
+	bigIDs := run(bigEnc, func() *big.Int { return new(big.Int).Set(bigEnc.Value()) })
+
+	if len(small) == 0 || len(small) != len(bigIDs) {
+		t.Fatalf("emit counts differ: %d vs %d", len(small), len(bigIDs))
+	}
+	for i := range small {
+		if small[i] != bigIDs[i] {
+			t.Fatalf("emit %d: uint64 ID %s != big ID %s", i, small[i], bigIDs[i])
+		}
+	}
+	if bigEnc.Value().Sign() != 0 || len(bigEnc.saved) != 0 {
+		t.Fatal("big encoder unbalanced after run")
+	}
+}
+
+// TestBigEncoderHugeSpace: on a graph beyond 64 bits the strawman still
+// works (that is its one virtue); IDs simply get enormous.
+func TestBigEncoderHugeSpace(t *testing.T) {
+	p, _ := workload.ByName("xml.validation")
+	prog, err := p.Scale(0.02).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, err := cha.Build(prog, cha.Options{Setting: cha.EncodingAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigRes, err := core.EncodeBig(build.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigRes.MaxID.BitLen() <= 64 {
+		t.Fatalf("expected >64-bit space, got %d bits", bigRes.MaxID.BitLen())
+	}
+	enc := NewBigEncoder(build, bigRes)
+	vm, err := minivm.NewVM(prog, p.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.SetProbes(enc)
+	instr := make(map[minivm.MethodRef]bool)
+	for ref := range build.NodeOf {
+		instr[ref] = true
+	}
+	vm.SetInstrumented(instr)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if enc.Value().Sign() != 0 {
+		t.Fatalf("unbalanced big ID after run: %s", enc.Value())
+	}
+}
+
+func TestBigEncoderReset(t *testing.T) {
+	prog, _ := stressParams(2).Generate()
+	build, _ := cha.Build(prog, cha.Options{KeepUnreachable: true})
+	bigRes, err := core.EncodeBig(build.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewBigEncoder(build, bigRes)
+	enc.id.SetInt64(42)
+	enc.saved = append(enc.saved, big.NewInt(7))
+	enc.Reset()
+	if enc.Value().Sign() != 0 || len(enc.saved) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}

@@ -1,0 +1,267 @@
+package instrument
+
+import (
+	"deltapath/internal/callgraph"
+	"deltapath/internal/encoding"
+	"deltapath/internal/minivm"
+)
+
+// Encoder is the runtime component: it implements minivm.Probes and
+// maintains the per-thread encoding state as the program executes. One
+// Encoder serves one VM (minivm is single-threaded per VM; create one
+// Encoder per VM for concurrent simulations).
+//
+// Per event it performs only the constant-time work the paper's
+// instrumentation performs:
+//
+//	call site:    (CPT: save expected SID) then either ID += AV or, for a
+//	              recursive/pruned edge, push-and-reset;
+//	method entry: (CPT: compare SIDs, push-and-reset on hazard;
+//	              bookkeeping of the last instrumented frame) and, for an
+//	              anchor node, push-and-reset;
+//	method exit:  pop whatever the entry pushed;
+//	return:       undo what the call site did.
+type Encoder struct {
+	plan *Plan
+	st   *encoding.State
+
+	// Call path tracking state (Section 4.1). expectedValid/expectedSID
+	// is the saved expectation; lastNode/lastID track the innermost live
+	// instrumented frame and the encoding ID of the context ending
+	// there, which the hazard response pushes for precise decoding.
+	cptOn         bool
+	expectedValid bool
+	expectedSID   int32
+	expectedSite  callgraph.Site
+	lastNode      callgraph.NodeID
+	lastID        uint64
+
+	// pendingRecTarget is the callee of a recursive/pruned edge whose
+	// BeforeCall just pushed: its entry skips the anchor push, since the
+	// pushed piece already starts there (an anchor push would only add
+	// an empty piece).
+	pendingRecTarget callgraph.NodeID
+
+	// Hazards counts hazardous-UCP pushes (Table 2's UCP columns).
+	Hazards uint64
+
+	// MaxID tracks the largest encoding ID observed (Table 2's max. ID).
+	MaxID uint64
+
+	// MaxStackDepth tracks the deepest piece stack observed.
+	MaxStackDepth int
+}
+
+// Token bits returned by BeforeCall/Enter and consumed by AfterCall/Exit.
+const (
+	tokAdded uint8 = 1 << iota
+	tokPushedEdge
+	tokPushedUCP
+	tokPushedAnchor
+)
+
+// NewEncoder builds the runtime encoder for a plan.
+func NewEncoder(plan *Plan) *Encoder {
+	e := &Encoder{
+		plan:  plan,
+		st:    encoding.NewState(plan.entry),
+		cptOn: plan.CPT != nil,
+	}
+	e.seedEntry()
+	return e
+}
+
+// seedEntry primes the CPT state for program start: the runtime (the JVM)
+// is about to invoke the entry method, so the expectation slot holds the
+// entry's own SID and the last-frame bookkeeping points at the entry.
+func (e *Encoder) seedEntry() {
+	e.lastNode = e.plan.entry
+	e.lastID = 0
+	e.pendingRecTarget = callgraph.InvalidNode
+	if e.cptOn {
+		e.expectedValid = true
+		e.expectedSID = e.plan.CPT.SID[e.plan.entry]
+		e.expectedSite = callgraph.Site{Caller: e.plan.entry}
+	}
+}
+
+// State exposes the live encoding state (snapshot it before storing).
+func (e *Encoder) State() *encoding.State { return e.st }
+
+// Reset prepares the encoder for a fresh run of the same program.
+func (e *Encoder) Reset() {
+	e.st.Reset(e.plan.entry)
+	e.expectedValid = false
+	e.Hazards = 0
+	e.MaxID = 0
+	e.MaxStackDepth = 0
+	e.seedEntry()
+}
+
+// BeforeCall implements minivm.Probes.
+func (e *Encoder) BeforeCall(site minivm.SiteRef, target minivm.MethodRef) uint8 {
+	pay := e.plan.sites[site]
+	if pay == nil {
+		// A call site the static analysis never modelled (its only
+		// targets are dynamic classes): no payload was inserted.
+		return 0
+	}
+	if e.cptOn {
+		e.expectedValid = true
+		e.expectedSID = pay.expectedSID
+		e.expectedSite = pay.site
+	}
+	node, known := e.plan.Build.NodeOf[target]
+	if known {
+		if kind, pushed := pay.push[node]; pushed {
+			e.st.PushCallEdge(kind, pay.site, node)
+			e.pendingRecTarget = node
+			e.noteDepth()
+			return tokPushedEdge
+		}
+	}
+	// Dynamically loaded targets take the site's ordinary addition value;
+	// call path tracking repairs the encoding at the next static entry.
+	av := pay.av
+	if pay.perTarget != nil && known {
+		av = pay.perTarget[node]
+	}
+	e.st.Add(av)
+	if e.st.ID > e.MaxID {
+		e.MaxID = e.st.ID
+	}
+	return tokAdded
+}
+
+// AfterCall implements minivm.Probes.
+func (e *Encoder) AfterCall(site minivm.SiteRef, target minivm.MethodRef, token uint8) {
+	if token == 0 {
+		return
+	}
+	pay := e.plan.sites[site]
+	if token&tokPushedEdge != 0 {
+		e.st.Pop()
+	} else if token&tokAdded != 0 {
+		av := pay.av
+		if pay.perTarget != nil {
+			if node, known := e.plan.Build.NodeOf[target]; known {
+				av = pay.perTarget[node]
+			}
+		}
+		e.st.Sub(av)
+	}
+	// Control is back in the caller: it is now the innermost live
+	// instrumented frame, and the current ID is its context's encoding.
+	if e.cptOn {
+		e.lastNode = pay.site.Caller
+		e.lastID = e.st.ID
+	}
+}
+
+// Enter implements minivm.Probes.
+func (e *Encoder) Enter(m minivm.MethodRef) uint8 {
+	pay := e.plan.entries[m]
+	if pay == nil {
+		return 0
+	}
+	pendingRec := e.pendingRecTarget
+	e.pendingRecTarget = callgraph.InvalidNode
+	var tok uint8
+	if e.cptOn {
+		// The entry check CONSUMES the expectation: a matching entry
+		// uses it up, so a later entry with an empty slot means control
+		// arrived without a preceding instrumented call — necessarily
+		// through unanalysed frames. Without consumption, a stale
+		// expectation whose SID happens to match would silently corrupt
+		// the encoding (a false-benign UCP).
+		valid := e.expectedValid
+		e.expectedValid = false
+		if !valid || e.expectedSID != pay.sid {
+			// Hazardous unexpected call path: control reached this
+			// statically loaded function through frames the static
+			// analysis never saw (Section 4.1). Push the suspended
+			// piece — it ends at the last live instrumented frame —
+			// and restart the encoding here.
+			e.st.PushUCP(e.expectedSite, e.lastID, e.lastNode, pay.node)
+			e.Hazards++
+			e.noteDepth()
+			tok |= tokPushedUCP
+		}
+	}
+	if pay.anchor && pendingRec != pay.node {
+		e.st.PushAnchor(pay.node)
+		e.noteDepth()
+		tok |= tokPushedAnchor
+	}
+	if e.cptOn {
+		// This method is now the innermost live instrumented frame;
+		// the (possibly just reset) ID encodes the context ending here.
+		e.lastNode = pay.node
+		e.lastID = e.st.ID
+	}
+	return tok
+}
+
+// Exit implements minivm.Probes.
+func (e *Encoder) Exit(m minivm.MethodRef, token uint8) {
+	var popped *encoding.Element
+	if token&tokPushedAnchor != 0 {
+		el := e.st.Pop()
+		popped = &el
+	}
+	if token&tokPushedUCP != 0 {
+		el := e.st.Pop()
+		popped = &el
+	}
+	if e.cptOn {
+		if popped != nil {
+			// The pops rewound the encoding to the suspended piece: the
+			// element's DecodeID is the encoding of the context ending
+			// at its outer frame. (The restored st.ID may additionally
+			// contain the in-flight addition of the call site whose
+			// invocation led here; DecodeID excludes it.)
+			e.lastNode = popped.OuterEnd
+			e.lastID = popped.DecodeID
+		} else if pay := e.plan.entries[m]; pay != nil {
+			// After this method's exit instrumentation the ID again
+			// encodes a context ending at this method, whoever the
+			// caller is — including an unanalysed one that will never
+			// run AfterCall.
+			e.lastNode = pay.node
+			e.lastID = e.st.ID
+		}
+	}
+}
+
+func (e *Encoder) noteDepth() {
+	if d := e.st.Depth(); d > e.MaxStackDepth {
+		e.MaxStackDepth = d
+	}
+}
+
+// BeginTask implements minivm.TaskProbes: an executor task runs on a fresh
+// stack, so the per-thread encoding state resets, rooted at the task's
+// entry (which the analysis made a piece-start anchor). A task rooted at an
+// unanalysed method (a dynamically loaded class) resets to the program
+// entry with an empty expectation, so its first analysed frame starts a
+// piece behind an explicit gap.
+func (e *Encoder) BeginTask(entry minivm.MethodRef) {
+	node, known := e.plan.Build.NodeOf[entry]
+	if !known {
+		node = e.plan.entry
+	}
+	e.st.Reset(node)
+	e.pendingRecTarget = callgraph.InvalidNode
+	e.lastNode = node
+	e.lastID = 0
+	if e.cptOn {
+		e.expectedValid = known
+		if known {
+			e.expectedSID = e.plan.CPT.SID[node]
+			e.expectedSite = callgraph.Site{Caller: node}
+		}
+	}
+}
+
+var _ minivm.Probes = (*Encoder)(nil)
+var _ minivm.TaskProbes = (*Encoder)(nil)

@@ -1,0 +1,135 @@
+// Package instrument binds the graph-level output of an encoding analysis
+// (an encoding.Spec plus, optionally, a cpt.Plan) to a concrete minivm
+// program, playing the role the Javassist-based Java agent plays in the
+// paper's implementation (Section 5): it decides, per call site and per
+// method entry, exactly which constant-time operations run, and provides
+// the runtime Encoder that executes them as the program runs.
+package instrument
+
+import (
+	"fmt"
+
+	"deltapath/internal/callgraph"
+	"deltapath/internal/cha"
+	"deltapath/internal/cpt"
+	"deltapath/internal/encoding"
+	"deltapath/internal/minivm"
+)
+
+// sitePayload is the instrumentation attached to one call site.
+type sitePayload struct {
+	site callgraph.Site
+	// av is the single addition value (DeltaPath). In per-edge mode
+	// (PCCE), perTarget holds the dispatch switch instead.
+	av        uint64
+	perTarget map[callgraph.NodeID]uint64
+	// push lists dispatch targets whose edge starts a new piece
+	// (recursive or pruned edges), with the piece kind.
+	push map[callgraph.NodeID]encoding.PieceKind
+	// expectedSID is saved before the call when call path tracking is on.
+	expectedSID int32
+}
+
+// nodePayload is the instrumentation attached to one method entry/exit.
+type nodePayload struct {
+	node   callgraph.NodeID
+	sid    int32
+	anchor bool
+}
+
+// Plan is a fully resolved instrumentation plan for one program.
+type Plan struct {
+	Build *cha.Result
+	Spec  *encoding.Spec
+	CPT   *cpt.Plan // nil disables call path tracking
+
+	sites   map[minivm.SiteRef]*sitePayload
+	entries map[minivm.MethodRef]*nodePayload
+	entry   callgraph.NodeID
+}
+
+// NewPlan resolves spec (and cptPlan, which may be nil) against the program
+// entities recorded in build. The spec must have been computed over
+// build.Graph.
+func NewPlan(build *cha.Result, spec *encoding.Spec, cptPlan *cpt.Plan) (*Plan, error) {
+	if spec.Graph != build.Graph {
+		return nil, fmt.Errorf("instrument: spec was computed over a different graph")
+	}
+	entry, ok := build.Graph.Entry()
+	if !ok {
+		return nil, fmt.Errorf("instrument: graph has no entry")
+	}
+	p := &Plan{
+		Build:   build,
+		Spec:    spec,
+		CPT:     cptPlan,
+		sites:   make(map[minivm.SiteRef]*sitePayload),
+		entries: make(map[minivm.MethodRef]*nodePayload),
+		entry:   entry,
+	}
+	g := build.Graph
+	for _, s := range g.Sites() {
+		pay := &sitePayload{site: s, av: spec.SiteAV[s]}
+		if spec.PerEdge {
+			pay.perTarget = make(map[callgraph.NodeID]uint64)
+		}
+		for _, e := range g.SiteTargets(s) {
+			if kind, pushed := spec.Push[e]; pushed {
+				if pay.push == nil {
+					pay.push = make(map[callgraph.NodeID]encoding.PieceKind)
+				}
+				pay.push[e.Callee] = kind
+			} else if spec.PerEdge {
+				pay.perTarget[e.Callee] = spec.EdgeAV[e]
+			}
+		}
+		if cptPlan != nil {
+			pay.expectedSID = cptPlan.Expected[s]
+		}
+		ref := build.RefOf[s.Caller]
+		p.sites[minivm.SiteRef{In: ref, Site: s.Label}] = pay
+	}
+	for ref, node := range build.NodeOf {
+		pay := &nodePayload{node: node, anchor: spec.Anchors[node]}
+		if cptPlan != nil {
+			pay.sid = cptPlan.SID[node]
+		}
+		p.entries[ref] = pay
+	}
+	return p, nil
+}
+
+// InstrumentedMethods returns the set of methods that carry instrumentation,
+// for VM.SetInstrumented: exactly the nodes of the analysed call graph.
+func (p *Plan) InstrumentedMethods() map[minivm.MethodRef]bool {
+	out := make(map[minivm.MethodRef]bool, len(p.entries))
+	for ref := range p.entries {
+		out[ref] = true
+	}
+	return out
+}
+
+// Entry returns the graph entry node.
+func (p *Plan) Entry() callgraph.NodeID { return p.entry }
+
+// NumInstrumentedSites reports how many call sites carry payloads
+// (Table 1's CS column).
+func (p *Plan) NumInstrumentedSites() int { return len(p.sites) }
+
+// ActiveSites returns the call sites that actually need instrumentation:
+// with call path tracking every site saves an expectation, but without it a
+// site whose addition value is zero and whose edges never push is
+// "encoding free" (Section 8) — the rewriter can skip it entirely. Pass the
+// result to VM.SetInstrumentedSites.
+func (p *Plan) ActiveSites() map[minivm.SiteRef]bool {
+	out := make(map[minivm.SiteRef]bool, len(p.sites))
+	for ref, pay := range p.sites {
+		if p.CPT != nil || pay.av != 0 || len(pay.push) > 0 || pay.perTarget != nil {
+			out[ref] = true
+		}
+	}
+	return out
+}
+
+// NumFreeSites reports how many sites ActiveSites excludes.
+func (p *Plan) NumFreeSites() int { return len(p.sites) - len(p.ActiveSites()) }

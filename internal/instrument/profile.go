@@ -1,0 +1,66 @@
+package instrument
+
+import (
+	"deltapath/internal/callgraph"
+	"deltapath/internal/cha"
+	"deltapath/internal/minivm"
+)
+
+// EdgeProfiler counts call-edge executions. Feed the result to
+// core.Options.EdgeProfile so the hottest incoming edge of each node gets
+// addition value 0 and its site becomes encoding-free (Section 8's
+// profile-guided optimization, adopted from PCCE).
+type EdgeProfiler struct {
+	build  *cha.Result
+	Counts map[callgraph.Edge]uint64
+}
+
+// NewEdgeProfiler builds a profiler over the analysed program in build.
+func NewEdgeProfiler(build *cha.Result) *EdgeProfiler {
+	return &EdgeProfiler{build: build, Counts: make(map[callgraph.Edge]uint64)}
+}
+
+// BeforeCall implements minivm.Probes.
+func (p *EdgeProfiler) BeforeCall(site minivm.SiteRef, target minivm.MethodRef) uint8 {
+	caller, ok := p.build.NodeOf[site.In]
+	if !ok {
+		return 0
+	}
+	callee, ok := p.build.NodeOf[target]
+	if !ok {
+		return 0
+	}
+	p.Counts[callgraph.Edge{Caller: caller, Callee: callee, Label: site.Site}]++
+	return 0
+}
+
+// AfterCall implements minivm.Probes.
+func (p *EdgeProfiler) AfterCall(minivm.SiteRef, minivm.MethodRef, uint8) {}
+
+// Enter implements minivm.Probes.
+func (p *EdgeProfiler) Enter(minivm.MethodRef) uint8 { return 0 }
+
+// Exit implements minivm.Probes.
+func (p *EdgeProfiler) Exit(minivm.MethodRef, uint8) {}
+
+// Profile runs the program once under the profiler and returns the edge
+// counts.
+func Profile(prog *minivm.Program, build *cha.Result, seed uint64) (map[callgraph.Edge]uint64, error) {
+	vm, err := minivm.NewVM(prog, seed)
+	if err != nil {
+		return nil, err
+	}
+	prof := NewEdgeProfiler(build)
+	vm.SetProbes(prof)
+	instr := make(map[minivm.MethodRef]bool, len(build.NodeOf))
+	for ref := range build.NodeOf {
+		instr[ref] = true
+	}
+	vm.SetInstrumented(instr)
+	if err := vm.Run(); err != nil {
+		return nil, err
+	}
+	return prof.Counts, nil
+}
+
+var _ minivm.Probes = (*EdgeProfiler)(nil)

@@ -1,0 +1,38 @@
+package lang
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that anything it accepts
+// survives a print→parse round trip. Runs its seed corpus under plain
+// `go test`; run with -fuzz=FuzzParse for exploration.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"entry A.m class A { method m { } }",
+		"entry A.m class A { method m { call B.f; vcall C.g } } class B { method f { } } class C { method g { } }",
+		"entry A.m class A { method m { loop 3 { work 1 } emit x } }",
+		"entry A.m class A { method m { try { throw t } catch { emit h } } }",
+		"entry A.m dynamic class D extends A { method m { rcall 5 D.m } } class A { method m { load D } }",
+		"entry A.m library class A { method m { rthrow 2 x } }",
+		"class { } } {",
+		"entry .. class .. {",
+		"entry A.m class A { method m { loop 99999999999999999999 { } } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := prog.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted program failed to re-parse: %v\n%s", err, printed)
+		}
+		if again.String() != printed {
+			t.Fatalf("print/parse not idempotent:\n%s\n---\n%s", printed, again.String())
+		}
+	})
+}

@@ -1,0 +1,356 @@
+// Package lang parses the small textual form of minivm programs used in
+// tests, examples, and the command-line tools. The grammar:
+//
+//	program   = { decl } .
+//	decl      = "entry" qname | classdecl .
+//	classdecl = [ "dynamic" ] [ "library" ] "class" ident
+//	            [ "extends" ident ] "{" { method } "}" .
+//	method    = "method" ident "{" { stmt } "}" .
+//	stmt      = "call" qname | "vcall" qname
+//	          | "rcall" int qname | "rvcall" int qname
+//	          | "loop" int "{" { stmt } "}"
+//	          | "try" "{" { stmt } "}" "catch" "{" { stmt } "}"
+//	          | "throw" ident | "rthrow" int ident
+//	          | "spawn" qname
+//	          | "emit" ident | "load" ident | "work" int .
+//	qname     = ident "." ident .
+//
+// "#" starts a comment running to end of line. Statements are separated by
+// newlines or semicolons. Identifiers may contain letters, digits, '_',
+// '$' and — in qualified positions — '.' (split at the last dot).
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"deltapath/internal/minivm"
+)
+
+// Parse parses src into a normalized minivm program.
+func Parse(src string) (*minivm.Program, error) {
+	p := &parser{toks: lex(src)}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Normalize(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(src string) *minivm.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type token struct {
+	text string
+	line int
+}
+
+func lex(src string) []token {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r' || c == ';':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{' || c == '}':
+			toks = append(toks, token{string(c), line})
+			i++
+		default:
+			j := i
+			for j < len(src) && isWordByte(src[j]) {
+				j++
+			}
+			if j == i {
+				toks = append(toks, token{string(c), line})
+				i++
+				continue
+			}
+			toks = append(toks, token{src[i:j], line})
+			i = j
+		}
+	}
+	return toks
+}
+
+func isWordByte(b byte) bool {
+	r := rune(b)
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || b == '_' || b == '$' || b == '.' || b == '-'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{"", -1}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("lang: line %d: expected %q, found %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident(what string) (string, error) {
+	t := p.next()
+	if t.line == -1 {
+		return "", fmt.Errorf("lang: unexpected end of input, expected %s", what)
+	}
+	if t.text == "{" || t.text == "}" {
+		return "", fmt.Errorf("lang: line %d: expected %s, found %q", t.line, what, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) qname(what string) (class, method string, err error) {
+	s, err := p.ident(what)
+	if err != nil {
+		return "", "", err
+	}
+	dot := strings.LastIndexByte(s, '.')
+	if dot <= 0 || dot == len(s)-1 {
+		return "", "", fmt.Errorf("lang: %q is not a qualified Class.method name", s)
+	}
+	return s[:dot], s[dot+1:], nil
+}
+
+func (p *parser) program() (*minivm.Program, error) {
+	prog := &minivm.Program{}
+	for !p.eof() {
+		t := p.next()
+		switch t.text {
+		case "entry":
+			c, m, err := p.qname("entry method")
+			if err != nil {
+				return nil, err
+			}
+			prog.Entry = minivm.MethodRef{Class: c, Method: m}
+		case "class", "dynamic", "library":
+			dynamic, library := false, false
+			for t.text != "class" {
+				switch t.text {
+				case "dynamic":
+					dynamic = true
+				case "library":
+					library = true
+				default:
+					return nil, fmt.Errorf("lang: line %d: unexpected %q before class", t.line, t.text)
+				}
+				t = p.next()
+			}
+			c, err := p.class(library)
+			if err != nil {
+				return nil, err
+			}
+			if dynamic {
+				prog.Dynamic = append(prog.Dynamic, c)
+			} else {
+				prog.Classes = append(prog.Classes, c)
+			}
+		default:
+			return nil, fmt.Errorf("lang: line %d: unexpected %q at top level", t.line, t.text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) class(library bool) (*minivm.Class, error) {
+	name, err := p.ident("class name")
+	if err != nil {
+		return nil, err
+	}
+	c := &minivm.Class{Name: name, Library: library}
+	if p.peek().text == "extends" {
+		p.next()
+		if c.Super, err = p.ident("superclass name"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for p.peek().text != "}" {
+		if p.eof() {
+			return nil, fmt.Errorf("lang: unterminated class %q", name)
+		}
+		if err := p.expect("method"); err != nil {
+			return nil, err
+		}
+		mname, err := p.ident("method name")
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		c.Methods = append(c.Methods, &minivm.Method{Name: mname, Body: body})
+	}
+	p.next() // consume "}"
+	return c, nil
+}
+
+func (p *parser) block() ([]minivm.Instr, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var body []minivm.Instr
+	for {
+		t := p.peek()
+		switch t.text {
+		case "}":
+			p.next()
+			return body, nil
+		case "":
+			return nil, fmt.Errorf("lang: unterminated block")
+		}
+		in, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, in)
+	}
+}
+
+func (p *parser) stmt() (minivm.Instr, error) {
+	t := p.next()
+	switch t.text {
+	case "call", "vcall":
+		c, m, err := p.qname("call target")
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		if t.text == "call" {
+			return minivm.Call(c, m), nil
+		}
+		return minivm.VCall(c, m), nil
+	case "rcall", "rvcall":
+		ds, err := p.ident("depth limit")
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		d, err := strconv.Atoi(ds)
+		if err != nil || d <= 0 {
+			return minivm.Instr{}, fmt.Errorf("lang: line %d: bad depth limit %q", t.line, ds)
+		}
+		c, m, err := p.qname("call target")
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		if t.text == "rcall" {
+			return minivm.CallBounded(c, m, d), nil
+		}
+		return minivm.VCallBounded(c, m, d), nil
+	case "loop":
+		ns, err := p.ident("loop count")
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		n, err := strconv.Atoi(ns)
+		if err != nil || n < 0 {
+			return minivm.Instr{}, fmt.Errorf("lang: line %d: bad loop count %q", t.line, ns)
+		}
+		body, err := p.block()
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		return minivm.Instr{Op: minivm.OpLoop, N: n, Body: body}, nil
+	case "emit":
+		tag, err := p.ident("emit tag")
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		return minivm.Emit(tag), nil
+	case "spawn":
+		c, m, err := p.qname("spawn target")
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		return minivm.Spawn(c, m), nil
+	case "load":
+		cls, err := p.ident("class name")
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		return minivm.LoadClass(cls), nil
+	case "throw":
+		tag, err := p.ident("exception tag")
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		return minivm.Throw(tag), nil
+	case "rthrow":
+		ds, err := p.ident("depth threshold")
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		d, err := strconv.Atoi(ds)
+		if err != nil || d <= 0 {
+			return minivm.Instr{}, fmt.Errorf("lang: line %d: bad throw depth %q", t.line, ds)
+		}
+		tag, err := p.ident("exception tag")
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		return minivm.ThrowIfDeeper(tag, d), nil
+	case "try":
+		body, err := p.block()
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		if err := p.expect("catch"); err != nil {
+			return minivm.Instr{}, err
+		}
+		handler, err := p.block()
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		return minivm.Try(body, handler), nil
+	case "work":
+		ns, err := p.ident("work units")
+		if err != nil {
+			return minivm.Instr{}, err
+		}
+		n, err := strconv.Atoi(ns)
+		if err != nil || n < 0 {
+			return minivm.Instr{}, fmt.Errorf("lang: line %d: bad work units %q", t.line, ns)
+		}
+		return minivm.Work(n), nil
+	default:
+		return minivm.Instr{}, fmt.Errorf("lang: line %d: unknown statement %q", t.line, t.text)
+	}
+}

@@ -1,0 +1,248 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"deltapath/internal/minivm"
+)
+
+const sample = `
+# Figure-style sample program
+entry Main.main
+
+class Main {
+  method main {
+    call Util.setup
+    loop 2 {
+      vcall Shape.area
+    }
+    emit done
+  }
+}
+
+library class Util {
+  method setup { work 5 }
+}
+
+class Shape {
+  method area { work 1 }
+}
+
+class Circle extends Shape {
+  method area { work 2; emit circ }
+}
+
+dynamic class Dyn extends Shape {
+  method area { work 1 }
+}
+`
+
+func TestParseSample(t *testing.T) {
+	prog, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Entry != (minivm.MethodRef{Class: "Main", Method: "main"}) {
+		t.Fatalf("entry = %v", prog.Entry)
+	}
+	if len(prog.Classes) != 4 || len(prog.Dynamic) != 1 {
+		t.Fatalf("classes = %d static, %d dynamic", len(prog.Classes), len(prog.Dynamic))
+	}
+	util := prog.Class("Util")
+	if util == nil || !util.Library {
+		t.Fatalf("Util should be a library class")
+	}
+	circle := prog.Class("Circle")
+	if circle.Super != "Shape" {
+		t.Fatalf("Circle.Super = %q", circle.Super)
+	}
+	main := prog.Class("Main").Method("main")
+	if main.Body[1].Op != minivm.OpLoop || main.Body[1].N != 2 {
+		t.Fatalf("loop not parsed: %+v", main.Body[1])
+	}
+	if main.Body[1].Body[0].Op != minivm.OpVCall {
+		t.Fatalf("vcall not parsed inside loop")
+	}
+}
+
+func TestParseRunsOnVM(t *testing.T) {
+	prog := MustParse(sample)
+	vm, err := minivm.NewVM(prog, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tags []string
+	vm.OnEmit = func(_ *minivm.VM, _ minivm.MethodRef, tag string) { tags = append(tags, tag) }
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tags[len(tags)-1] != "done" {
+		t.Fatalf("tags = %v", tags)
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	prog := MustParse(sample)
+	again, err := Parse(prog.String())
+	if err != nil {
+		t.Fatalf("re-parse of String() failed: %v\n%s", err, prog.String())
+	}
+	if again.String() != prog.String() {
+		t.Fatalf("round trip not stable:\n%s\n---\n%s", prog.String(), again.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"bad top level", "frobnicate", "unexpected"},
+		{"unterminated class", "entry A.m class A { method m {}", "unterminated class"},
+		{"unterminated block", "entry A.m class A { method m { call B.f", "unterminated block"},
+		{"unqualified call", "entry A.m class A { method m { call B } }", "not a qualified"},
+		{"bad loop count", "entry A.m class A { method m { loop x { } } }", "bad loop count"},
+		{"negative work", "entry A.m class A { method m { work -3 } }", "bad work units"},
+		{"unknown stmt", "entry A.m class A { method m { jump B.f } }", "unknown statement"},
+		{"missing entry", "class A { method m { } }", "no entry"},
+		{"trailing qualifier dot", "entry A.m class A { method m { call B. } }", "not a qualified"},
+		{"modifier misuse", "entry A.m dynamic library frob A {}", "unexpected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCommentsAndSemicolons(t *testing.T) {
+	prog, err := Parse(`
+entry A.m  # the entry
+class A {
+  method m { work 1; work 2; emit a # trailing comment
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Class("A").Method("m").Body
+	if len(body) != 3 {
+		t.Fatalf("body = %d instrs, want 3", len(body))
+	}
+}
+
+func TestDottedClassNames(t *testing.T) {
+	prog, err := Parse(`
+entry spec.Main.main
+class spec.Main {
+  method main { call java.util.List.add }
+}
+class java.util.List {
+  method add { work 1 }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Entry.Class != "spec.Main" || prog.Entry.Method != "main" {
+		t.Fatalf("entry = %+v", prog.Entry)
+	}
+	body := prog.Class("spec.Main").Method("main").Body
+	if body[0].Class != "java.util.List" || body[0].Name != "add" {
+		t.Fatalf("call target = %s.%s", body[0].Class, body[0].Name)
+	}
+}
+
+func TestBoundedCalls(t *testing.T) {
+	prog, err := Parse(`
+entry A.main
+class A {
+  method main { rcall 5 A.main; rvcall 7 A.main; emit x }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Class("A").Method("main").Body
+	if body[0].Depth != 5 || body[0].Op != minivm.OpCall {
+		t.Fatalf("rcall parsed as %+v", body[0])
+	}
+	if body[1].Depth != 7 || body[1].Op != minivm.OpVCall {
+		t.Fatalf("rvcall parsed as %+v", body[1])
+	}
+	// Bounded self-recursion terminates on its own.
+	vm, err := minivm.NewVM(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emits := 0
+	vm.OnEmit = func(*minivm.VM, minivm.MethodRef, string) { emits++ }
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if emits == 0 {
+		t.Fatal("bounded recursion never reached the emit")
+	}
+	// Round trip through the printer.
+	if _, err := Parse(prog.String()); err != nil {
+		t.Fatalf("re-parse of printed bounded calls: %v", err)
+	}
+	if !strings.Contains(prog.String(), "rcall 5 A.main") {
+		t.Fatalf("printer lost the bound:\n%s", prog.String())
+	}
+}
+
+func TestTryCatchThrowParsing(t *testing.T) {
+	prog, err := Parse(`
+entry A.main
+class A {
+  method main {
+    try {
+      call A.risky
+      throw direct
+    } catch {
+      emit handled
+      rthrow 4 deep
+    }
+    emit end
+  }
+  method risky { work 1 }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Class("A").Method("main").Body
+	if body[0].Op != minivm.OpTry {
+		t.Fatalf("try not parsed: %+v", body[0])
+	}
+	if body[0].Body[1].Op != minivm.OpThrow || body[0].Body[1].Tag != "direct" {
+		t.Fatalf("throw not parsed: %+v", body[0].Body[1])
+	}
+	h := body[0].Handler
+	if h[1].Op != minivm.OpThrow || h[1].Depth != 4 || h[1].Tag != "deep" {
+		t.Fatalf("rthrow not parsed: %+v", h[1])
+	}
+	// Printer round trip.
+	again, err := Parse(prog.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, prog.String())
+	}
+	if again.String() != prog.String() {
+		t.Fatalf("try/catch round trip unstable:\n%s---\n%s", prog.String(), again.String())
+	}
+}
+
+func TestTryParseErrors(t *testing.T) {
+	cases := []string{
+		"entry A.m class A { method m { try { } } }",       // missing catch
+		"entry A.m class A { method m { throw } }",         // missing tag
+		"entry A.m class A { method m { rthrow x boom } }", // bad depth
+		"entry A.m class A { method m { try { } catch } }", // missing handler block
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

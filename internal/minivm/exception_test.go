@@ -1,0 +1,204 @@
+package minivm
+
+import (
+	"testing"
+)
+
+func exProgram(body string) *Program {
+	p := &Program{
+		Classes: []*Class{
+			{Name: "A", Methods: []*Method{
+				{Name: "main", Body: nil},
+				{Name: "risky", Body: []Instr{Work(1), Throw("boom"), Emit("unreached")}},
+				{Name: "safe", Body: []Instr{Emit("safe")}},
+			}},
+		},
+		Entry: MethodRef{"A", "main"},
+	}
+	return p
+}
+
+func TestThrowUnwindsToCatch(t *testing.T) {
+	p := exProgram("")
+	p.Classes[0].Methods[0].Body = []Instr{
+		Try(
+			[]Instr{Call("A", "risky"), Emit("after-risky")},
+			[]Instr{Emit("handled")},
+		),
+		Emit("end"),
+	}
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tags []string
+	vm.OnEmit = func(_ *VM, _ MethodRef, tag string) { tags = append(tags, tag) }
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "handled,end"
+	got := ""
+	for i, tag := range tags {
+		if i > 0 {
+			got += ","
+		}
+		got += tag
+	}
+	if got != want {
+		t.Fatalf("emits = %s, want %s", got, want)
+	}
+	if vm.Depth() != 0 {
+		t.Fatalf("stack depth %d after handled exception", vm.Depth())
+	}
+}
+
+func TestUncaughtThrowSurfaces(t *testing.T) {
+	p := exProgram("")
+	p.Classes[0].Methods[0].Body = []Instr{Call("A", "risky")}
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = vm.Run()
+	ex, ok := AsException(err)
+	if !ok || ex.Tag != "boom" {
+		t.Fatalf("Run = %v, want uncaught exception boom", err)
+	}
+	if vm.Depth() != 0 {
+		t.Fatal("frames leaked during unwinding")
+	}
+}
+
+func TestConditionalThrow(t *testing.T) {
+	// rthrow fires only at depth >= threshold.
+	p := &Program{
+		Classes: []*Class{
+			{Name: "A", Methods: []*Method{
+				{Name: "main", Body: []Instr{
+					Try([]Instr{Call("A", "deep")}, []Instr{Emit("caught")}),
+					Instr{Op: OpThrow, Tag: "shallow", Depth: 99}, // never fires
+					Emit("end"),
+				}},
+				{Name: "deep", Body: []Instr{CallBounded("A", "deep", 5), ThrowIfDeeper("deep!", 5)}},
+			}},
+		},
+		Entry: MethodRef{"A", "main"},
+	}
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tags []string
+	vm.OnEmit = func(_ *VM, _ MethodRef, tag string) { tags = append(tags, tag) }
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 2 || tags[0] != "caught" || tags[1] != "end" {
+		t.Fatalf("tags = %v", tags)
+	}
+}
+
+// TestProbesBalancedAcrossThrow is the key property: Exit and AfterCall
+// fire during unwinding, so instrumentation stays balanced.
+func TestProbesBalancedAcrossThrow(t *testing.T) {
+	p := exProgram("")
+	p.Classes[0].Methods[0].Body = []Instr{
+		Try(
+			[]Instr{Call("A", "safe"), Call("A", "risky")},
+			[]Instr{Call("A", "safe")},
+		),
+		Emit("end"),
+	}
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := &countingProbes{}
+	vm.SetProbes(probes)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if probes.before != probes.after {
+		t.Fatalf("BeforeCall %d != AfterCall %d across exception", probes.before, probes.after)
+	}
+	if probes.enter != probes.exit {
+		t.Fatalf("Enter %d != Exit %d across exception", probes.enter, probes.exit)
+	}
+}
+
+func TestRuntimeErrorNotCatchable(t *testing.T) {
+	// A genuine runtime error (call to unloaded method) must not be
+	// swallowed by a catch handler.
+	p := &Program{
+		Classes: []*Class{
+			{Name: "A", Methods: []*Method{
+				{Name: "main", Body: []Instr{
+					Try([]Instr{Call("Ghost", "f")}, []Instr{Emit("swallowed")}),
+				}},
+			}},
+		},
+		Entry: MethodRef{"A", "main"},
+	}
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = vm.Run()
+	if err == nil {
+		t.Fatal("runtime error swallowed by catch")
+	}
+	if _, ok := AsException(err); ok {
+		t.Fatal("runtime error misclassified as exception")
+	}
+}
+
+func TestThrowValidation(t *testing.T) {
+	p := &Program{
+		Classes: []*Class{{Name: "A", Methods: []*Method{
+			{Name: "m", Body: []Instr{{Op: OpThrow}}},
+		}}},
+		Entry: MethodRef{"A", "m"},
+	}
+	if err := p.Normalize(); err == nil {
+		t.Fatal("empty throw tag accepted")
+	}
+}
+
+func TestTrySiteNumbering(t *testing.T) {
+	p := &Program{
+		Classes: []*Class{{Name: "A", Methods: []*Method{
+			{Name: "m", Body: []Instr{
+				Try([]Instr{Call("A", "m")}, []Instr{Call("A", "m")}),
+				Call("A", "m"),
+			}},
+		}}},
+		Entry: MethodRef{"A", "m"},
+	}
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	body := p.Classes[0].Methods[0].Body
+	sites := []int32{body[0].Body[0].Site, body[0].Handler[0].Site, body[1].Site}
+	seen := map[int32]bool{}
+	for _, s := range sites {
+		if seen[s] {
+			t.Fatalf("duplicate site label in try/catch: %v", sites)
+		}
+		seen[s] = true
+	}
+}

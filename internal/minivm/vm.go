@@ -1,0 +1,446 @@
+package minivm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Probes is the instrumentation interface. A static analysis binds encoding
+// payloads to call sites and method entries; the resulting encoder
+// implements Probes and the VM invokes it at the corresponding events.
+//
+// Tokens let an instrumentation site communicate with its matching
+// counterpart (BeforeCall→AfterCall around one invocation, Enter→Exit around
+// one activation). They model the local variables an instrumenting agent
+// would introduce into the rewritten method body; the VM threads them
+// through but never interprets them.
+//
+// A nil Probes means the program runs natively (no instrumentation at all).
+type Probes interface {
+	// BeforeCall fires immediately before an invocation at the given call
+	// site transfers control to target. For a virtual site, target is the
+	// dynamically chosen method — which may belong to a dynamically
+	// loaded class the static analysis never saw.
+	BeforeCall(site SiteRef, target MethodRef) (token uint8)
+	// AfterCall fires immediately after the invocation returns.
+	AfterCall(site SiteRef, target MethodRef, token uint8)
+	// Enter fires at the entry of method m, but only if m was statically
+	// loaded: dynamically loaded classes are never instrumented
+	// (Section 4.1 — "instrumentation of dynamically loaded classes is
+	// completely avoided").
+	Enter(m MethodRef) (token uint8)
+	// Exit fires at the exit of a statically loaded method m, with the
+	// token its Enter returned.
+	Exit(m MethodRef, token uint8)
+}
+
+// EmitFunc receives emit events: the method containing the OpEmit, its tag,
+// and the VM (whose Stack method gives the ground-truth calling context).
+type EmitFunc func(vm *VM, m MethodRef, tag string)
+
+// TaskProbes is implemented by probes that need task boundaries: the VM
+// calls BeginTask before each executor task (including the main task)
+// starts, so per-thread encoding state can be rooted at the task's entry.
+type TaskProbes interface {
+	Probes
+	BeginTask(entry MethodRef)
+}
+
+// loadedMethod is a linked, runnable method.
+type loadedMethod struct {
+	ref     MethodRef
+	body    []Instr
+	library bool
+	dynamic bool // belongs to a dynamically loaded class
+}
+
+// dispatchKey identifies a virtual dispatch set: all loaded declarations of
+// Method at or below Class.
+type dispatchKey struct {
+	Class  string
+	Method string
+}
+
+// VM executes a minivm program.
+type VM struct {
+	prog    *Program
+	classes map[string]*Class // name -> definition (static + dynamic)
+	static  map[string]bool   // statically loaded class names
+
+	loaded  map[string]bool             // currently loaded class names
+	methods map[MethodRef]*loadedMethod // loaded methods
+	supers  map[string]string           // class -> super
+	dtables map[dispatchKey][]*loadedMethod
+
+	probes Probes
+	// instrumented, when non-nil, restricts probes to the listed methods:
+	// only their entries/exits and the call sites inside them fire. This
+	// models selective bytecode rewriting (Section 4.2): a method the
+	// agent did not rewrite carries no payload anywhere in its body.
+	instrumented map[MethodRef]bool
+	// instrumentedSites, when non-nil, restricts call-site probes to the
+	// listed sites: a site outside the set carries no payload at all.
+	// Models "encoding free" sites (profile-guided zero addition values,
+	// Section 8) where the rewriter inserts nothing.
+	instrumentedSites map[SiteRef]bool
+	// probeDynamic additionally fires Enter/Exit probes for dynamically
+	// loaded methods. DeltaPath never needs this — avoiding it is a
+	// design goal (Section 4.1) — but the depth-tracking alternative the
+	// paper sketches requires counters at dynamic entries and exits, so
+	// the VM supports it for the ablation.
+	probeDynamic bool
+	OnEmit       EmitFunc
+
+	rng   uint64
+	stack []MethodRef
+
+	// Steps counts executed instructions plus work units: the throughput
+	// measure used by the Figure 8 experiment ("operations per minute").
+	Steps uint64
+	sink  uint64
+
+	// MaxDepth bounds the interpreter call stack; exceeding it is a
+	// runtime error (the analog of StackOverflowError).
+	MaxDepth int
+
+	// Loads counts dynamic class-load events that actually loaded a class.
+	Loads int
+
+	// tasks is the executor queue fed by OpSpawn.
+	tasks []MethodRef
+	// Tasks counts executor tasks run (excluding the main task).
+	Tasks int
+}
+
+// ErrMaxDepth is returned when the interpreter call stack exceeds MaxDepth.
+var ErrMaxDepth = errors.New("minivm: maximum call depth exceeded")
+
+// Exception is the error produced by an OpThrow that no OpTry caught. It
+// propagates like any error, unwinding interpreter frames — with every
+// Exit/AfterCall probe still firing, as a bytecode rewriter's try/finally
+// wrappers guarantee.
+type Exception struct{ Tag string }
+
+func (e *Exception) Error() string { return "minivm: uncaught exception " + e.Tag }
+
+// AsException reports whether err is an uncaught minivm exception.
+func AsException(err error) (*Exception, bool) {
+	var ex *Exception
+	if errors.As(err, &ex) {
+		return ex, true
+	}
+	return nil, false
+}
+
+// NewVM prepares a VM for the program: all static classes are loaded,
+// dynamic ones are registered but not loaded. seed drives the deterministic
+// virtual-dispatch choice. The program must have been normalized.
+func NewVM(prog *Program, seed uint64) (*VM, error) {
+	vm := &VM{
+		prog:     prog,
+		classes:  make(map[string]*Class),
+		static:   make(map[string]bool),
+		loaded:   make(map[string]bool),
+		methods:  make(map[MethodRef]*loadedMethod),
+		supers:   make(map[string]string),
+		dtables:  make(map[dispatchKey][]*loadedMethod),
+		rng:      seed*2654435769 + 0x9e3779b97f4a7c15,
+		MaxDepth: 512,
+	}
+	for _, c := range prog.Classes {
+		vm.classes[c.Name] = c
+		vm.static[c.Name] = true
+	}
+	for _, c := range prog.Dynamic {
+		if vm.classes[c.Name] != nil {
+			return nil, fmt.Errorf("minivm: class %q is both static and dynamic", c.Name)
+		}
+		vm.classes[c.Name] = c
+	}
+	// Load static classes in superclass-first order.
+	for _, c := range prog.Classes {
+		if err := vm.load(c.Name); err != nil {
+			return nil, err
+		}
+	}
+	return vm, nil
+}
+
+// SetProbes installs (or clears, with nil) the instrumentation probes.
+func (vm *VM) SetProbes(p Probes) { vm.probes = p }
+
+// SetInstrumented restricts probes to the given methods; nil means every
+// statically loaded method is instrumented.
+func (vm *VM) SetInstrumented(set map[MethodRef]bool) { vm.instrumented = set }
+
+// SetProbeDynamic makes Enter/Exit probes fire for dynamically loaded
+// methods too (depth-tracking ablation only).
+func (vm *VM) SetProbeDynamic(on bool) { vm.probeDynamic = on }
+
+// SetInstrumentedSites restricts call-site probes to the given sites; nil
+// means every site within instrumented methods fires.
+func (vm *VM) SetInstrumentedSites(set map[SiteRef]bool) { vm.instrumentedSites = set }
+
+// hasProbes reports whether method m carries entry/exit instrumentation.
+func (vm *VM) hasProbes(m *loadedMethod) bool {
+	if vm.probes == nil {
+		return false
+	}
+	if m.dynamic {
+		return vm.probeDynamic
+	}
+	return vm.instrumented == nil || vm.instrumented[m.ref]
+}
+
+// hasCallProbes reports whether call sites inside m carry instrumentation;
+// unlike entries, dynamic methods' call sites are never rewritten.
+func (vm *VM) hasCallProbes(m *loadedMethod) bool {
+	if vm.probes == nil || m.dynamic {
+		return false
+	}
+	return vm.instrumented == nil || vm.instrumented[m.ref]
+}
+
+// Program returns the program this VM runs.
+func (vm *VM) Program() *Program { return vm.prog }
+
+// load links the named class and its not-yet-loaded ancestors.
+func (vm *VM) load(name string) error {
+	if vm.loaded[name] {
+		return nil
+	}
+	c := vm.classes[name]
+	if c == nil {
+		return fmt.Errorf("minivm: load of unknown class %q", name)
+	}
+	if c.Super != "" && !vm.loaded[c.Super] {
+		if err := vm.load(c.Super); err != nil {
+			return err
+		}
+	}
+	vm.loaded[name] = true
+	vm.supers[name] = c.Super
+	dynamic := !vm.static[name]
+	for _, m := range c.Methods {
+		ref := MethodRef{Class: name, Method: m.Name}
+		lm := &loadedMethod{
+			ref:     ref,
+			body:    m.Body,
+			library: c.Library,
+			dynamic: dynamic,
+		}
+		vm.methods[ref] = lm
+		// Register in the dispatch table of every ancestor (and self):
+		// a vcall on any ancestor type can now dispatch here.
+		for cls := name; cls != ""; cls = vm.supers[cls] {
+			k := dispatchKey{Class: cls, Method: m.Name}
+			vm.dtables[k] = append(vm.dtables[k], lm)
+		}
+	}
+	return nil
+}
+
+// Loaded reports whether the class is currently loaded.
+func (vm *VM) Loaded(name string) bool { return vm.loaded[name] }
+
+// Stack returns a copy of the current ground-truth calling context, from
+// the entry method (index 0) to the innermost active method.
+func (vm *VM) Stack() []MethodRef {
+	out := make([]MethodRef, len(vm.stack))
+	copy(out, vm.stack)
+	return out
+}
+
+// Depth returns the current call depth.
+func (vm *VM) Depth() int { return len(vm.stack) }
+
+// nextRand is a splitmix64 step: deterministic, fast, well mixed.
+func (vm *VM) nextRand() uint64 {
+	vm.rng += 0x9e3779b97f4a7c15
+	z := vm.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Run executes the program's entry method to completion, then drains the
+// executor queue: each spawned task runs to completion on a fresh stack,
+// in spawn order (deterministic). An uncaught exception in a task aborts
+// the run, like an uncaught exception killing a worker thread under a
+// fail-fast policy.
+func (vm *VM) Run() error {
+	entry := vm.methods[vm.prog.Entry]
+	if entry == nil {
+		return fmt.Errorf("minivm: entry method %s is not loaded", vm.prog.Entry)
+	}
+	if err := vm.runTask(entry); err != nil {
+		return err
+	}
+	for len(vm.tasks) > 0 {
+		ref := vm.tasks[0]
+		vm.tasks = vm.tasks[1:]
+		target := vm.methods[ref]
+		if target == nil {
+			return fmt.Errorf("minivm: spawned task %s is not loaded", ref)
+		}
+		vm.Tasks++
+		if err := vm.runTask(target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTask runs one executor task (or the main task) on a fresh stack.
+func (vm *VM) runTask(m *loadedMethod) error {
+	if tp, ok := vm.probes.(TaskProbes); ok && vm.probes != nil {
+		tp.BeginTask(m.ref)
+	}
+	return vm.invoke(m)
+}
+
+// invoke executes one activation of m, firing Enter/Exit probes for
+// statically loaded methods.
+func (vm *VM) invoke(m *loadedMethod) error {
+	if len(vm.stack) >= vm.MaxDepth {
+		return fmt.Errorf("%w (%d)", ErrMaxDepth, vm.MaxDepth)
+	}
+	vm.stack = append(vm.stack, m.ref)
+	var tok uint8
+	probed := vm.hasProbes(m)
+	if probed {
+		tok = vm.probes.Enter(m.ref)
+	}
+	err := vm.exec(m, m.body)
+	if probed {
+		vm.probes.Exit(m.ref, tok)
+	}
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	return err
+}
+
+// exec runs a body slice within method m's activation.
+func (vm *VM) exec(m *loadedMethod, body []Instr) error {
+	for i := range body {
+		in := &body[i]
+		vm.Steps++
+		switch in.Op {
+		case OpCall:
+			if in.Depth > 0 && len(vm.stack) >= in.Depth {
+				continue // bounded call: recursion base case reached
+			}
+			target := vm.methods[MethodRef{Class: in.Class, Method: in.Name}]
+			if target == nil {
+				return fmt.Errorf("minivm: %s: call to unloaded method %s.%s", m.ref, in.Class, in.Name)
+			}
+			if err := vm.call(m, in.Site, target); err != nil {
+				return err
+			}
+		case OpVCall:
+			if in.Depth > 0 && len(vm.stack) >= in.Depth {
+				continue // bounded call: recursion base case reached
+			}
+			target, err := vm.dispatch(in.Class, in.Name)
+			if err != nil {
+				return fmt.Errorf("minivm: %s: %w", m.ref, err)
+			}
+			if err := vm.call(m, in.Site, target); err != nil {
+				return err
+			}
+		case OpLoop:
+			for k := 0; k < in.N; k++ {
+				if err := vm.exec(m, in.Body); err != nil {
+					return err
+				}
+			}
+		case OpEmit:
+			if vm.OnEmit != nil {
+				vm.OnEmit(vm, m.ref, in.Tag)
+			}
+		case OpLoadClass:
+			if !vm.loaded[in.Class] {
+				if err := vm.load(in.Class); err != nil {
+					return err
+				}
+				vm.Loads++
+			}
+		case OpWork:
+			vm.work(in.N)
+			vm.Steps += uint64(in.N)
+		case OpSpawn:
+			vm.tasks = append(vm.tasks, MethodRef{Class: in.Class, Method: in.Name})
+		case OpThrow:
+			if in.Depth > 0 && len(vm.stack) < in.Depth {
+				continue // condition not met: no throw
+			}
+			return &Exception{Tag: in.Tag}
+		case OpTry:
+			if err := vm.exec(m, in.Body); err != nil {
+				if _, ok := AsException(err); !ok {
+					return err // genuine runtime error: not catchable
+				}
+				if herr := vm.exec(m, in.Handler); herr != nil {
+					return herr
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// call performs one invocation with its surrounding probes. Probes only
+// fire for call sites in statically loaded (analysed, hence instrumented)
+// methods; call sites inside dynamically loaded code carry no payload.
+func (vm *VM) call(caller *loadedMethod, site int32, target *loadedMethod) error {
+	if !vm.hasCallProbes(caller) {
+		return vm.invoke(target)
+	}
+	s := SiteRef{In: caller.ref, Site: site}
+	if vm.instrumentedSites != nil && !vm.instrumentedSites[s] {
+		return vm.invoke(target) // encoding-free site: nothing inserted
+	}
+	tok := vm.probes.BeforeCall(s, target.ref)
+	err := vm.invoke(target)
+	vm.probes.AfterCall(s, target.ref, tok)
+	return err
+}
+
+// dispatch picks the dynamic target of a virtual call on Class.Method among
+// all loaded declarations at or below Class, uniformly pseudo-randomly.
+func (vm *VM) dispatch(class, method string) (*loadedMethod, error) {
+	cands := vm.dtables[dispatchKey{Class: class, Method: method}]
+	switch len(cands) {
+	case 0:
+		return nil, fmt.Errorf("vcall %s.%s has no loaded implementation", class, method)
+	case 1:
+		return cands[0], nil
+	}
+	return cands[vm.nextRand()%uint64(len(cands))], nil
+}
+
+// work burns n units of computation (integer mixing) that the compiler
+// cannot remove, simulating application work between calls.
+func (vm *VM) work(n int) {
+	x := vm.sink ^ 0x2545f4914f6cdd1d
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	vm.sink = x
+}
+
+// Sink returns the accumulated work value; benchmarks read it so the work
+// loops cannot be optimized away.
+func (vm *VM) Sink() uint64 { return vm.sink }
+
+// DispatchTargets returns the currently loaded dispatch candidates for a
+// virtual call on Class.Method, in load order. Used by tests.
+func (vm *VM) DispatchTargets(class, method string) []MethodRef {
+	cands := vm.dtables[dispatchKey{Class: class, Method: method}]
+	out := make([]MethodRef, len(cands))
+	for i, c := range cands {
+		out[i] = c.ref
+	}
+	return out
+}

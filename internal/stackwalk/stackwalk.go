@@ -1,0 +1,47 @@
+// Package stackwalk is the trivial exact baseline: obtain the calling
+// context by walking the call stack at the point of interest. It is what
+// debuggers and error reporters do (Section 7, "Stack Walking"), precise by
+// construction but far too expensive for continuous tracking — the very
+// motivation for encoding techniques.
+//
+// On the minivm substrate a walk is a copy of the interpreter's frame list,
+// optionally filtered to instrumented (application) methods so its output
+// is comparable with selective encodings.
+package stackwalk
+
+import (
+	"strings"
+
+	"deltapath/internal/minivm"
+)
+
+// Walker captures calling contexts from a VM by walking its stack.
+type Walker struct {
+	// Filter, when non-nil, keeps only these methods in captured
+	// contexts (mirroring the encoding-application setting).
+	Filter map[minivm.MethodRef]bool
+}
+
+// Capture returns the current calling context, outermost first.
+func (w *Walker) Capture(vm *minivm.VM) []minivm.MethodRef {
+	st := vm.Stack()
+	if w.Filter == nil {
+		return st
+	}
+	out := st[:0]
+	for _, f := range st {
+		if w.Filter[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Key canonicalizes a context for uniqueness accounting.
+func Key(ctx []minivm.MethodRef) string {
+	parts := make([]string, len(ctx))
+	for i, f := range ctx {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ">")
+}

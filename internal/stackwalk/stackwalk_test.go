@@ -1,0 +1,46 @@
+package stackwalk
+
+import (
+	"testing"
+
+	"deltapath/internal/lang"
+	"deltapath/internal/minivm"
+)
+
+func TestCaptureAndFilter(t *testing.T) {
+	prog := lang.MustParse(`
+entry A.main
+class A { method main { call B.f } }
+class B { method f { call C.g } }
+class C { method g { emit x } }
+`)
+	vm, err := minivm.NewVM(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &Walker{}
+	filtered := &Walker{Filter: map[minivm.MethodRef]bool{
+		{Class: "A", Method: "main"}: true,
+		{Class: "C", Method: "g"}:    true,
+	}}
+	var gotFull, gotFiltered []minivm.MethodRef
+	vm.OnEmit = func(v *minivm.VM, _ minivm.MethodRef, _ string) {
+		gotFull = full.Capture(v)
+		gotFiltered = filtered.Capture(v)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if Key(gotFull) != "A.main>B.f>C.g" {
+		t.Fatalf("full capture = %q", Key(gotFull))
+	}
+	if Key(gotFiltered) != "A.main>C.g" {
+		t.Fatalf("filtered capture = %q", Key(gotFiltered))
+	}
+}
+
+func TestKeyEmpty(t *testing.T) {
+	if Key(nil) != "" {
+		t.Fatalf("Key(nil) = %q", Key(nil))
+	}
+}

@@ -1,0 +1,157 @@
+package workload
+
+// Suite returns the fifteen benchmark programs of the evaluation, named and
+// shaped after SPECjvm2008 (Section 6). Per-benchmark parameters target the
+// structural characteristics Table 1 reports:
+//
+//   - call-graph sizes in the low thousands of nodes under encoding-all and
+//     roughly two orders of magnitude fewer under encoding-application;
+//   - encoding spaces from ~1e5 (compress, scimark) through ~1e9 (crypto)
+//     and ~1e14 (mpegaudio) up to beyond 64 bits (sunflow, xml.validation),
+//     the last two forcing Algorithm 2 to introduce anchor nodes;
+//   - virtual-site densities of roughly a third to a half of all sites;
+//   - small applications for scimark/crypto/compress and large ones for
+//     sunflow and xml.transform.
+func Suite() []Params {
+	base := Params{
+		LibMethods:    8,
+		AppMethods:    4,
+		FamilySubs:    5,
+		VirtualFrac:   0.40,
+		CallbackFrac:  0.02,
+		RecursionFrac: 0.02,
+		ExceptionFrac: 0.04,
+		SpawnTasks:    2,
+		EmitFrac:      0.30,
+		WorkUnits:     24,
+		DynClasses:    2,
+	}
+	mk := func(name string, seed uint64, f func(*Params)) Params {
+		p := base
+		p.Name = name
+		p.Seed = seed
+		f(&p)
+		return p
+	}
+	return []Params{
+		mk("compiler.compiler", 101, func(p *Params) {
+			p.LibClasses, p.AppClasses = 270, 28
+			p.LibFamilies, p.AppFamilies = 60, 6
+			p.Layers, p.CallsPerMethod = 12, 2
+			p.ExecDepth, p.LoopTrip = 11, 60
+		}),
+		mk("compiler.sunflow", 102, func(p *Params) {
+			p.LibClasses, p.AppClasses = 210, 29
+			p.LibFamilies, p.AppFamilies = 50, 7
+			p.Layers, p.CallsPerMethod = 12, 2
+			p.ExecDepth, p.LoopTrip = 11, 60
+		}),
+		mk("compress", 103, func(p *Params) {
+			p.LibClasses, p.AppClasses = 150, 24
+			p.LibFamilies, p.AppFamilies = 30, 5
+			p.Layers, p.CallsPerMethod = 9, 2
+			p.VirtualFrac = 0.35
+			p.ExecDepth, p.LoopTrip = 11, 400
+			p.RecursionFrac = 0.005
+			p.WorkUnits = 40 // compress has small hot functions
+		}),
+		mk("crypto.aes", 104, func(p *Params) {
+			p.LibClasses, p.AppClasses = 310, 25
+			p.LibFamilies, p.AppFamilies = 65, 5
+			p.Layers, p.CallsPerMethod = 14, 2
+			p.ExecDepth, p.LoopTrip = 10, 50
+		}),
+		mk("crypto.rsa", 105, func(p *Params) {
+			p.LibClasses, p.AppClasses = 310, 25
+			p.LibFamilies, p.AppFamilies = 65, 5
+			p.Layers, p.CallsPerMethod = 13, 2
+			p.ExecDepth, p.LoopTrip = 10, 50
+		}),
+		mk("crypto.signverify", 106, func(p *Params) {
+			p.LibClasses, p.AppClasses = 315, 24
+			p.LibFamilies, p.AppFamilies = 66, 6
+			p.Layers, p.CallsPerMethod = 14, 2
+			p.ExecDepth, p.LoopTrip = 10, 50
+		}),
+		mk("mpegaudio", 107, func(p *Params) {
+			p.LibClasses, p.AppClasses = 360, 62
+			p.LibFamilies, p.AppFamilies = 75, 12
+			p.Layers, p.CallsPerMethod = 22, 2
+			p.ExecDepth, p.LoopTrip = 14, 60
+			p.WorkUnits = 16
+		}),
+		mk("scimark.fft.large", 108, func(p *Params) {
+			p.LibClasses, p.AppClasses = 148, 19
+			p.LibFamilies, p.AppFamilies = 28, 3
+			p.Layers, p.CallsPerMethod = 10, 2
+			p.VirtualFrac = 0.35
+			p.ExecDepth, p.LoopTrip = 11, 300
+		}),
+		mk("scimark.lu.large", 109, func(p *Params) {
+			p.LibClasses, p.AppClasses = 147, 19
+			p.LibFamilies, p.AppFamilies = 28, 3
+			p.Layers, p.CallsPerMethod = 10, 2
+			p.VirtualFrac = 0.35
+			p.ExecDepth, p.LoopTrip = 10, 300
+		}),
+		mk("scimark.monte_carlo", 110, func(p *Params) {
+			p.LibClasses, p.AppClasses = 146, 15
+			p.LibFamilies, p.AppFamilies = 27, 3
+			p.Layers, p.CallsPerMethod = 10, 2
+			p.VirtualFrac = 0.34
+			p.ExecDepth, p.LoopTrip = 11, 350
+			p.WorkUnits = 12 // small hot functions
+		}),
+		mk("scimark.sor.large", 111, func(p *Params) {
+			p.LibClasses, p.AppClasses = 147, 18
+			p.LibFamilies, p.AppFamilies = 28, 3
+			p.Layers, p.CallsPerMethod = 10, 2
+			p.VirtualFrac = 0.35
+			p.ExecDepth, p.LoopTrip = 10, 300
+		}),
+		mk("scimark.sparse.large", 112, func(p *Params) {
+			p.LibClasses, p.AppClasses = 146, 17
+			p.LibFamilies, p.AppFamilies = 28, 3
+			p.Layers, p.CallsPerMethod = 10, 2
+			p.VirtualFrac = 0.35
+			p.ExecDepth, p.LoopTrip = 11, 300
+		}),
+		mk("sunflow", 113, func(p *Params) {
+			p.LibClasses, p.AppClasses = 860, 260
+			p.LibFamilies, p.AppFamilies = 190, 55
+			p.Layers, p.CallsPerMethod = 20, 2
+			p.VirtualFrac = 0.50
+			p.ExecDepth, p.LoopTrip = 18, 12
+			p.RecursionFrac = 0.01
+			p.WorkUnits = 10
+			p.AmpChains, p.AmpFeederLayer = 6, 12
+		}),
+		mk("xml.transform", 114, func(p *Params) {
+			p.LibClasses, p.AppClasses = 1090, 470
+			p.LibFamilies, p.AppFamilies = 260, 90
+			p.Layers, p.CallsPerMethod = 19, 3
+			p.VirtualFrac = 0.52
+			p.ExecDepth, p.LoopTrip = 15, 12
+			p.RecursionFrac = 0.01
+		}),
+		mk("xml.validation", 115, func(p *Params) {
+			p.LibClasses, p.AppClasses = 770, 25
+			p.LibFamilies, p.AppFamilies = 170, 5
+			p.Layers, p.CallsPerMethod = 21, 2
+			p.VirtualFrac = 0.52
+			p.ExecDepth, p.LoopTrip = 12, 40
+			p.RecursionFrac = 0.01
+			p.AmpChains, p.AmpFeederLayer = 7, 11
+		}),
+	}
+}
+
+// ByName returns the suite benchmark with the given name.
+func ByName(name string) (Params, bool) {
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}

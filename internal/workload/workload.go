@@ -1,0 +1,677 @@
+// Package workload generates the benchmark programs for the evaluation.
+//
+// The paper evaluates on SPECjvm2008, which we cannot ship or run; instead,
+// a deterministic generator produces fifteen synthetic minivm programs named
+// and shaped after the suite's benchmarks. Shape means: the call-graph size
+// (nodes/edges/call sites/virtual sites) under both encoding settings, the
+// application-vs-library split, virtual-dispatch density, recursion, hot
+// loops, dynamic class loading, and execution depth are all parameterized
+// per benchmark to land in the regions Table 1 and Table 2 report. Absolute
+// agreement with a closed-source suite on different hardware is not the
+// goal (and is unattainable); structural agreement is, because every claim
+// of the paper — encoding-space growth, anchor counts, overhead ratios,
+// stack depths — depends only on this structure.
+//
+// Construction. Methods are arranged in layers; calls go to the next layer
+// (occasionally deeper), which gives the call graph the multiplicative
+// fan-in that makes context counts grow geometrically with depth — the
+// encoding-space explosion of Section 3.2. Every call carries a depth
+// bound ("hot" calls run to the configured execution depth, "cold" ones
+// only near the root), so the executed call tree stays a sparse sample of
+// the dense static graph, exactly the relationship between a real
+// program's call graph and its dynamic behaviour. A final coverage pass
+// guarantees every generated method is statically reachable.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"deltapath/internal/minivm"
+)
+
+// Params describes one synthetic benchmark program.
+type Params struct {
+	// Name of the benchmark (SPECjvm2008 names).
+	Name string
+	// Seed drives every random choice; same params, same program.
+	Seed uint64
+
+	// Static shape: library ("JDK") bulk and application size.
+	LibClasses, LibMethods int // library classes x methods per class
+	AppClasses, AppMethods int // application classes x methods per class
+	LibFamilies            int // virtual-dispatch families in the library
+	AppFamilies            int // virtual-dispatch families in the app
+	FamilySubs             int // overriding subclasses per family
+	Layers                 int // call-graph layering (depth potential)
+	CallsPerMethod         int // call instructions per method body
+	VirtualFrac            float64
+	CallbackFrac           float64 // library sites that call back into the app
+	RecursionFrac          float64
+	ExceptionFrac          float64 // methods with try/catch around a call, paired with rare deep throws
+	DynClasses             int     // dynamically loaded classes
+
+	// Amplifier chains (for the >64-bit benchmarks of Table 1).
+	// A chain is a sequence of AmpLen library methods in which each
+	// method contains AmpFan distinct call sites invoking the next —
+	// the static structure of a method that calls a helper many times.
+	// Context counts multiply by AmpFan per link, so a chain fed from a
+	// node with a large context count carries the graph's encoding
+	// pressure past 64 bits through a handful of narrow hub nodes —
+	// which is why Algorithm 2 can defuse it with roughly one anchor
+	// per chain, reproducing the small anchor counts of Table 1.
+	AmpChains      int // number of chains (0 disables)
+	AmpLen         int // methods per chain (default 9)
+	AmpFan         int // call sites per link (default 32)
+	AmpFeederLayer int // layer of the broad-graph node feeding each chain
+
+	// SpawnTasks is the number of executor tasks the program submits:
+	// SPECjvm2008 runs benchmark operations on worker threads, whose
+	// calling contexts root at the task entry rather than at main.
+	SpawnTasks int
+
+	// Dynamic shape.
+	ExecDepth int     // depth bound of hot calls (drives context depth)
+	HotFrac   float64 // fraction of calls that are hot (default 0.42)
+	LoopTrip  int     // top-level loop iterations (drives run length)
+	WorkUnits int     // synthetic work per method body
+	EmitFrac  float64
+}
+
+// Scale returns a copy with the top-level trip count multiplied by f
+// (minimum 1), for quick or extended runs.
+func (p Params) Scale(f float64) Params {
+	p.LoopTrip = int(math.Max(1, float64(p.LoopTrip)*f))
+	return p
+}
+
+// rng is splitmix64.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// methodSlot is a generated method.
+type methodSlot struct {
+	class   *minivm.Class
+	method  *minivm.Method
+	layer   int
+	library bool
+	famBase string // non-empty if this is a family implementation
+}
+
+func (s *methodSlot) ref() minivm.MethodRef {
+	return minivm.MethodRef{Class: s.class.Name, Method: s.method.Name}
+}
+
+// family is a virtual-dispatch group: a base class plus overriding subs.
+type family struct {
+	base    string
+	layer   int
+	library bool
+	impls   []int // slot indices of all implementations
+}
+
+type gen struct {
+	p        Params
+	r        *rng
+	prog     *minivm.Program
+	slots    []*methodSlot
+	families []family
+	// libByLayer/appByLayer index slots by layer for near-layer targeting.
+	libByLayer, appByLayer [][]int
+	// libHubs/appHubs are the per-layer hub methods: a small set that
+	// attracts most incoming calls, giving the call graph the "waist"
+	// structure of real programs (utility and dispatcher methods). Hubs
+	// concentrate encoding-space pressure, which is why Algorithm 2 can
+	// defuse a >64-bit program with a handful of anchors, as in Table 1.
+	libHubs, appHubs [][]int
+	// famByLayer indexes families by layer.
+	famByLayer [][]int
+	mainClass  *minivm.Class
+}
+
+// Generate builds the program.
+func (p Params) Generate() (*minivm.Program, error) {
+	if p.Layers < 3 {
+		return nil, fmt.Errorf("workload %s: need at least 3 layers", p.Name)
+	}
+	if p.HotFrac == 0 {
+		p.HotFrac = 0.42
+	}
+	g := &gen{
+		r:          &rng{s: p.Seed ^ 0xdeadbeefcafe},
+		prog:       &minivm.Program{Entry: minivm.MethodRef{Class: "Main", Method: "main"}},
+		libByLayer: make([][]int, p.Layers),
+		appByLayer: make([][]int, p.Layers),
+		libHubs:    make([][]int, p.Layers),
+		appHubs:    make([][]int, p.Layers),
+		famByLayer: make([][]int, p.Layers),
+	}
+	if p.AmpChains > 0 {
+		if p.AmpLen == 0 {
+			p.AmpLen = 9
+		}
+		if p.AmpFan == 0 {
+			p.AmpFan = 32
+		}
+	}
+	g.p = p
+	g.buildPopulation()
+	g.pickHubs()
+	g.buildBodies()
+	g.buildAmpChains()
+	g.buildDynamicClasses()
+	g.buildMain()
+	g.ensureCoverage()
+	if err := g.prog.Normalize(); err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	return g.prog, nil
+}
+
+func (g *gen) newClass(name, super string, library bool) *minivm.Class {
+	c := &minivm.Class{Name: name, Super: super, Library: library}
+	g.prog.Classes = append(g.prog.Classes, c)
+	return c
+}
+
+func (g *gen) addMethod(c *minivm.Class, name string, layer int, library bool, famBase string) int {
+	m := &minivm.Method{Name: name}
+	c.Methods = append(c.Methods, m)
+	s := &methodSlot{class: c, method: m, layer: layer, library: library, famBase: famBase}
+	idx := len(g.slots)
+	g.slots = append(g.slots, s)
+	if library {
+		g.libByLayer[layer] = append(g.libByLayer[layer], idx)
+	} else {
+		g.appByLayer[layer] = append(g.appByLayer[layer], idx)
+	}
+	return idx
+}
+
+// buildPopulation creates classes, methods and dispatch families, assigning
+// layers 1..Layers-1 roughly uniformly.
+func (g *gen) buildPopulation() {
+	p, r := g.p, g.r
+	g.mainClass = g.newClass("Main", "", false)
+	g.addMethod(g.mainClass, "main", 0, false, "")
+
+	layerFor := func() int { return 1 + r.intn(p.Layers-1) }
+	// Application methods occupy a compressed band of consecutive layers:
+	// with a small application spread over many layers, app-to-app call
+	// chains could not form and application contexts would be
+	// unrealistically shallow.
+	appSpan := p.AppClasses * p.AppMethods / 6
+	if appSpan > p.Layers-1 {
+		appSpan = p.Layers - 1
+	}
+	if appSpan < 4 {
+		appSpan = 4
+	}
+	if appSpan > p.Layers-1 {
+		appSpan = p.Layers - 1
+	}
+	appLayerFor := func() int { return 1 + r.intn(appSpan) }
+
+	for i := 0; i < p.LibClasses; i++ {
+		c := g.newClass(fmt.Sprintf("lib.C%d", i), "", true)
+		for j := 0; j < p.LibMethods; j++ {
+			g.addMethod(c, fmt.Sprintf("m%d", j), layerFor(), true, "")
+		}
+	}
+	for i := 0; i < p.AppClasses; i++ {
+		c := g.newClass(fmt.Sprintf("app.C%d", i), "", false)
+		for j := 0; j < p.AppMethods; j++ {
+			g.addMethod(c, fmt.Sprintf("m%d", j), appLayerFor(), false, "")
+		}
+	}
+	mkFam := func(idx int, library bool) {
+		prefix := "app"
+		if library {
+			prefix = "lib"
+		}
+		base := fmt.Sprintf("%s.Fam%d", prefix, idx)
+		layer := layerFor()
+		f := family{base: base, layer: layer, library: library}
+		bc := g.newClass(base, "", library)
+		f.impls = append(f.impls, g.addMethod(bc, "run", layer, library, base))
+		for s := 0; s < p.FamilySubs; s++ {
+			sc := g.newClass(fmt.Sprintf("%s.Sub%d", base, s), base, library)
+			f.impls = append(f.impls, g.addMethod(sc, "run", layer, library, base))
+		}
+		g.famByLayer[layer] = append(g.famByLayer[layer], len(g.families))
+		g.families = append(g.families, f)
+	}
+	for i := 0; i < p.LibFamilies; i++ {
+		mkFam(i, true)
+	}
+	for i := 0; i < p.AppFamilies; i++ {
+		mkFam(p.LibFamilies+i, false)
+	}
+}
+
+// pickHubs designates the per-layer hub methods: roughly one in sixteen,
+// at least one per populated layer.
+func (g *gen) pickHubs() {
+	for l := 1; l < g.p.Layers; l++ {
+		if n := len(g.libByLayer[l]); n > 0 {
+			k := 1 + n/16
+			g.libHubs[l] = g.libByLayer[l][:k]
+		}
+		if n := len(g.appByLayer[l]); n > 0 {
+			k := 1 + n/16
+			g.appHubs[l] = g.appByLayer[l][:k]
+		}
+	}
+}
+
+// callee picks a slot near layer l+1 with the wanted library flag,
+// searching progressively deeper layers. Most calls route through the
+// layer's hubs.
+func (g *gen) callee(fromLayer int, wantLib bool) *methodSlot {
+	buckets, hubs := g.appByLayer, g.appHubs
+	if wantLib {
+		buckets, hubs = g.libByLayer, g.libHubs
+	}
+	for l := fromLayer + 1; l < g.p.Layers; l++ {
+		// Mostly the next layer; skip ahead occasionally for long edges.
+		if l > fromLayer+1 && g.r.float() < 0.7 {
+			continue
+		}
+		if n := len(hubs[l]); n > 0 && g.r.float() < 0.6 {
+			return g.slots[hubs[l][g.r.intn(n)]]
+		}
+		if n := len(buckets[l]); n > 0 {
+			return g.slots[buckets[l][g.r.intn(n)]]
+		}
+	}
+	// Fallback: any deeper bucket, either kind.
+	for l := fromLayer + 1; l < g.p.Layers; l++ {
+		if n := len(g.libByLayer[l]); n > 0 {
+			return g.slots[g.libByLayer[l][g.r.intn(n)]]
+		}
+		if n := len(g.appByLayer[l]); n > 0 {
+			return g.slots[g.appByLayer[l][g.r.intn(n)]]
+		}
+	}
+	return nil
+}
+
+// calleeFamily picks a dispatch family near layer l+1.
+func (g *gen) calleeFamily(fromLayer int, fromLib bool) *family {
+	for l := fromLayer + 1; l < g.p.Layers; l++ {
+		if l > fromLayer+1 && g.r.float() < 0.7 {
+			continue
+		}
+		if n := len(g.famByLayer[l]); n > 0 {
+			f := &g.families[g.famByLayer[l][g.r.intn(n)]]
+			if fromLib && !f.library && g.r.float() >= g.p.CallbackFrac {
+				continue // library code rarely dispatches into the app
+			}
+			return f
+		}
+	}
+	return nil
+}
+
+// bound picks a call's depth bound: hot calls descend to ExecDepth, cold
+// calls only run near the root, keeping execution tractable while the
+// static graph stays dense. hotProb is the probability this call is hot.
+func (g *gen) bound(hotProb float64) int {
+	if g.r.float() < hotProb {
+		return g.p.ExecDepth + g.r.intn(3)
+	}
+	return 4 + g.r.intn(3)
+}
+
+// hotProbFor returns the hot probability for a call: application-to-
+// application calls run hot most of the time so that application call
+// chains reach realistic depths (Table 2 reports average context depths of
+// 5-22 application frames), while the bulky library subtrees stay sparse.
+func (g *gen) hotProbFor(callerLib, calleeLib bool) float64 {
+	if !callerLib && !calleeLib {
+		p := g.p.HotFrac * 2.1
+		if p > 0.95 {
+			p = 0.95
+		}
+		return p
+	}
+	return g.p.HotFrac
+}
+
+// buildBodies synthesizes every method body except main's.
+func (g *gen) buildBodies() {
+	p, r := g.p, g.r
+	for _, s := range g.slots {
+		if s.class == g.mainClass {
+			continue
+		}
+		body := []minivm.Instr{minivm.Work(p.WorkUnits)}
+		for k := 0; k < p.CallsPerMethod; k++ {
+			if r.float() < p.VirtualFrac {
+				if f := g.calleeFamily(s.layer, s.library); f != nil {
+					body = append(body, minivm.VCallBounded(f.base, "run",
+						g.bound(g.hotProbFor(s.library, f.library))))
+					continue
+				}
+			}
+			wantLib := true
+			if s.library {
+				wantLib = r.float() >= p.CallbackFrac
+			} else {
+				wantLib = r.float() < 0.25 // app code mostly calls app code
+			}
+			if t := g.callee(s.layer, wantLib); t != nil {
+				body = append(body, minivm.CallBounded(t.class.Name, t.method.Name,
+					g.bound(g.hotProbFor(s.library, wantLib))))
+			}
+		}
+		if r.float() < p.RecursionFrac {
+			body = append(body, minivm.CallBounded(s.class.Name, s.method.Name, p.ExecDepth))
+		}
+		if p.ExceptionFrac > 0 && r.float() < p.ExceptionFrac {
+			// Exception handling: a guarded call whose callee subtree may
+			// throw (the rare deep rthrow below), with a recovery call in
+			// the handler. Keeps the unwinding paths of the instrumentation
+			// exercised under benchmark load.
+			if t := g.callee(s.layer, s.library); t != nil {
+				tryBody := []minivm.Instr{minivm.CallBounded(t.class.Name, t.method.Name, g.bound(g.hotProbFor(s.library, t.library)))}
+				handler := []minivm.Instr{minivm.Work(p.WorkUnits / 2)}
+				if h := g.callee(s.layer, s.library); h != nil {
+					handler = append(handler, minivm.CallBounded(h.class.Name, h.method.Name, 4))
+				}
+				body = append(body, minivm.Try(tryBody, handler))
+			}
+		}
+		if p.ExceptionFrac > 0 && r.float() < p.ExceptionFrac*0.5 {
+			// A rare thrower: fires only deep in the call tree.
+			body = append(body, minivm.ThrowIfDeeper("e", p.ExecDepth-1+r.intn(3)))
+		}
+		emitProb := p.EmitFrac
+		if s.library {
+			emitProb *= 0.3
+		}
+		if r.float() < emitProb {
+			body = append(body, minivm.Emit("e"))
+		}
+		s.method.Body = body
+	}
+}
+
+// buildAmpChains creates the amplifier chains. Each chain hangs off a hub
+// at AmpFeederLayer via a single cold call; chain-internal calls carry a
+// small depth bound so they contribute dense static structure at near-zero
+// dynamic cost.
+func (g *gen) buildAmpChains() {
+	p := g.p
+	if p.AmpChains <= 0 {
+		return
+	}
+	feederLayer := p.AmpFeederLayer
+	if feederLayer < 1 {
+		feederLayer = 1
+	}
+	if feederLayer > p.Layers-2 {
+		feederLayer = p.Layers - 2
+	}
+	for c := 0; c < p.AmpChains; c++ {
+		cls := g.newClass(fmt.Sprintf("lib.Amp%d", c), "", true)
+		idxs := make([]int, p.AmpLen)
+		for i := 0; i < p.AmpLen; i++ {
+			layer := feederLayer + 1 + i
+			if layer > p.Layers-1 {
+				layer = p.Layers - 1
+			}
+			idxs[i] = g.addMethod(cls, fmt.Sprintf("a%d", i), layer, true, "")
+		}
+		for i := 0; i < p.AmpLen; i++ {
+			s := g.slots[idxs[i]]
+			body := []minivm.Instr{minivm.Work(p.WorkUnits)}
+			if i+1 < p.AmpLen {
+				next := g.slots[idxs[i+1]]
+				for k := 0; k < p.AmpFan; k++ {
+					body = append(body, minivm.CallBounded(next.class.Name, next.method.Name, 3))
+				}
+			}
+			// One ordinary deeper callee per link, so the chain's
+			// pressure also touches the broad graph.
+			if t := g.callee(s.layer, true); t != nil {
+				body = append(body, minivm.CallBounded(t.class.Name, t.method.Name, 3))
+			}
+			s.method.Body = body
+		}
+		// Feed the chain from a hub at the feeder layer (round-robin).
+		if hubs := g.libHubs[feederLayer]; len(hubs) > 0 {
+			feeder := g.slots[hubs[c%len(hubs)]]
+			first := g.slots[idxs[0]]
+			feeder.method.Body = append(feeder.method.Body,
+				minivm.CallBounded(first.class.Name, first.method.Name, 3))
+		}
+	}
+}
+
+// buildDynamicClasses creates the dynamically loadable classes: subclasses
+// of application families whose run methods call statically analysed
+// methods, producing unexpected call paths when dispatched to (Figure 6).
+func (g *gen) buildDynamicClasses() {
+	p, r := g.p, g.r
+	if len(g.families) == 0 {
+		return
+	}
+	// Prefer application families so UCPs land in instrumented code.
+	var appFams []int
+	for i, f := range g.families {
+		if !f.library {
+			appFams = append(appFams, i)
+		}
+	}
+	pool := appFams
+	if len(pool) == 0 {
+		pool = make([]int, len(g.families))
+		for i := range pool {
+			pool[i] = i
+		}
+	}
+	for d := 0; d < p.DynClasses; d++ {
+		f := &g.families[pool[r.intn(len(pool))]]
+		dc := &minivm.Class{Name: fmt.Sprintf("dyn.D%d", d), Super: f.base}
+		body := []minivm.Instr{minivm.Work(p.WorkUnits)}
+		for k := 0; k < 2; k++ {
+			if t := g.callee(f.layer, k == 0); t != nil {
+				body = append(body, minivm.CallBounded(t.class.Name, t.method.Name, p.ExecDepth))
+			}
+		}
+		dc.Methods = append(dc.Methods, &minivm.Method{Name: "run", Body: body})
+		g.prog.Dynamic = append(g.prog.Dynamic, dc)
+	}
+}
+
+// buildMain gives the entry method its body: dynamic loads, then the
+// measured loop over a spread of layer-1 roots covering both the library
+// and the application.
+func (g *gen) buildMain() {
+	p, r := g.p, g.r
+	var body []minivm.Instr
+	for _, dc := range g.prog.Dynamic {
+		body = append(body, minivm.LoadClass(dc.Name))
+	}
+	var loop []minivm.Instr
+	addRoot := func(idx int) {
+		t := g.slots[idx]
+		loop = append(loop, minivm.CallBounded(t.class.Name, t.method.Name,
+			g.bound(g.hotProbFor(false, t.library))))
+	}
+	// A few roots from the first populated app layer and lib layer each.
+	for l := 1; l < p.Layers && len(loop) < 3; l++ {
+		for _, idx := range g.appByLayer[l] {
+			if len(loop) >= 3 {
+				break
+			}
+			if r.float() < 0.5 {
+				addRoot(idx)
+			}
+		}
+	}
+	for l := 1; l < p.Layers && len(loop) < 6; l++ {
+		for _, idx := range g.libByLayer[l] {
+			if len(loop) >= 6 {
+				break
+			}
+			if r.float() < 0.3 {
+				addRoot(idx)
+			}
+		}
+	}
+	// One virtual root when available.
+	if f := g.calleeFamily(0, false); f != nil {
+		loop = append(loop, minivm.VCallBounded(f.base, "run", p.ExecDepth))
+	}
+	// Executor tasks: each task is a Runnable-style wrapper class whose
+	// run method guards a worker call (tasks swallow their own failures,
+	// as executor workers do). Worker targets are drawn from the shallow
+	// application layers with an independent RNG, so enabling tasks does
+	// not perturb the rest of the generated program.
+	tr := &rng{s: p.Seed ^ 0x5bd1e995}
+	for k := 0; k < p.SpawnTasks; k++ {
+		for attempt := 0; attempt < 16; attempt++ {
+			l := 1 + tr.intn(3)
+			if l >= p.Layers {
+				l = 1
+			}
+			n := len(g.appByLayer[l])
+			if n == 0 {
+				continue
+			}
+			t := g.slots[g.appByLayer[l][tr.intn(n)]]
+			taskCls := g.newClass(fmt.Sprintf("app.Task%d", k), "", false)
+			work := minivm.CallBounded(t.class.Name, t.method.Name, p.ExecDepth)
+			taskBody := []minivm.Instr{
+				minivm.Try([]minivm.Instr{work}, []minivm.Instr{minivm.Emit("taskfail")}),
+				minivm.Emit("task"),
+			}
+			taskCls.Methods = append(taskCls.Methods, &minivm.Method{Name: "run", Body: taskBody})
+			body = append(body, minivm.Spawn(taskCls.Name, "run"))
+			break
+		}
+	}
+	loop = append(loop, minivm.Emit("iter"))
+	if p.ExceptionFrac > 0 {
+		// The benchmark harness catches per-operation exceptions, as
+		// SPECjvm2008's dispatcher does: a throw aborts one iteration's
+		// work, not the run.
+		loop = []minivm.Instr{minivm.Try(loop, []minivm.Instr{minivm.Emit("iterfail")})}
+	}
+	body = append(body,
+		minivm.Instr{Op: minivm.OpLoop, N: p.LoopTrip, Body: loop},
+		minivm.Emit("done"))
+	g.mainClass.Methods[0].Body = body
+}
+
+// ensureCoverage adds, for every statically unreachable method, a cold
+// (depth-bounded) call from a reachable method in a shallower layer, so the
+// final program's call graph contains every generated method. The added
+// calls execute only near the root of the call tree, so they perturb the
+// dynamic profile minimally.
+func (g *gen) ensureCoverage() {
+	// Reachability over the static program, resolving vcalls through
+	// family implementation lists.
+	implsOf := make(map[string][]int)
+	for _, f := range g.families {
+		implsOf[f.base] = f.impls
+	}
+	index := make(map[minivm.MethodRef]int)
+	for i, s := range g.slots {
+		index[s.ref()] = i
+	}
+	reached := make([]bool, len(g.slots))
+	var work []int
+
+	var scan func(body []minivm.Instr)
+	mark := func(i int) {
+		if !reached[i] {
+			reached[i] = true
+			work = append(work, i)
+		}
+	}
+	scan = func(body []minivm.Instr) {
+		for _, in := range body {
+			switch in.Op {
+			case minivm.OpCall:
+				if i, ok := index[minivm.MethodRef{Class: in.Class, Method: in.Name}]; ok {
+					mark(i)
+				}
+			case minivm.OpVCall:
+				for _, i := range implsOf[in.Class] {
+					mark(i)
+				}
+			case minivm.OpLoop:
+				scan(in.Body)
+			}
+		}
+	}
+	scan(g.mainClass.Methods[0].Body)
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		scan(g.slots[i].method.Body)
+	}
+
+	// Attach unreached methods, shallowest first, to reached methods one
+	// layer up (round-robin); the attachment makes them reached, which can
+	// carry their callees too, so we re-scan incrementally.
+	reachedByLayer := make([][]int, g.p.Layers)
+	for i, s := range g.slots {
+		if reached[i] {
+			reachedByLayer[s.layer] = append(reachedByLayer[s.layer], i)
+		}
+	}
+	rr := 0
+	for layer := 1; layer < g.p.Layers; layer++ {
+		for i, s := range g.slots {
+			if reached[i] || s.layer != layer {
+				continue
+			}
+			// Find a reached host in any shallower layer, preferring the
+			// immediately shallower ones; main hosts layer-1 leftovers.
+			var host *minivm.Method
+			for hl := layer - 1; hl >= 1 && host == nil; hl-- {
+				if n := len(reachedByLayer[hl]); n > 0 {
+					host = g.slots[reachedByLayer[hl][rr%n]].method
+					rr++
+				}
+			}
+			if host == nil {
+				host = g.mainClass.Methods[0]
+			}
+			cover := minivm.CallBounded(s.class.Name, s.method.Name, 3+g.r.intn(3))
+			if g.p.ExceptionFrac > 0 {
+				// Coverage calls may reach throwers outside the guarded
+				// benchmark loop; guard them individually.
+				cover = minivm.Try([]minivm.Instr{cover}, []minivm.Instr{minivm.Work(1)})
+			}
+			host.Body = append(host.Body, cover)
+			mark(i)
+			for len(work) > 0 {
+				j := work[len(work)-1]
+				work = work[:len(work)-1]
+				reachedByLayer[g.slots[j].layer] = append(reachedByLayer[g.slots[j].layer], j)
+				scan(g.slots[j].method.Body)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"deltapath/internal/cha"
+	"deltapath/internal/core"
+	"deltapath/internal/minivm"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("compress")
+	a, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same params produced different programs")
+	}
+}
+
+func TestSuiteShapes(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := p.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			all, err := cha.Build(prog, cha.Options{Setting: cha.EncodingAll})
+			if err != nil {
+				t.Fatal(err)
+			}
+			app, err := cha.Build(prog, cha.Options{Setting: cha.EncodingApplication})
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, bits, err := core.EstimateSpace(all.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			appEst, appBits, err := core.EstimateSpace(app.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("all: nodes=%d edges=%d CS=%d VCS=%d maxID=%s (%d bits)",
+				all.Graph.NumNodes(), all.Graph.NumEdges(), all.Graph.NumSites(),
+				all.Graph.NumVirtualSites(), core.FormatSpace(est), bits)
+			t.Logf("app: nodes=%d edges=%d CS=%d VCS=%d maxID=%s (%d bits)",
+				app.Graph.NumNodes(), app.Graph.NumEdges(), app.Graph.NumSites(),
+				app.Graph.NumVirtualSites(), core.FormatSpace(appEst), appBits)
+
+			// Structural requirements shared by all benchmarks.
+			if n := all.Graph.NumNodes(); n < 400 {
+				t.Errorf("encoding-all graph too small: %d nodes", n)
+			}
+			if app.Graph.NumNodes() >= all.Graph.NumNodes()/3 {
+				t.Errorf("application graph not much smaller: %d vs %d",
+					app.Graph.NumNodes(), all.Graph.NumNodes())
+			}
+			if all.Graph.NumVirtualSites() == 0 {
+				t.Error("no virtual sites generated")
+			}
+			if appBits > bits {
+				t.Errorf("application space (%d bits) exceeds all space (%d bits)", appBits, bits)
+			}
+		})
+	}
+}
+
+func TestSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite execution is slow")
+	}
+	for _, p := range Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := p.Scale(0.05).Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm, err := minivm.NewVM(prog, p.Seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			emits := 0
+			maxDepth, totalDepth := 0, 0
+			vm.OnEmit = func(v *minivm.VM, _ minivm.MethodRef, _ string) {
+				emits++
+				d := v.Depth()
+				totalDepth += d
+				if d > maxDepth {
+					maxDepth = d
+				}
+			}
+			if err := vm.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if emits == 0 {
+				t.Fatal("no contexts emitted")
+			}
+			t.Logf("steps=%d emits=%d maxDepth=%d avgDepth=%.1f loads=%d",
+				vm.Steps, emits, maxDepth, float64(totalDepth)/float64(emits), vm.Loads)
+		})
+	}
+}
