@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench eval examples clean
+.PHONY: all build test test-short race bench chaos eval examples clean
 
 all: build test
 
@@ -16,8 +16,16 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# A short chaos pass rides along via ./... (internal/chaos trims its seed
+# counts under -short).
 race:
 	$(GO) test -race -short ./...
+
+# Full fault-injection suite: ≥1000 seeded runs over the workload corpus,
+# every injected fault detected and healed (see internal/chaos).
+chaos:
+	$(GO) test ./internal/chaos -count=1 -v
+	$(GO) run ./cmd/dprun -chaos -chaos-rate 0.05 -seed 13 -unique testdata/recursion.mv
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,180 @@
+package deltapath_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"deltapath"
+)
+
+const chaosAPIProgram = `
+entry Main.main
+class Main {
+  method main {
+    load X
+    loop 12 { call Main.work; vcall Shape.area }
+    call Main.rec
+    emit top
+  }
+  method work { vcall Shape.area; emit w }
+  method rec { rcall 6 Main.rec; emit r }
+}
+class Shape { method area { emit s } }
+class Circle extends Shape { method area { call Shape.area; emit c } }
+class Square extends Shape { method area { emit q } }
+dynamic class X extends Shape { method area { call Shape.area; emit x } }
+`
+
+// TestSessionChaosEndToEnd drives the public fault-injection surface the
+// way cmd/dprun does: enable chaos on a session, run, and require that
+// every captured context still decodes to a well-formed calling context
+// while the health counters report the faults and repairs.
+func TestSessionChaosEndToEnd(t *testing.T) {
+	prog, err := deltapath.ParseProgram(chaosAPIProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := deltapath.Analyze(prog, deltapath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFaults := false
+	sawResyncs := false
+	for seed := uint64(0); seed < 20 && !(sawFaults && sawResyncs); seed++ {
+		sess, err := an.NewSession(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.EnableChaos(deltapath.ChaosOptions{Seed: seed, Rate: 0.05})
+		contexts, err := sess.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(contexts) == 0 {
+			t.Fatal("no contexts captured")
+		}
+		for _, c := range contexts {
+			names, err := an.Decode(c)
+			if err != nil {
+				if strings.Contains(err.Error(), "outside the analysed") {
+					continue // emit inside the dynamic class: not encoded
+				}
+				t.Fatalf("seed %d: captured context undecodable: %v", seed, err)
+			}
+			if len(names) == 0 {
+				t.Fatalf("seed %d: empty decoded context", seed)
+			}
+			// Best-effort decode must agree on a healthy context.
+			be, complete, err := an.DecodeBestEffort(c)
+			if err != nil || !complete {
+				t.Fatalf("seed %d: best-effort disagrees: complete=%v err=%v", seed, complete, err)
+			}
+			if strings.Join(be, ">") != strings.Join(names, ">") {
+				t.Fatalf("seed %d: best-effort decode differs: %v vs %v", seed, be, names)
+			}
+		}
+		h := sess.Health()
+		if h.ProbeEvents == 0 {
+			t.Fatalf("seed %d: injector saw no probe events", seed)
+		}
+		if h.FaultsInjected > 0 {
+			sawFaults = true
+		}
+		if h.Resyncs > 0 {
+			sawResyncs = true
+			if h.CorruptionsDetected == 0 {
+				t.Fatalf("seed %d: resyncs without detections: %+v", seed, h)
+			}
+		}
+	}
+	if !sawFaults {
+		t.Fatal("no seed injected any fault at rate 0.05")
+	}
+	if !sawResyncs {
+		t.Fatal("no seed exercised the resync path")
+	}
+}
+
+// TestHealthZeroWithoutChaos pins the default: a plain session reports
+// all-zero health counters.
+func TestHealthZeroWithoutChaos(t *testing.T) {
+	prog, err := deltapath.ParseProgram(chaosAPIProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := deltapath.Analyze(prog, deltapath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := an.NewSession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if h := sess.Health(); h != (deltapath.Health{}) {
+		t.Fatalf("health moved without chaos: %+v", h)
+	}
+}
+
+// TestSentinelErrorsExported pins the re-exported sentinels: a corrupt
+// record must classify via errors.Is against the package-level errors, and
+// the best-effort path must salvage it instead.
+func TestSentinelErrorsExported(t *testing.T) {
+	prog, err := deltapath.ParseProgram(chaosAPIProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := deltapath.Analyze(prog, deltapath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contexts, err := an.Run(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec []byte
+	for _, c := range contexts {
+		if r, err := c.MarshalBinary(); err == nil && c.ID() > 0 {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		t.Skip("no captured context with a nonzero ID to corrupt")
+	}
+	if _, err := an.DecodeBytes(rec); err != nil {
+		t.Fatalf("intact record undecodable: %v", err)
+	}
+	// Scan byte corruptions until one produces a typed decode failure.
+	sawTyped := false
+	for i := range rec {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), rec...)
+			bad[i] ^= 1 << bit
+			_, err := an.DecodeBytes(bad)
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, deltapath.ErrCorruptEncoding) ||
+				errors.Is(err, deltapath.ErrNoMatchingEdge) ||
+				errors.Is(err, deltapath.ErrResidualID) {
+				sawTyped = true
+				names, _, berr := an.DecodeBytesBestEffort(bad)
+				if berr != nil {
+					// Structurally unreadable records are allowed to fail
+					// even best-effort; only readable ones must salvage.
+					continue
+				}
+				if len(names) == 0 {
+					t.Fatalf("best-effort salvage returned nothing for %v", err)
+				}
+			}
+		}
+	}
+	if !sawTyped {
+		t.Fatal("no single-bit corruption produced a typed decode error")
+	}
+}

@@ -6,16 +6,32 @@
 //
 // Usage:
 //
-//	dpdecode [-app] [-unique] program.mv log.bin
-//	dpdecode -analysis saved.dpa [-unique] log.bin
+//	dpdecode [-app] [-unique] [-partial] program.mv log.bin
+//	dpdecode -analysis saved.dpa [-unique] [-partial] log.bin
 //
 // In the first form the program is re-analysed (deterministically); the
 // options must match the recording run. In the second form a persisted
-// analysis file (dpencode -save) is used — no program needed.
+// analysis file (dprun -save) is used — no program needed; the file carries
+// a digest of the call graph it was built over, and loading refuses a file
+// whose digest does not match its own payload (torn write, version skew).
+//
+// A corrupt record fails with a distinct exit code per corruption class, so
+// pipelines can triage without parsing messages:
+//
+//	1  generic error (I/O, malformed file)
+//	2  usage
+//	3  corrupt encoding (structural: bad nodes, bad piece kinds, no convergence)
+//	4  no matching in-edge (ID does not correspond to any path)
+//	5  residual ID at piece start (additions do not sum to a valid path)
+//
+// With -partial, corrupt records do not fail the run: each decodes to its
+// longest decodable suffix behind an explicit "..." gap (best-effort mode),
+// and the number of partial decodes is reported at the end.
 package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,9 +46,11 @@ func main() {
 	app := flag.Bool("app", false, "encoding-application setting (must match the recording run)")
 	unique := flag.Bool("unique", false, "aggregate identical contexts with counts")
 	analysisFile := flag.String("analysis", "", "persisted analysis file (replaces the program argument)")
+	partial := flag.Bool("partial", false, "best-effort mode: decode corrupt records to their longest decodable suffix")
 	flag.Parse()
 
 	var decode func([]byte) ([]string, error)
+	var decodePartial func([]byte) ([]string, bool, error)
 	var logPath string
 	switch {
 	case *analysisFile != "" && flag.NArg() == 1:
@@ -46,6 +64,7 @@ func main() {
 			fatal(err)
 		}
 		decode = dec.DecodeBytes
+		decodePartial = dec.DecodeBytesBestEffort
 		logPath = flag.Arg(0)
 	case *analysisFile == "" && flag.NArg() == 2:
 		src, err := os.ReadFile(flag.Arg(0))
@@ -61,10 +80,11 @@ func main() {
 			fatal(err)
 		}
 		decode = an.DecodeBytes
+		decodePartial = an.DecodeBytesBestEffort
 		logPath = flag.Arg(1)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: dpdecode [-app] [-unique] program.mv log.bin")
-		fmt.Fprintln(os.Stderr, "       dpdecode -analysis saved.dpa [-unique] log.bin")
+		fmt.Fprintln(os.Stderr, "usage: dpdecode [-app] [-unique] [-partial] program.mv log.bin")
+		fmt.Fprintln(os.Stderr, "       dpdecode -analysis saved.dpa [-unique] [-partial] log.bin")
 		os.Exit(2)
 	}
 	f, err := os.Open(logPath)
@@ -74,7 +94,7 @@ func main() {
 	defer f.Close()
 
 	counts := make(map[string]int)
-	n := 0
+	n, partials := 0, 0
 	for {
 		var hdr [4]byte
 		if _, err := io.ReadFull(f, hdr[:]); err != nil {
@@ -92,9 +112,21 @@ func main() {
 			fatal(fmt.Errorf("record %d: %w", n, err))
 		}
 		n++
-		names, err := decode(rec)
-		if err != nil {
-			fatal(fmt.Errorf("record %d: %w", n, err))
+		var names []string
+		if *partial {
+			var complete bool
+			names, complete, err = decodePartial(rec)
+			if err != nil {
+				fatal(fmt.Errorf("record %d: %w", n, err))
+			}
+			if !complete {
+				partials++
+			}
+		} else {
+			names, err = decode(rec)
+			if err != nil {
+				fatalDecode(fmt.Errorf("record %d: %w", n, err))
+			}
 		}
 		ctx := strings.Join(names, " > ")
 		if *unique {
@@ -113,10 +145,32 @@ func main() {
 			fmt.Printf("%8d  %s\n", counts[k], k)
 		}
 	}
+	if *partial && partials > 0 {
+		fmt.Fprintf(os.Stderr, "decoded %d records (%d partial)\n", n, partials)
+		return
+	}
 	fmt.Fprintf(os.Stderr, "decoded %d records\n", n)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dpdecode:", err)
+	os.Exit(1)
+}
+
+// fatalDecode exits with a corruption-class-specific code so pipelines can
+// triage corrupt logs without parsing error text.
+func fatalDecode(err error) {
+	fmt.Fprintln(os.Stderr, "dpdecode:", err)
+	switch {
+	case errors.Is(err, deltapath.ErrNoMatchingEdge):
+		fmt.Fprintln(os.Stderr, "dpdecode: the record's ID matches no path under this analysis — wrong analysis file, or a corrupted record (retry with -partial to salvage a suffix)")
+		os.Exit(4)
+	case errors.Is(err, deltapath.ErrResidualID):
+		fmt.Fprintln(os.Stderr, "dpdecode: the record's additions do not sum to a valid path — likely a bit flip in the ID (retry with -partial to salvage a suffix)")
+		os.Exit(5)
+	case errors.Is(err, deltapath.ErrCorruptEncoding):
+		fmt.Fprintln(os.Stderr, "dpdecode: the record is structurally corrupt (retry with -partial to salvage a suffix)")
+		os.Exit(3)
+	}
 	os.Exit(1)
 }

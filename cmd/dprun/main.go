@@ -5,12 +5,19 @@
 //
 // Usage:
 //
-//	dprun [-app] [-seed N] [-unique] [-record log.bin] [-save a.dpa] program.mv
+//	dprun [-app] [-seed N] [-unique] [-record log.bin] [-save a.dpa]
+//	      [-chaos] [-chaos-rate P] program.mv
 //
 // With -unique, each distinct context is printed once with its occurrence
 // count (a minimal context-sensitive profile). With -record, binary context
 // records (4-byte little-endian length + record) are written to the given
 // file for offline decoding with dpdecode — the event-logging workflow.
+//
+// With -chaos, the run injects seeded probe faults (dropped events, bit
+// flips, stack truncation, unknown call sites; -seed drives the fault
+// stream) and heals via the stack-walk resync protocol; the health counters
+// — corruptions detected, resyncs, dropped events, partial decodes — are
+// reported at the end. Every printed context is exact despite the faults.
 package main
 
 import (
@@ -30,9 +37,11 @@ func main() {
 	unique := flag.Bool("unique", false, "aggregate identical contexts with counts")
 	record := flag.String("record", "", "write binary context records to this file instead of decoding")
 	save := flag.String("save", "", "persist the analysis to this file (pairs with -record; decode later via dpdecode -analysis)")
+	chaosOn := flag.Bool("chaos", false, "inject seeded probe faults and heal via stack-walk resync")
+	chaosRate := flag.Float64("chaos-rate", 0.002, "per-probe-event fault probability under -chaos")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dprun [-app] [-seed N] [-unique] program.mv")
+		fmt.Fprintln(os.Stderr, "usage: dprun [-app] [-seed N] [-unique] [-chaos] [-chaos-rate P] program.mv")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -69,10 +78,18 @@ func main() {
 		}
 		defer journal.Close()
 	}
+	sess, err := an.NewSession(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *chaosOn {
+		sess.EnableChaos(deltapath.ChaosOptions{Seed: *seed, Rate: *chaosRate})
+	}
+
 	counts := make(map[string]int)
 	sample := make(map[string]deltapath.Context)
 	recorded, skipped := 0, 0
-	_, err = an.Run(*seed, func(c deltapath.Context) {
+	_, err = sess.Run(func(c deltapath.Context) {
 		if journal != nil {
 			rec, rerr := c.MarshalBinary()
 			if rerr != nil {
@@ -107,6 +124,13 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *chaosOn {
+		h := sess.Health()
+		fmt.Printf("chaos: %d probe events, %d faults injected (%d events dropped)\n",
+			h.ProbeEvents, h.FaultsInjected, h.DroppedEvents)
+		fmt.Printf("health: %d corruptions detected, %d resyncs, %d partial decodes\n",
+			h.CorruptionsDetected, h.Resyncs, h.PartialDecodes)
 	}
 	if journal != nil {
 		fmt.Printf("recorded %d contexts to %s (%d unanalysed emits skipped)\n", recorded, *record, skipped)

@@ -47,12 +47,22 @@ import (
 	"deltapath/internal/analysisio"
 	"deltapath/internal/callgraph"
 	"deltapath/internal/cha"
+	"deltapath/internal/chaos"
 	"deltapath/internal/core"
 	"deltapath/internal/cpt"
 	"deltapath/internal/encoding"
 	"deltapath/internal/instrument"
 	"deltapath/internal/lang"
 	"deltapath/internal/minivm"
+)
+
+// Sentinel decode errors, re-exported so callers can distinguish a corrupt
+// encoding (a damaged record, or a record decoded against the wrong
+// analysis) from API misuse. Match with errors.Is.
+var (
+	ErrCorruptEncoding = encoding.ErrCorruptEncoding
+	ErrNoMatchingEdge  = encoding.ErrNoMatchingEdge
+	ErrResidualID      = encoding.ErrResidualID
 )
 
 // Program is a minivm program (re-exported for API convenience).
@@ -206,6 +216,61 @@ type Session struct {
 	an  *Analysis
 	vm  *minivm.VM
 	enc *instrument.Encoder
+	inj *chaos.Injector // non-nil after EnableChaos
+}
+
+// ChaosOptions configures deterministic fault injection for a session.
+type ChaosOptions struct {
+	// Seed drives the fault stream; same seed, same faults.
+	Seed uint64
+	// Rate is the per-probe-event fault probability.
+	Rate float64
+}
+
+// EnableChaos turns the session into a fault-injection run: probe events
+// are routed through a seeded injector (dropped events, encoding-ID bit
+// flips, piece-stack truncation, unknown call sites), and the self-healing
+// protocol runs at every emit point — an invariant check of the encoding
+// against the VM's stack, with a stack-walk resync on any detected
+// corruption — so every captured context is exact despite the faults.
+// Call before Run; Health reports what happened.
+func (s *Session) EnableChaos(opts ChaosOptions) {
+	s.inj = chaos.NewInjector(s.enc, chaos.Config{Seed: opts.Seed, Rate: opts.Rate})
+	s.enc.SetDecoder(s.an.decoder)
+	s.vm.SetProbes(s.inj)
+}
+
+// Health reports the session's graceful-degradation counters.
+type Health struct {
+	// Resyncs counts stack-walk resynchronizations.
+	Resyncs uint64
+	// CorruptionsDetected counts invariant-checker detections (mismatches,
+	// typed decode errors, unbalanced pops).
+	CorruptionsDetected uint64
+	// DroppedEvents counts probe events the injector suppressed.
+	DroppedEvents uint64
+	// PartialDecodes counts best-effort decodes that salvaged only a
+	// suffix of a corrupt context.
+	PartialDecodes uint64
+	// FaultsInjected counts injected faults; ProbeEvents counts the probe
+	// events that flowed through the injector. Both zero without chaos.
+	FaultsInjected uint64
+	ProbeEvents    uint64
+}
+
+// Health returns the session's health counters.
+func (s *Session) Health() Health {
+	h := Health{
+		Resyncs:             s.enc.Health.Resyncs,
+		CorruptionsDetected: s.enc.Health.CorruptionsDetected,
+		DroppedEvents:       s.enc.Health.DroppedEvents,
+		PartialDecodes:      s.enc.Health.PartialDecodes,
+	}
+	if s.inj != nil {
+		h.FaultsInjected = s.inj.TotalInjected()
+		h.ProbeEvents = s.inj.Events()
+	}
+	return h
 }
 
 // NewSession prepares an instrumented execution of the analysed program.
@@ -248,6 +313,14 @@ func (s *Session) Capture(at MethodRef, tag string) Context {
 func (s *Session) Run(onEmit func(Context)) ([]Context, error) {
 	var collected []Context
 	s.vm.OnEmit = func(_ *minivm.VM, m MethodRef, tag string) {
+		if s.inj != nil {
+			// Self-healing protocol: verify the encoding against the
+			// VM's stack before capturing, resyncing on corruption, so
+			// the captured context is exact despite injected faults.
+			if _, known := s.an.build.NodeOf[m]; known {
+				s.enc.VerifyAndResync(s.vm)
+			}
+		}
 		c := s.Capture(m, tag)
 		if onEmit != nil {
 			onEmit(c)
@@ -280,6 +353,33 @@ func (a *Analysis) Decode(c Context) ([]string, error) {
 		return nil, fmt.Errorf("deltapath: emit point %s is outside the analysed program", c.At)
 	}
 	return a.decoder.DecodeNames(c.state, c.node)
+}
+
+// DecodeBestEffort is the degraded-mode counterpart of Decode: it never
+// fails on a corrupt encoding, instead returning the longest decodable
+// suffix of the context with an explicit "..." gap standing in for the
+// unrecoverable prefix. complete reports whether the whole context decoded
+// (in which case the result equals Decode's). The error is non-nil only
+// for API misuse (an emit point outside the analysed program).
+func (a *Analysis) DecodeBestEffort(c Context) (names []string, complete bool, err error) {
+	if !c.known {
+		return nil, false, fmt.Errorf("deltapath: emit point %s is outside the analysed program", c.At)
+	}
+	frames, complete := a.decoder.DecodeBestEffort(c.state, c.node)
+	return a.decoder.Names(frames), complete, nil
+}
+
+// DecodeBytesBestEffort decodes a context record with best-effort
+// semantics: a corrupt record yields the longest decodable suffix (behind a
+// "..." gap) rather than an error. Only a structurally unreadable record —
+// one UnmarshalContext rejects — returns an error.
+func (a *Analysis) DecodeBytesBestEffort(record []byte) (names []string, complete bool, err error) {
+	st, end, err := encoding.UnmarshalContext(record)
+	if err != nil {
+		return nil, false, err
+	}
+	frames, complete := a.decoder.DecodeBestEffort(st, end)
+	return a.decoder.Names(frames), complete, nil
 }
 
 // Key returns the canonical encoding key of a context: equal keys decode to
@@ -353,4 +453,27 @@ func (d *OfflineDecoder) DecodeBytes(record []byte) ([]string, error) {
 		return nil, err
 	}
 	return d.decoder.DecodeNames(st, end)
+}
+
+// DecodeBytesBestEffort decodes a context record with best-effort
+// semantics (see Analysis.DecodeBytesBestEffort).
+func (d *OfflineDecoder) DecodeBytesBestEffort(record []byte) (names []string, complete bool, err error) {
+	st, end, err := encoding.UnmarshalContext(record)
+	if err != nil {
+		return nil, false, err
+	}
+	frames, complete := d.decoder.DecodeBestEffort(st, end)
+	return d.decoder.Names(frames), complete, nil
+}
+
+// GraphDigest describes the call graph the persisted analysis was built
+// over (node/edge counts plus a content hash).
+func (d *OfflineDecoder) GraphDigest() string { return d.bundle.Digest.String() }
+
+// CheckAnalysis verifies that a freshly built analysis matches the
+// persisted one — the guard against decoding records from one program
+// version against the analysis of another. It compares the live call
+// graph's digest with the digest stored in the analysis file.
+func (d *OfflineDecoder) CheckAnalysis(a *Analysis) error {
+	return d.bundle.CheckGraph(a.build.Graph)
 }

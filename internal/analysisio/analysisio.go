@@ -5,15 +5,21 @@
 // (encoding.MarshalContext), and any host holding the analysis file can
 // decode them exactly, with no access to the program and no re-analysis.
 //
-// Format: the header "DPA1\n", then unsigned varints and length-prefixed
-// strings. The file is self-contained and versioned; Load rejects unknown
-// versions and truncated input.
+// Format: the header "DPA2\n", then a graph digest (node count, edge
+// count, FNV-1a hash), then unsigned varints and length-prefixed strings.
+// The file is self-contained and versioned; Load rejects unknown versions,
+// truncated input, and files whose persisted digest does not match the
+// graph they carry (bit rot, partial writes). The digest also lets a
+// caller refuse to bind a stale Spec to a newer call graph (CheckGraph) —
+// the version-skew hazard of shipping analysis files separately from the
+// programs that produced them.
 package analysisio
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 
 	"deltapath/internal/callgraph"
@@ -21,7 +27,61 @@ import (
 	"deltapath/internal/encoding"
 )
 
-const magic = "DPA1\n"
+const (
+	magic   = "DPA2\n"
+	magicV1 = "DPA1\n" // pre-digest format; recognized only to reject clearly
+)
+
+// GraphDigest summarizes a call graph for compatibility checking: two
+// graphs with equal digests have the same nodes (names, order, library
+// flags), entry, context roots, and edges.
+type GraphDigest struct {
+	Nodes, Edges uint64
+	Hash         uint64
+}
+
+func (d GraphDigest) String() string {
+	return fmt.Sprintf("%d nodes/%d edges/%016x", d.Nodes, d.Edges, d.Hash)
+}
+
+// DigestGraph computes the digest of g. Iteration follows the same
+// deterministic order Save uses, so a saved-then-loaded graph digests
+// identically.
+func DigestGraph(g *callgraph.Graph) GraphDigest {
+	h := fnv.New64a()
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		h.Write(buf[:n])
+	}
+	put(uint64(g.NumNodes()))
+	for _, id := range g.Nodes() {
+		n := g.Node(id)
+		put(uint64(len(n.Name)))
+		h.Write([]byte(n.Name))
+		if n.Library {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	if entry, ok := g.Entry(); ok {
+		put(uint64(entry))
+	}
+	for _, r := range g.ContextRoots() {
+		put(uint64(r))
+	}
+	var edges uint64
+	for _, s := range g.Sites() {
+		for _, e := range g.SiteTargets(s) {
+			put(uint64(e.Caller))
+			put(uint64(e.Label))
+			put(uint64(e.Callee))
+			edges++
+		}
+	}
+	return GraphDigest{Nodes: uint64(g.NumNodes()), Edges: edges, Hash: h.Sum64()}
+}
 
 // Bundle is a restored analysis: everything needed to decode context
 // records.
@@ -29,6 +89,22 @@ type Bundle struct {
 	Graph *callgraph.Graph
 	Spec  *encoding.Spec
 	CPT   *cpt.Plan // nil if the analysis ran without call path tracking
+	// Digest is the graph digest persisted with (and verified against)
+	// the analysis.
+	Digest GraphDigest
+}
+
+// CheckGraph verifies that a live call graph matches the graph this
+// analysis was computed over. Use it before binding the bundle's Spec to a
+// freshly built graph: addition values are meaningful only relative to
+// their graph, so decoding against a program that has since changed would
+// silently produce wrong contexts.
+func (b *Bundle) CheckGraph(g *callgraph.Graph) error {
+	if got := DigestGraph(g); got != b.Digest {
+		return fmt.Errorf("analysisio: graph mismatch: analysis was computed over %s, live graph is %s (stale analysis file?)",
+			b.Digest, got)
+	}
+	return nil
 }
 
 // Save writes the analysis to w. cptPlan may be nil.
@@ -38,6 +114,10 @@ func Save(w io.Writer, spec *encoding.Spec, cptPlan *cpt.Plan) error {
 		return err
 	}
 	g := spec.Graph
+	dig := DigestGraph(g)
+	putUvarint(bw, dig.Nodes)
+	putUvarint(bw, dig.Edges)
+	putUvarint(bw, dig.Hash)
 	putUvarint(bw, uint64(g.NumNodes()))
 	for _, id := range g.Nodes() {
 		n := g.Node(id)
@@ -139,9 +219,13 @@ func Load(r io.Reader) (*Bundle, error) {
 		return nil, fmt.Errorf("analysisio: %w", err)
 	}
 	if string(head) != magic {
+		if string(head) == magicV1 {
+			return nil, fmt.Errorf("analysisio: file version DPA1 predates graph digests; re-save the analysis with this build")
+		}
 		return nil, fmt.Errorf("analysisio: bad magic %q (unsupported version?)", head)
 	}
 	d := &decoder{r: br}
+	want := GraphDigest{Nodes: d.uvarint(), Edges: d.uvarint(), Hash: d.uvarint()}
 
 	g := callgraph.New()
 	nodes := d.uvarint()
@@ -225,6 +309,14 @@ func Load(r io.Reader) (*Bundle, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("analysisio: %w", err)
 	}
+	// The persisted digest must match the graph actually restored: a
+	// mismatch means the graph section was corrupted in storage, or the
+	// file was assembled from mismatched pieces.
+	if got := DigestGraph(g); got != want {
+		return nil, fmt.Errorf("analysisio: corrupt file: persisted digest %s does not match restored graph %s",
+			want, got)
+	}
+	bundle.Digest = want
 	return bundle, nil
 }
 

@@ -1,0 +1,97 @@
+package analysisio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"deltapath/internal/cha"
+	"deltapath/internal/core"
+	"deltapath/internal/cpt"
+	"deltapath/internal/lang"
+)
+
+func TestDigestStableAcrossRoundTrip(t *testing.T) {
+	build, _, bundle := roundTrip(t)
+	want := DigestGraph(build.Graph)
+	if bundle.Digest != want {
+		t.Fatalf("digest changed across save/load: %s vs %s", bundle.Digest, want)
+	}
+	if got := DigestGraph(bundle.Graph); got != want {
+		t.Fatalf("restored graph digests differently: %s vs %s", got, want)
+	}
+}
+
+func TestCheckGraphAcceptsSameRefusesSkewed(t *testing.T) {
+	build, _, bundle := roundTrip(t)
+	if err := bundle.CheckGraph(build.Graph); err != nil {
+		t.Fatalf("same graph refused: %v", err)
+	}
+	// The version-skew scenario: the program gained a method after the
+	// analysis was saved, so the rebuilt call graph differs.
+	skewed := strings.Replace(src,
+		"class C { method leaf { emit leaf } }",
+		"class C { method leaf { emit leaf } method extra { emit e } }", 1)
+	prog := lang.MustParse(skewed)
+	newBuild, err := cha.Build(prog, cha.Options{KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = bundle.CheckGraph(newBuild.Graph)
+	if err == nil {
+		t.Fatal("skewed graph accepted")
+	}
+	if !strings.Contains(err.Error(), "stale analysis file") {
+		t.Fatalf("skew error not descriptive: %v", err)
+	}
+}
+
+func TestLoadRejectsTamperedDigest(t *testing.T) {
+	prog := lang.MustParse(src)
+	build, err := cha.Build(prog, cha.Options{KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Encode(build.Graph, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, res.Spec, cpt.Compute(build.Graph)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the persisted digest (the bytes right after the
+	// 5-byte magic); the graph payload no longer matches it.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(magic)] ^= 0x01
+	_, err = Load(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("tampered digest accepted")
+	}
+	if !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("digest mismatch error not descriptive: %v", err)
+	}
+}
+
+func TestLoadRejectsV1Files(t *testing.T) {
+	prog := lang.MustParse(src)
+	build, _ := cha.Build(prog, cha.Options{})
+	res, err := core.Encode(build.Graph, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, res.Spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A DPA1 file is a pre-digest layout; whatever its payload, the load
+	// must refuse it with advice rather than misparse it.
+	data := append([]byte(magicV1), buf.Bytes()[len(magic):]...)
+	_, err = Load(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("DPA1 file accepted")
+	}
+	if !strings.Contains(err.Error(), "re-save") {
+		t.Fatalf("version error not descriptive: %v", err)
+	}
+}

@@ -1,11 +1,32 @@
 package encoding
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 
 	"deltapath/internal/callgraph"
+)
+
+// Sentinel decode errors. They classify *corruption* — an encoding that no
+// execution of the analysed program can produce (a flipped bit, a dropped
+// probe event, a record decoded against the wrong analysis) — as opposed to
+// API misuse (decoding a context captured outside the analysed program),
+// which keeps returning plain errors. Callers match with errors.Is; the
+// recovery path (instrument.Encoder.VerifyAndResync) treats any of the
+// three as a trigger for a stack-walk resync.
+var (
+	// ErrCorruptEncoding marks structural corruption: out-of-range node
+	// ids, an impossible piece kind, an anchor piece that does not start
+	// at its anchor, or a decode that fails to terminate.
+	ErrCorruptEncoding = errors.New("corrupt encoding")
+	// ErrNoMatchingEdge marks an encoding ID that no in-edge within the
+	// piece's territory can account for.
+	ErrNoMatchingEdge = errors.New("no matching in-edge")
+	// ErrResidualID marks an encoding ID with a nonzero remainder at the
+	// piece start: the additions do not sum to a valid path.
+	ErrResidualID = errors.New("residual id at piece start")
 )
 
 // Frame is one entry of a decoded calling context. A Gap frame stands for
@@ -60,38 +81,94 @@ func NewDecoder(spec *Spec) *Decoder {
 // ends at node end. The result is ordered from the program entry (index 0)
 // to end.
 func (d *Decoder) Decode(st *State, end callgraph.NodeID) ([]Frame, error) {
+	if err := d.validLive(st, end); err != nil {
+		return nil, err
+	}
 	frames, err := d.decodePiece(st.ID, end, st.Start)
 	if err != nil {
 		return nil, err
 	}
 	for i := len(st.Stack) - 1; i >= 0; i-- {
-		el := &st.Stack[i]
-		outer, err := d.decodePiece(el.DecodeID, el.OuterEnd, el.OuterStart)
+		frames, err = d.joinOuter(frames, &st.Stack[i])
 		if err != nil {
-			return nil, fmt.Errorf("piece %d (%s): %w", i, el.Kind, err)
-		}
-		switch el.Kind {
-		case PieceAnchor:
-			// The outer piece ends at the anchor, which is also the
-			// first frame of the inner piece: drop the duplicate.
-			if len(frames) == 0 || frames[0].Node != el.OuterEnd {
-				return nil, fmt.Errorf("anchor piece does not start at %s",
-					d.spec.Graph.Name(el.OuterEnd))
-			}
-			frames = append(outer, frames[1:]...)
-		case PieceRecursion, PiecePruned:
-			// The recorded call site connects caller (end of outer)
-			// to the inner piece's start.
-			frames = append(outer, frames...)
-		case PieceUCP:
-			gap := Frame{Gap: true}
-			joined := append(outer, gap)
-			frames = append(joined, frames...)
-		default:
-			return nil, fmt.Errorf("unexpected piece kind %v on stack", el.Kind)
+			return nil, fmt.Errorf("piece %d (%s): %w", i, st.Stack[i].Kind, err)
 		}
 	}
 	return frames, nil
+}
+
+// DecodeBestEffort recovers as much of the context as the state still
+// encodes: the longest decodable suffix, preceded by a Gap frame when the
+// outer pieces are lost. It never fails — an undecodable live piece
+// degrades to just the end frame behind a gap — and reports whether the
+// full context was recovered. This is the degraded-output mode a log
+// pipeline falls back to when a record is corrupt: one bad piece costs the
+// outer frames, not the whole record.
+func (d *Decoder) DecodeBestEffort(st *State, end callgraph.NodeID) ([]Frame, bool) {
+	if !d.validNode(end) {
+		return []Frame{{Gap: true}}, false
+	}
+	if d.validLive(st, end) != nil {
+		return []Frame{{Gap: true}, {Node: end}}, false
+	}
+	frames, err := d.decodePiece(st.ID, end, st.Start)
+	if err != nil {
+		return []Frame{{Gap: true}, {Node: end}}, false
+	}
+	for i := len(st.Stack) - 1; i >= 0; i-- {
+		joined, err := d.joinOuter(frames, &st.Stack[i])
+		if err != nil {
+			return append([]Frame{{Gap: true}}, frames...), false
+		}
+		frames = joined
+	}
+	return frames, true
+}
+
+// joinOuter decodes one suspended piece and prepends it to the frames of
+// the pieces inside it, according to its kind.
+func (d *Decoder) joinOuter(inner []Frame, el *Element) ([]Frame, error) {
+	if !d.validNode(el.OuterEnd) || !d.validNode(el.OuterStart) {
+		return nil, fmt.Errorf("%w: piece boundary node out of range", ErrCorruptEncoding)
+	}
+	outer, err := d.decodePiece(el.DecodeID, el.OuterEnd, el.OuterStart)
+	if err != nil {
+		return nil, err
+	}
+	switch el.Kind {
+	case PieceAnchor:
+		// The outer piece ends at the anchor, which is also the
+		// first frame of the inner piece: drop the duplicate.
+		if len(inner) == 0 || inner[0].Node != el.OuterEnd {
+			return nil, fmt.Errorf("%w: anchor piece does not start at %s",
+				ErrCorruptEncoding, d.spec.Graph.Name(el.OuterEnd))
+		}
+		return append(outer, inner[1:]...), nil
+	case PieceRecursion, PiecePruned:
+		// The recorded call site connects caller (end of outer)
+		// to the inner piece's start.
+		return append(outer, inner...), nil
+	case PieceUCP:
+		joined := append(outer, Frame{Gap: true})
+		return append(joined, inner...), nil
+	default:
+		return nil, fmt.Errorf("%w: unexpected piece kind %v on stack", ErrCorruptEncoding, el.Kind)
+	}
+}
+
+// validNode reports whether n names a node of the spec's graph.
+func (d *Decoder) validNode(n callgraph.NodeID) bool {
+	return n >= 0 && int(n) < d.spec.Graph.NumNodes()
+}
+
+// validLive checks the live piece's boundary nodes, so corrupt records
+// (arbitrary bytes through UnmarshalContext) fail with a typed error
+// instead of indexing the graph out of range.
+func (d *Decoder) validLive(st *State, end callgraph.NodeID) error {
+	if !d.validNode(end) || !d.validNode(st.Start) {
+		return fmt.Errorf("%w: piece boundary node out of range", ErrCorruptEncoding)
+	}
+	return nil
 }
 
 // DecodeNames is Decode rendering node names, with gaps shown as "...".
@@ -100,6 +177,11 @@ func (d *Decoder) DecodeNames(st *State, end callgraph.NodeID) ([]string, error)
 	if err != nil {
 		return nil, err
 	}
+	return d.Names(frames), nil
+}
+
+// Names renders decoded frames as node names, with gaps shown as "...".
+func (d *Decoder) Names(frames []Frame) []string {
 	out := make([]string, len(frames))
 	for i, f := range frames {
 		if f.Gap {
@@ -108,7 +190,7 @@ func (d *Decoder) DecodeNames(st *State, end callgraph.NodeID) ([]string, error)
 			out[i] = d.spec.Graph.Name(f.Node)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // FormatContext joins decoded names with " > ".
@@ -125,19 +207,19 @@ func (d *Decoder) decodePiece(id uint64, end, start callgraph.NodeID) ([]Frame, 
 	n := end
 	for steps := 0; ; steps++ {
 		if steps > d.spec.Graph.NumNodes()+1 {
-			return nil, fmt.Errorf("decode did not terminate (corrupt encoding?)")
+			return nil, fmt.Errorf("%w: decode did not terminate after %d steps", ErrCorruptEncoding, steps)
 		}
 		if n == start {
 			if id != 0 {
-				return nil, fmt.Errorf("reached piece start %s with residual id %d",
-					d.spec.Graph.Name(start), id)
+				return nil, fmt.Errorf("%w: reached piece start %s with residual id %d",
+					ErrResidualID, d.spec.Graph.Name(start), id)
 			}
 			break
 		}
 		best, ok := d.pickEdge(n, id, terr)
 		if !ok {
-			return nil, fmt.Errorf("no in-edge of %s matches id %d (piece start %s)",
-				d.spec.Graph.Name(n), id, d.spec.Graph.Name(start))
+			return nil, fmt.Errorf("%w: no in-edge of %s matches id %d (piece start %s)",
+				ErrNoMatchingEdge, d.spec.Graph.Name(n), id, d.spec.Graph.Name(start))
 		}
 		id -= best.av
 		n = best.e.Caller

@@ -1,6 +1,10 @@
 package encoding
 
-import "testing"
+import (
+	"testing"
+
+	"deltapath/internal/callgraph"
+)
 
 // FuzzUnmarshalContext asserts record parsing never panics on arbitrary
 // bytes and that valid records round-trip.
@@ -26,6 +30,52 @@ func FuzzUnmarshalContext(f *testing.F) {
 		}
 		if end2 != end || !statesEqual(got, again) {
 			t.Fatalf("marshal/unmarshal not idempotent")
+		}
+	})
+}
+
+// FuzzDecode pipes arbitrary bytes through UnmarshalContext into the
+// decoder and asserts the corruption contract: whatever parses must either
+// decode or fail with a typed error — never panic, never loop — and
+// DecodeBestEffort must always return frames, agreeing with Decode exactly
+// when it reports the context complete.
+func FuzzDecode(f *testing.F) {
+	spec, ids := diamondSpec()
+	dec := NewDecoder(spec)
+
+	good := NewState(ids["a"])
+	good.ID = 1
+	f.Add(MarshalContext(good, ids["d"]))
+	stacked := NewState(ids["a"])
+	stacked.PushAnchor(ids["b"])
+	stacked.PushUCP(callgraph.Site{Caller: ids["b"]}, 0, ids["b"], ids["c"])
+	f.Add(MarshalContext(stacked, ids["d"]))
+	f.Add([]byte{})
+	f.Add([]byte{9, 9, 9, 9})
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0xff, 0x0f, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, end, err := UnmarshalContext(data)
+		if err != nil {
+			return
+		}
+		frames, err := dec.Decode(st, end)
+		beFrames, complete := dec.DecodeBestEffort(st.Snapshot(), end)
+		if len(beFrames) == 0 {
+			t.Fatal("DecodeBestEffort returned no frames")
+		}
+		if complete != (err == nil) {
+			t.Fatalf("complete=%v but Decode err=%v", complete, err)
+		}
+		if complete {
+			if len(frames) != len(beFrames) {
+				t.Fatalf("complete best-effort decode has %d frames, Decode has %d", len(beFrames), len(frames))
+			}
+			for i := range frames {
+				if frames[i] != beFrames[i] {
+					t.Fatalf("frame %d: best-effort %+v != %+v", i, beFrames[i], frames[i])
+				}
+			}
 		}
 	})
 }

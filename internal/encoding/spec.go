@@ -216,6 +216,18 @@ func (s *State) Pop() Element {
 	return top
 }
 
+// TryPop is Pop without the panic: it reports whether a piece was actually
+// popped. The runtime encoder uses it so that unbalanced instrumentation —
+// which a healthy deployment never produces, but dropped probe events or an
+// injected piece-stack truncation do — degrades into a detectable
+// corruption (the caller flags the state suspect) instead of a crash.
+func (s *State) TryPop() (Element, bool) {
+	if len(s.Stack) == 0 {
+		return Element{}, false
+	}
+	return s.Pop(), true
+}
+
 // Depth returns the number of stack elements plus one: the total number of
 // pieces representing the current context (Table 2's stack depth metric).
 func (s *State) Depth() int { return len(s.Stack) + 1 }

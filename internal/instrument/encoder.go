@@ -4,6 +4,7 @@ import (
 	"deltapath/internal/callgraph"
 	"deltapath/internal/encoding"
 	"deltapath/internal/minivm"
+	"deltapath/internal/stackwalk"
 )
 
 // Encoder is the runtime component: it implements minivm.Probes and
@@ -50,9 +51,26 @@ type Encoder struct {
 
 	// MaxStackDepth tracks the deepest piece stack observed.
 	MaxStackDepth int
+
+	// Health holds the graceful-degradation counters (see recover.go).
+	Health Health
+
+	// suspect is set when the encoder itself observes an impossible event
+	// sequence (a pop with no matching push): the state can no longer be
+	// trusted and the next VerifyAndResync repairs it unconditionally.
+	suspect bool
+
+	// dec decodes the live state for the invariant checker; lazily built,
+	// or shared across encoders of one spec via SetDecoder.
+	dec *encoding.Decoder
+	// walker captures ground-truth stacks for the checker and for resync;
+	// built on first use (its filter is the instrumented-method set).
+	walker *stackwalk.Walker
 }
 
 // Token bits returned by BeforeCall/Enter and consumed by AfterCall/Exit.
+// Bits 4–7 are never set: wrappers (internal/chaos) may use them to thread
+// their own state through the VM.
 const (
 	tokAdded uint8 = 1 << iota
 	tokPushedEdge
@@ -95,6 +113,8 @@ func (e *Encoder) Reset() {
 	e.Hazards = 0
 	e.MaxID = 0
 	e.MaxStackDepth = 0
+	e.Health = Health{}
+	e.suspect = false
 	e.seedEntry()
 }
 
@@ -140,7 +160,9 @@ func (e *Encoder) AfterCall(site minivm.SiteRef, target minivm.MethodRef, token 
 	}
 	pay := e.plan.sites[site]
 	if token&tokPushedEdge != 0 {
-		e.st.Pop()
+		if _, ok := e.st.TryPop(); !ok {
+			e.noteUnderflow()
+		}
 	} else if token&tokAdded != 0 {
 		av := pay.av
 		if pay.perTarget != nil {
@@ -206,12 +228,18 @@ func (e *Encoder) Enter(m minivm.MethodRef) uint8 {
 func (e *Encoder) Exit(m minivm.MethodRef, token uint8) {
 	var popped *encoding.Element
 	if token&tokPushedAnchor != 0 {
-		el := e.st.Pop()
-		popped = &el
+		if el, ok := e.st.TryPop(); ok {
+			popped = &el
+		} else {
+			e.noteUnderflow()
+		}
 	}
 	if token&tokPushedUCP != 0 {
-		el := e.st.Pop()
-		popped = &el
+		if el, ok := e.st.TryPop(); ok {
+			popped = &el
+		} else {
+			e.noteUnderflow()
+		}
 	}
 	if e.cptOn {
 		if popped != nil {
@@ -231,6 +259,15 @@ func (e *Encoder) Exit(m minivm.MethodRef, token uint8) {
 			e.lastID = e.st.ID
 		}
 	}
+}
+
+// noteUnderflow records a pop with no matching push: the piece stack has
+// been corrupted (dropped events, injected truncation). Before graceful
+// degradation this panicked; now the state is flagged suspect and the next
+// VerifyAndResync rebuilds it from a stack walk.
+func (e *Encoder) noteUnderflow() {
+	e.suspect = true
+	e.Health.CorruptionsDetected++
 }
 
 func (e *Encoder) noteDepth() {
