@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench chaos eval examples clean
+.PHONY: all build test test-short race bench chaos eval profile-baseline fuzz examples clean
 
 all: build test
 
@@ -36,6 +36,20 @@ eval:
 	$(GO) run ./cmd/dpbench -experiment table1 | tee results/table1.txt
 	$(GO) run ./cmd/dpbench -experiment fig8 -scale 1.0 -repeats 5 | tee results/fig8_full.txt
 	$(GO) run ./cmd/dpbench -experiment table2 -scale 0.3 | tee results/table2.txt
+
+# Regenerate the concurrent-profile-store throughput baseline. The JSON
+# carries a meta block (num_cpu, gomaxprocs) — scaling numbers are only
+# meaningful relative to the machine that produced them.
+profile-baseline:
+	mkdir -p results
+	$(GO) run ./cmd/dpbench -experiment profile -scale 0.1 \
+		-bench compress,sunflow,xml.validation -json | tee results/BENCH_0002.json
+
+# Short fuzz smoke over the two byte-level parsers (also run in CI).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalContext -fuzztime 10s ./internal/encoding
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/encoding
+	$(GO) test -run '^$$' -fuzz FuzzProfileReader -fuzztime 10s ./internal/profile
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -4,15 +4,21 @@
 // (dynamic program characteristics), over the fifteen synthetic
 // SPECjvm2008-shaped benchmarks.
 //
+// Beyond the paper's tables, the profile experiment measures the concurrent
+// profile pipeline: intern throughput of the sharded context store at 1, 2,
+// 4, and 8 workers over a corpus collected from the suite (fixed total
+// work, so the speedup column is the classic scaling ratio).
+//
 // Usage:
 //
-//	dpbench -experiment table1|fig8|table2|decode|all [-scale 0.2]
+//	dpbench -experiment table1|fig8|table2|decode|profile|all [-scale 0.2]
 //	        [-repeats 3] [-workers 1] [-bench compress,sunflow] [-json]
 //
 // Scale multiplies workload loop-trip counts: 1.0 is the full configured
 // run (minutes), 0.1 a quick pass. -bench restricts to a comma-separated
-// subset of benchmark names. -json emits machine-readable rows instead of
-// the formatted tables.
+// subset of benchmark names. -json emits one machine-readable JSON document
+// holding every requested experiment plus a meta block (CPU count, GOOS,
+// GOARCH) instead of the formatted tables.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"deltapath/internal/eval"
@@ -27,7 +34,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1, fig8, table2, or all")
+	experiment := flag.String("experiment", "all", "table1, fig8, table2, decode, profile, or all")
 	scale := flag.Float64("scale", 0.2, "workload scale factor (1.0 = full runs)")
 	repeats := flag.Int("repeats", 3, "throughput repetitions per configuration (fig8)")
 	workers := flag.Int("workers", 1, "concurrent benchmark worker threads (fig8)")
@@ -59,16 +66,15 @@ func main() {
 		}
 	}
 
+	// With -json, every experiment accumulates into one document so the
+	// output is a single valid JSON object regardless of -experiment.
+	doc := map[string]any{}
 	emit := func(name string, rows any, rendered string) error {
 		if !*asJSON {
 			fmt.Println(rendered)
 			return nil
 		}
-		out, err := json.MarshalIndent(map[string]any{name: rows}, "", "  ")
-		if err != nil {
-			return err
-		}
-		fmt.Println(string(out))
+		doc[name] = rows
 		return nil
 	}
 
@@ -100,4 +106,27 @@ func main() {
 		}
 		return emit("decode", rows, eval.RenderDecodeLatency(rows))
 	})
+	run("profile", func() error {
+		rows, err := eval.ProfileThroughput(suite, *scale, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		return emit("profile", rows, eval.RenderProfile(rows))
+	})
+
+	if *asJSON {
+		doc["meta"] = map[string]any{
+			"num_cpu":    runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"scale":      *scale,
+		}
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+	}
 }

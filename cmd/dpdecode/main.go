@@ -8,12 +8,21 @@
 //
 //	dpdecode [-app] [-unique] [-partial] program.mv log.bin
 //	dpdecode -analysis saved.dpa [-unique] [-partial] log.bin
+//	dpdecode -profile [-workers N] [-top N] program.mv profile.dpp
+//	dpdecode -profile -analysis saved.dpa [-workers N] [-top N] profile.dpp
 //
 // In the first form the program is re-analysed (deterministically); the
 // options must match the recording run. In the second form a persisted
 // analysis file (dprun -save) is used — no program needed; the file carries
 // a digest of the call graph it was built over, and loading refuses a file
 // whose digest does not match its own payload (torn write, version skew).
+//
+// With -profile, the input is a .dpp profile (dprun -profile) instead of a
+// record log: the records are decoded by a -workers pool (per-worker
+// memoization) and printed as a hot-context report — count-descending,
+// deterministic regardless of worker count — optionally trimmed to the top
+// -top rows. A profile recorded over a different program is refused by the
+// graph digest embedded in the .dpp header.
 //
 // A corrupt record fails with a distinct exit code per corruption class, so
 // pipelines can triage without parsing messages:
@@ -47,10 +56,18 @@ func main() {
 	unique := flag.Bool("unique", false, "aggregate identical contexts with counts")
 	analysisFile := flag.String("analysis", "", "persisted analysis file (replaces the program argument)")
 	partial := flag.Bool("partial", false, "best-effort mode: decode corrupt records to their longest decodable suffix")
+	profileIn := flag.Bool("profile", false, "input is a .dpp profile (dprun -profile): print a hot-context report")
+	workers := flag.Int("workers", 4, "with -profile: decode worker pool size")
+	top := flag.Int("top", 0, "with -profile: print only the N hottest contexts (0 = all)")
 	flag.Parse()
+	if *workers < 1 {
+		fmt.Fprintln(os.Stderr, "dpdecode: -workers must be >= 1")
+		os.Exit(2)
+	}
 
 	var decode func([]byte) ([]string, error)
 	var decodePartial func([]byte) ([]string, bool, error)
+	var decodeProfile func(io.Reader, int) (*deltapath.ProfileReport, error)
 	var logPath string
 	switch {
 	case *analysisFile != "" && flag.NArg() == 1:
@@ -65,6 +82,7 @@ func main() {
 		}
 		decode = dec.DecodeBytes
 		decodePartial = dec.DecodeBytesBestEffort
+		decodeProfile = dec.DecodeProfile
 		logPath = flag.Arg(0)
 	case *analysisFile == "" && flag.NArg() == 2:
 		src, err := os.ReadFile(flag.Arg(0))
@@ -81,10 +99,12 @@ func main() {
 		}
 		decode = an.DecodeBytes
 		decodePartial = an.DecodeBytesBestEffort
+		decodeProfile = an.DecodeProfile
 		logPath = flag.Arg(1)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: dpdecode [-app] [-unique] [-partial] program.mv log.bin")
 		fmt.Fprintln(os.Stderr, "       dpdecode -analysis saved.dpa [-unique] [-partial] log.bin")
+		fmt.Fprintln(os.Stderr, "       dpdecode -profile [-workers N] [-top N] program.mv profile.dpp")
 		os.Exit(2)
 	}
 	f, err := os.Open(logPath)
@@ -92,6 +112,25 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
+
+	if *profileIn {
+		rep, err := decodeProfile(f, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		rows := rep.Top(*top)
+		for _, row := range rows {
+			fmt.Printf("%8d  %s\n", row.Count, row.Context)
+		}
+		if *top > 0 && len(rep.Rows) > len(rows) {
+			fmt.Fprintf(os.Stderr, "decoded %d records: %d contexts, %d samples (top %d shown)\n",
+				rep.Records, len(rep.Rows), rep.Total, len(rows))
+			return
+		}
+		fmt.Fprintf(os.Stderr, "decoded %d records: %d contexts, %d samples\n",
+			rep.Records, len(rep.Rows), rep.Total)
+		return
+	}
 
 	counts := make(map[string]int)
 	n, partials := 0, 0

@@ -6,12 +6,18 @@
 // Usage:
 //
 //	dprun [-app] [-seed N] [-unique] [-record log.bin] [-save a.dpa]
-//	      [-chaos] [-chaos-rate P] program.mv
+//	      [-profile out.dpp] [-runs N] [-chaos] [-chaos-rate P] program.mv
 //
 // With -unique, each distinct context is printed once with its occurrence
 // count (a minimal context-sensitive profile). With -record, binary context
 // records (4-byte little-endian length + record) are written to the given
 // file for offline decoding with dpdecode — the event-logging workflow.
+//
+// With -profile, the program is executed -runs times concurrently (seeds
+// seed..seed+runs-1), every emitted context is interned into a sharded
+// store, and the aggregate streams to the given .dpp file — decode it with
+// "dpdecode -profile". Combined with -chaos, every run injects faults and
+// self-heals, and the counts of all runs merge into one profile.
 //
 // With -chaos, the run injects seeded probe faults (dropped events, bit
 // flips, stack truncation, unknown call sites; -seed drives the fault
@@ -27,6 +33,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"deltapath"
 )
@@ -37,11 +44,17 @@ func main() {
 	unique := flag.Bool("unique", false, "aggregate identical contexts with counts")
 	record := flag.String("record", "", "write binary context records to this file instead of decoding")
 	save := flag.String("save", "", "persist the analysis to this file (pairs with -record; decode later via dpdecode -analysis)")
+	profileOut := flag.String("profile", "", "aggregate contexts into a sharded store and stream the profile to this .dpp file")
+	runs := flag.Int("runs", 1, "with -profile: number of concurrent runs to merge (seeds seed..seed+runs-1)")
 	chaosOn := flag.Bool("chaos", false, "inject seeded probe faults and heal via stack-walk resync")
 	chaosRate := flag.Float64("chaos-rate", 0.002, "per-probe-event fault probability under -chaos")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dprun [-app] [-seed N] [-unique] [-chaos] [-chaos-rate P] program.mv")
+		fmt.Fprintln(os.Stderr, "usage: dprun [-app] [-seed N] [-unique] [-profile out.dpp] [-runs N] [-chaos] [-chaos-rate P] program.mv")
+		os.Exit(2)
+	}
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "dprun: -runs must be >= 1")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -68,6 +81,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("analysis saved to %s\n", *save)
+	}
+
+	if *profileOut != "" {
+		runProfile(an, *profileOut, *seed, *runs, *chaosOn, *chaosRate)
+		return
 	}
 
 	var journal *os.File
@@ -153,6 +171,58 @@ func main() {
 		}
 		fmt.Printf("%d unique contexts, %d total\n", len(sample), total(counts))
 	}
+}
+
+// runProfile is the -profile path: runs concurrent sessions aggregating
+// into one sharded store, then streams the .dpp profile to out.
+func runProfile(an *deltapath.Analysis, out string, seed uint64, runs int, chaosOn bool, chaosRate float64) {
+	seeds := make([]uint64, runs)
+	for i := range seeds {
+		seeds[i] = seed + uint64(i)
+	}
+	prof := an.NewProfile(0)
+	var configure func(uint64, *deltapath.Session)
+	var mu sync.Mutex
+	var sessions []*deltapath.Session
+	if chaosOn {
+		configure = func(seed uint64, s *deltapath.Session) {
+			s.EnableChaos(deltapath.ChaosOptions{Seed: seed, Rate: chaosRate})
+			mu.Lock()
+			sessions = append(sessions, s)
+			mu.Unlock()
+		}
+	}
+	if err := prof.Collect(seeds, configure, nil); err != nil {
+		fatal(err)
+	}
+	if chaosOn {
+		var h deltapath.Health
+		for _, s := range sessions {
+			sh := s.Health()
+			h.ProbeEvents += sh.ProbeEvents
+			h.FaultsInjected += sh.FaultsInjected
+			h.DroppedEvents += sh.DroppedEvents
+			h.CorruptionsDetected += sh.CorruptionsDetected
+			h.Resyncs += sh.Resyncs
+			h.PartialDecodes += sh.PartialDecodes
+		}
+		fmt.Printf("chaos: %d runs, %d probe events, %d faults injected (%d events dropped)\n",
+			runs, h.ProbeEvents, h.FaultsInjected, h.DroppedEvents)
+		fmt.Printf("health: %d corruptions detected, %d resyncs, %d partial decodes\n",
+			h.CorruptionsDetected, h.Resyncs, h.PartialDecodes)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := prof.Save(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profile: %d unique contexts, %d samples over %d runs (%d unanalysed emits skipped) -> %s\n",
+		prof.Unique(), prof.Total(), runs, prof.Skipped(), out)
 }
 
 func total(m map[string]int) int {

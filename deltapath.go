@@ -43,6 +43,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"deltapath/internal/analysisio"
 	"deltapath/internal/callgraph"
@@ -54,6 +56,7 @@ import (
 	"deltapath/internal/instrument"
 	"deltapath/internal/lang"
 	"deltapath/internal/minivm"
+	"deltapath/internal/profile"
 )
 
 // Sentinel decode errors, re-exported so callers can distinguish a corrupt
@@ -114,7 +117,21 @@ type Analysis struct {
 	result  *core.Result
 	plan    *instrument.Plan
 	decoder *encoding.Decoder
+
+	digestOnce sync.Once
+	digest     analysisio.GraphDigest
 }
+
+// graphDigest lazily computes (once) the digest of the analysed call graph.
+func (a *Analysis) graphDigest() analysisio.GraphDigest {
+	a.digestOnce.Do(func() { a.digest = analysisio.DigestGraph(a.build.Graph) })
+	return a.digest
+}
+
+// GraphDigest describes the call graph this analysis was built over
+// (node/edge counts plus a content hash) — the compatibility key that .dpa
+// analysis files and .dpp profiles carry.
+func (a *Analysis) GraphDigest() string { return a.graphDigest().String() }
 
 // Analyze builds the call graph, runs the DeltaPath encoding algorithm
 // (Algorithm 2), computes SIDs for call path tracking, and resolves the
@@ -476,4 +493,171 @@ func (d *OfflineDecoder) GraphDigest() string { return d.bundle.Digest.String() 
 // graph's digest with the digest stored in the analysis file.
 func (d *OfflineDecoder) CheckAnalysis(a *Analysis) error {
 	return d.bundle.CheckGraph(a.build.Graph)
+}
+
+// --- Concurrent profile pipeline ---
+//
+// The paper's premise is that a calling context is a small integer, so
+// collecting and aggregating millions of contexts should cost almost
+// nothing. The profile pipeline delivers that: concurrent sessions intern
+// their contexts into one sharded store (Profile), the aggregate streams to
+// disk as a compact .dpp file (Profile.Save), and decoding fans the stored
+// records over a worker pool into a hot-context report (DecodeProfile).
+
+// ProfileReport is a decoded profile: every distinct calling context with
+// its aggregate count, hottest first (fully deterministic order).
+type ProfileReport = profile.Report
+
+// HotContext is one row of a ProfileReport.
+type HotContext = profile.HotContext
+
+// ProfileRecord is one interned record of a Profile (see Profile.Records).
+type ProfileRecord = profile.Record
+
+// Profile aggregates captured contexts into a sharded context-interning
+// store. All methods are safe for concurrent use: many sessions — or many
+// goroutines of one collector — feed a single Profile without contending
+// on a single lock.
+type Profile struct {
+	an      *Analysis
+	store   *profile.Store
+	skipped atomic.Uint64
+}
+
+// NewProfile returns an empty profile for contexts captured under this
+// analysis. shards is rounded up to a power of two; <= 0 selects the
+// default (64).
+func (a *Analysis) NewProfile(shards int) *Profile {
+	return &Profile{an: a, store: profile.NewStore(shards)}
+}
+
+// Add records one hit of the captured context. Contexts captured at emit
+// points outside the analysed program cannot be serialized and are counted
+// as skipped; Add reports whether the context was recorded.
+func (p *Profile) Add(c Context) bool {
+	rec, err := c.MarshalBinary()
+	if err != nil {
+		p.skipped.Add(1)
+		return false
+	}
+	p.store.Intern(rec)
+	return true
+}
+
+// Unique reports the number of distinct contexts recorded.
+func (p *Profile) Unique() uint64 { return p.store.Unique() }
+
+// Total reports the aggregate hit count across all contexts.
+func (p *Profile) Total() uint64 { return p.store.Total() }
+
+// Skipped reports how many unanalysed-emit contexts Add rejected.
+func (p *Profile) Skipped() uint64 { return p.skipped.Load() }
+
+// Records returns the interned records with their counts in deterministic
+// (record-byte) order — the raw data Save streams out.
+func (p *Profile) Records() []ProfileRecord { return p.store.Snapshot() }
+
+// Save streams the profile to w in the binary .dpp format: a header
+// carrying the analysis's graph digest, then one varint-encoded record per
+// distinct context with its count. DecodeProfile refuses a .dpp whose
+// digest does not match the analysis in hand, exactly as loading a .dpa
+// analysis file refuses a tampered payload.
+func (p *Profile) Save(w io.Writer) error {
+	pw, err := profile.NewWriter(w, p.an.graphDigest())
+	if err != nil {
+		return err
+	}
+	if err := pw.WriteSnapshot(p.store); err != nil {
+		return err
+	}
+	return pw.Flush()
+}
+
+// Collect runs one concurrent session per seed, interning every emitted
+// context into the profile. configure (may be nil) is invoked on each
+// session before it runs — e.g. to enable chaos injection, so counts from
+// fault-injected runs merge into the same store. onEmit (may be nil) is
+// invoked for every recorded context, concurrently from multiple sessions.
+// The first session error is returned after every session has finished.
+func (p *Profile) Collect(seeds []uint64, configure func(seed uint64, s *Session), onEmit func(Context)) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(seeds))
+	for _, seed := range seeds {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			s, err := p.an.NewSession(seed)
+			if err != nil {
+				errs <- fmt.Errorf("seed %d: %w", seed, err)
+				return
+			}
+			if configure != nil {
+				configure(seed, s)
+			}
+			if _, err := s.Run(func(c Context) {
+				p.Add(c)
+				if onEmit != nil {
+					onEmit(c)
+				}
+			}); err != nil {
+				errs <- fmt.Errorf("seed %d: %w", seed, err)
+			}
+		}(seed)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// RunParallel executes the program once per seed, concurrently — the
+// Figure 8 worker pattern, with each session keeping its encoding state
+// thread-local exactly as the paper's implementation does — and aggregates
+// every emitted context into one Profile. onEmit (may be nil) observes
+// recorded contexts as they arrive, concurrently.
+func (a *Analysis) RunParallel(seeds []uint64, onEmit func(Context)) (*Profile, error) {
+	p := a.NewProfile(0)
+	if err := p.Collect(seeds, nil, onEmit); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// decodeProfileStream is the shared implementation of DecodeProfile: check
+// the profile's digest against the analysis in hand, then fan the records
+// over a worker pool.
+func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, dec *encoding.Decoder) (*ProfileReport, error) {
+	pr, err := profile.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	if pr.Digest() != want {
+		return nil, fmt.Errorf("deltapath: profile mismatch: profile was recorded over %s, analysis graph is %s (stale analysis or wrong program?)",
+			pr.Digest(), want)
+	}
+	return profile.Decode(pr, workers, func(rec []byte) (string, error) {
+		st, end, err := encoding.UnmarshalContext(rec)
+		if err != nil {
+			return "", err
+		}
+		names, err := dec.DecodeNames(st, end)
+		if err != nil {
+			return "", err
+		}
+		return strings.Join(names, " > "), nil
+	})
+}
+
+// DecodeProfile decodes a .dpp profile (Profile.Save) recorded under this
+// analysis into a hot-context report, fanning records out over workers
+// goroutines (workers < 1 means 1). The report is identical for every
+// worker count. A profile whose graph digest does not match this analysis
+// is refused.
+func (a *Analysis) DecodeProfile(r io.Reader, workers int) (*ProfileReport, error) {
+	return decodeProfileStream(r, workers, a.graphDigest(), a.decoder)
+}
+
+// DecodeProfile decodes a .dpp profile against the persisted analysis (see
+// Analysis.DecodeProfile).
+func (d *OfflineDecoder) DecodeProfile(r io.Reader, workers int) (*ProfileReport, error) {
+	return decodeProfileStream(r, workers, d.bundle.Digest, d.decoder)
 }

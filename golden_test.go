@@ -1,0 +1,85 @@
+package deltapath
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden/*.decoded from current output")
+
+// TestGoldenProfilePipeline runs the full pipeline — encode, concurrent
+// profile collection, .dpp serialization, parallel decode — over every
+// testdata program and diffs the hot-context report against a committed
+// golden file. The encoding, the store, the wire format, and the decoder
+// are all deterministic, so any drift in these files is a behavior change
+// that must be reviewed (and blessed with `go test -run Golden -update`).
+func TestGoldenProfilePipeline(t *testing.T) {
+	programs, err := filepath.Glob("testdata/*.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(programs) == 0 {
+		t.Fatal("no testdata programs")
+	}
+	seeds := []uint64{0, 1, 2, 3}
+	for _, path := range programs {
+		name := strings.TrimSuffix(filepath.Base(path), ".mv")
+		t.Run(name, func(t *testing.T) {
+			an := loadAnalysis(t, path)
+			prof, err := an.RunParallel(seeds, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dpp bytes.Buffer
+			if err := prof.Save(&dpp); err != nil {
+				t.Fatal(err)
+			}
+
+			// The report must not depend on the worker count.
+			serial, err := an.DecodeProfile(bytes.NewReader(dpp.Bytes()), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled, err := an.DecodeProfile(bytes.NewReader(dpp.Bytes()), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderGolden(pooled)
+			if want := renderGolden(serial); got != want {
+				t.Fatalf("workers=4 report differs from workers=1:\n%s\n---\n%s", got, want)
+			}
+
+			goldenPath := filepath.Join("testdata", "golden", name+".decoded")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (run `go test -run Golden -update` to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("decoded profile drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+func renderGolden(rep *ProfileReport) string {
+	var b strings.Builder
+	for _, row := range rep.Rows {
+		fmt.Fprintf(&b, "%8d  %s\n", row.Count, row.Context)
+	}
+	fmt.Fprintf(&b, "# %d contexts, %d samples\n", len(rep.Rows), rep.Total)
+	return b.String()
+}

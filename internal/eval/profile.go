@@ -1,0 +1,143 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"deltapath/internal/cha"
+	"deltapath/internal/core"
+	"deltapath/internal/cpt"
+	"deltapath/internal/encoding"
+	"deltapath/internal/instrument"
+	"deltapath/internal/minivm"
+	"deltapath/internal/profile"
+	"deltapath/internal/workload"
+)
+
+// ProfileRow is the sharded store's intern throughput at one worker count.
+type ProfileRow struct {
+	Workers       int
+	Interns       uint64  // total Intern calls across all workers
+	Unique        uint64  // distinct context records in the corpus
+	NsPerIntern   float64 // wall-clock ns per intern (aggregate)
+	InternsPerSec float64
+	Speedup       float64 // throughput relative to the first worker count
+}
+
+// minProfileInterns sets the measurement floor: the corpus is replayed
+// enough rounds that every worker count performs at least this many interns,
+// so the timings are not dominated by goroutine start-up.
+const minProfileInterns = 1 << 18
+
+// ProfileThroughput measures the concurrent profile store: it collects one
+// corpus of marshalled context records by running the suite's workloads
+// under full instrumentation, then times workerCounts goroutines interning
+// the corpus concurrently into a fresh store. Total work is fixed across
+// worker counts (the corpus rounds are striped over the workers), so
+// Speedup is the classic fixed-work scaling ratio. On a single-CPU machine
+// the rows degenerate to ~1.0× — the store is then measured for overhead,
+// not scaling.
+func ProfileThroughput(suite []workload.Params, scale float64, workerCounts []int) ([]ProfileRow, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	corpus, err := profileCorpus(suite, scale)
+	if err != nil {
+		return nil, err
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("eval: profile corpus is empty")
+	}
+	rounds := 1
+	for rounds*len(corpus) < minProfileInterns {
+		rounds++
+	}
+	total := uint64(rounds * len(corpus))
+
+	rows := make([]ProfileRow, 0, len(workerCounts))
+	var base float64
+	for _, workers := range workerCounts {
+		if workers < 1 {
+			return nil, fmt.Errorf("eval: worker count %d < 1", workers)
+		}
+		store := profile.NewStore(0)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Stripe the rounds over the workers: fixed total work.
+				for r := w; r < rounds; r += workers {
+					for _, rec := range corpus {
+						store.Intern(rec)
+					}
+				}
+			}(w)
+		}
+		// Workers may not divide rounds evenly; the stripes above cover
+		// every round exactly once regardless.
+		wg.Wait()
+		elapsed := time.Since(start)
+		if store.Total() != total {
+			return nil, fmt.Errorf("eval: store total %d, want %d", store.Total(), total)
+		}
+		row := ProfileRow{
+			Workers:       workers,
+			Interns:       total,
+			Unique:        store.Unique(),
+			NsPerIntern:   float64(elapsed.Nanoseconds()) / float64(total),
+			InternsPerSec: float64(total) / elapsed.Seconds(),
+		}
+		if base == 0 {
+			base = row.InternsPerSec
+		}
+		row.Speedup = row.InternsPerSec / base
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// profileCorpus runs each workload once under full instrumentation and
+// collects the marshalled context record of every emit — the same bytes the
+// runtime pipeline interns.
+func profileCorpus(suite []workload.Params, scale float64) ([][]byte, error) {
+	var corpus [][]byte
+	for _, p := range suite {
+		prog, err := p.Scale(scale).Generate()
+		if err != nil {
+			return nil, err
+		}
+		build, err := cha.Build(prog, cha.Options{Setting: cha.EncodingApplication})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		res, err := core.Encode(build.Graph, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		plan, err := instrument.NewPlan(build, res.Spec, cpt.Compute(build.Graph))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		enc := instrument.NewEncoder(plan)
+		vm, err := minivm.NewVM(prog, p.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		vm.SetProbes(enc)
+		vm.SetInstrumented(plan.InstrumentedMethods())
+		vm.OnEmit = func(_ *minivm.VM, m minivm.MethodRef, _ string) {
+			node, known := build.NodeOf[m]
+			if !known {
+				return
+			}
+			corpus = append(corpus, encoding.MarshalContext(enc.State(), node))
+		}
+		if err := vm.Run(); err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+	}
+	return corpus, nil
+}

@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"deltapath/internal/workload"
+)
+
+func oneBench(t *testing.T, name string) []workload.Params {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("benchmark %s missing", name)
+	}
+	return []workload.Params{p}
+}
+
+func TestProfileThroughput(t *testing.T) {
+	rows, err := ProfileThroughput(oneBench(t, "compress"), 0.02, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Workers != 1 || rows[1].Workers != 2 {
+		t.Fatalf("worker counts: %d, %d", rows[0].Workers, rows[1].Workers)
+	}
+	// Fixed total work: every worker count interns the same corpus.
+	if rows[0].Interns != rows[1].Interns || rows[0].Interns == 0 {
+		t.Fatalf("intern totals differ: %d vs %d", rows[0].Interns, rows[1].Interns)
+	}
+	if rows[0].Unique != rows[1].Unique || rows[0].Unique == 0 {
+		t.Fatalf("unique counts differ: %d vs %d", rows[0].Unique, rows[1].Unique)
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Fatalf("first row speedup %f, want 1.0", rows[0].Speedup)
+	}
+	for _, r := range rows {
+		if r.NsPerIntern <= 0 || r.InternsPerSec <= 0 || r.Speedup <= 0 {
+			t.Fatalf("non-positive timing in row %+v", r)
+		}
+	}
+}
+
+func TestProfileThroughputRejectsBadWorkers(t *testing.T) {
+	if _, err := ProfileThroughput(oneBench(t, "compress"), 0.02, []int{0}); err == nil {
+		t.Fatal("worker count 0 accepted")
+	}
+}
+
+func TestRenderProfile(t *testing.T) {
+	out := RenderProfile([]ProfileRow{
+		{Workers: 1, Interns: 1000, Unique: 10, NsPerIntern: 50, InternsPerSec: 2e7, Speedup: 1},
+		{Workers: 4, Interns: 1000, Unique: 10, NsPerIntern: 20, InternsPerSec: 5e7, Speedup: 2.5},
+	})
+	for _, want := range []string{"workers", "speedup", "2.50x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

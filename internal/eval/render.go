@@ -77,6 +77,19 @@ func RenderTable2(rows []Table2Row) string {
 	return b.String()
 }
 
+// RenderProfile prints the concurrent-store throughput table.
+func RenderProfile(rows []ProfileRow) string {
+	var b strings.Builder
+	b.WriteString("Profile store throughput (fixed total work; speedup vs first worker count)\n")
+	fmt.Fprintf(&b, "%8s %12s %10s %12s %14s %8s\n",
+		"workers", "interns", "unique", "ns/intern", "interns/s", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %12d %10d %12.1f %14.0f %7.2fx\n",
+			r.Workers, r.Interns, r.Unique, r.NsPerIntern, r.InternsPerSec, r.Speedup)
+	}
+	return b.String()
+}
+
 // RenderDecodeLatency prints the decode-latency table.
 func RenderDecodeLatency(rows []DecodeRow) string {
 	var b strings.Builder

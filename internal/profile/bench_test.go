@@ -1,0 +1,65 @@
+package profile
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchCorpus builds a corpus shaped like a real profile: many interns,
+// few distinct records (hot contexts recur).
+func benchCorpus(distinct int) [][]byte {
+	recs := make([][]byte, distinct)
+	for i := range recs {
+		recs[i] = []byte(fmt.Sprintf("\x01\x0a\x2f-context-record-%05d", i))
+	}
+	return recs
+}
+
+// BenchmarkIntern measures single-threaded intern cost on a hot store
+// (every record already present — the steady-state path).
+func BenchmarkIntern(b *testing.B) {
+	recs := benchCorpus(1024)
+	store := NewStore(0)
+	for _, r := range recs {
+		store.Intern(r)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		store.Intern(recs[i&1023])
+	}
+}
+
+// BenchmarkInternParallel measures contended intern throughput: all procs
+// hammer one store. Shard count fixed at the default so numbers are
+// comparable across machines.
+func BenchmarkInternParallel(b *testing.B) {
+	recs := benchCorpus(1024)
+	store := NewStore(0)
+	for _, r := range recs {
+		store.Intern(r)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			store.Intern(recs[i&1023])
+			i++
+		}
+	})
+}
+
+// BenchmarkInternMiss measures the first-sight path: every intern inserts.
+func BenchmarkInternMiss(b *testing.B) {
+	recs := make([][]byte, b.N)
+	for i := range recs {
+		recs[i] = []byte(fmt.Sprintf("miss-record-%09d", i))
+	}
+	store := NewStore(0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		store.Intern(recs[i])
+	}
+}

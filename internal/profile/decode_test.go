@@ -1,0 +1,174 @@
+package profile
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// buildProfile writes records (possibly with duplicates — append mode) and
+// returns the serialized .dpp bytes.
+func buildProfile(t *testing.T, recs []struct {
+	rec   string
+	count uint64
+}) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Add([]byte(r.rec), r.count); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeMergesAndSorts(t *testing.T) {
+	data := buildProfile(t, []struct {
+		rec   string
+		count uint64
+	}{
+		{"r1", 3},
+		{"r2", 10},
+		{"r1", 2}, // append-mode duplicate: merged
+		{"r3", 5}, // decodes to the same context as r1
+	})
+
+	decode := func(rec []byte) (string, error) {
+		if string(rec) == "r2" {
+			return "ctx-b", nil
+		}
+		return "ctx-a", nil
+	}
+	for _, workers := range []int{0, 1, 4} {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Decode(r, workers, decode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Equal counts: ties sort by context string ("ctx-a" < "ctx-b").
+		want := []HotContext{{Context: "ctx-a", Count: 10}, {Context: "ctx-b", Count: 10}}
+		if !reflect.DeepEqual(rep.Rows, want) {
+			t.Fatalf("workers=%d: rows = %+v, want %+v", workers, rep.Rows, want)
+		}
+		if rep.Records != 4 || rep.Total != 20 {
+			t.Fatalf("workers=%d: Records=%d Total=%d, want 4/20", workers, rep.Records, rep.Total)
+		}
+	}
+}
+
+func TestDecodeDeterministicAcrossWorkerCounts(t *testing.T) {
+	var recs []struct {
+		rec   string
+		count uint64
+	}
+	for i := 0; i < 500; i++ {
+		recs = append(recs, struct {
+			rec   string
+			count uint64
+		}{fmt.Sprintf("rec-%03d", i), uint64(i%17 + 1)})
+	}
+	data := buildProfile(t, recs)
+	decode := func(rec []byte) (string, error) {
+		return "ctx:" + string(rec[len(rec)-1:]), nil // 10 distinct contexts
+	}
+	var first *Report
+	for _, workers := range []int{1, 2, 8} {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Decode(r, workers, decode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = rep
+			continue
+		}
+		if !reflect.DeepEqual(rep, first) {
+			t.Fatalf("workers=%d: report differs from workers=1", workers)
+		}
+	}
+}
+
+func TestDecodeErrorAborts(t *testing.T) {
+	data := buildProfile(t, []struct {
+		rec   string
+		count uint64
+	}{{"good", 1}, {"bad", 1}, {"good", 1}})
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("undecodable")
+	_, err = Decode(r, 4, func(rec []byte) (string, error) {
+		if string(rec) == "bad" {
+			return "", wantErr
+		}
+		return "ok", nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestDecodeCorruptStreamSurfaces(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testDigest())
+	w.Add([]byte("x"), 1)
+	w.Flush()
+	data := append(buf.Bytes(), 0x00) // trailing zero-length record
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(r, 2, func([]byte) (string, error) { return "c", nil }); err == nil {
+		t.Fatal("corrupt stream decoded without error")
+	}
+}
+
+// TestDecodeMemoization: a record recurring in an append-mode profile is
+// decoded at most once per worker.
+func TestDecodeMemoization(t *testing.T) {
+	var recs []struct {
+		rec   string
+		count uint64
+	}
+	for i := 0; i < 100; i++ {
+		recs = append(recs, struct {
+			rec   string
+			count uint64
+		}{"same", 1})
+	}
+	data := buildProfile(t, recs)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Uint64
+	rep, err := Decode(r, 4, func([]byte) (string, error) {
+		calls.Add(1)
+		return "c", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 100 || len(rep.Rows) != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if calls.Load() > 4 {
+		t.Fatalf("decode called %d times for one distinct record across 4 workers", calls.Load())
+	}
+}

@@ -1,0 +1,199 @@
+package profile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"deltapath/internal/analysisio"
+)
+
+// The streaming binary profile format (".dpp"):
+//
+//	magic   "DPP1\n"
+//	digest  uvarint nodes, uvarint edges, uvarint hash
+//	        — the analysisio.GraphDigest of the call graph the records
+//	          were captured under; a reader refuses to decode against a
+//	          mismatching analysis, exactly like analysisio.Load refuses
+//	          stale/tampered analyses.
+//	records repeated until EOF:
+//	        uvarint len (1..MaxRecordBytes), len record bytes, uvarint
+//	        count (>= 1)
+//
+// The format is append-friendly: the same record may appear more than once
+// (e.g. one Writer fed from several runs without a merging store); readers
+// sum the counts. A typical record is 5–30 bytes, so a million-context
+// profile streams in a few megabytes with no in-memory table on either
+// side.
+
+const dppMagic = "DPP1\n"
+
+// MaxRecordBytes bounds a single record's length. Context records are tiny
+// (a handful of bytes per stack piece); anything near this limit is corrupt
+// input, and the bound keeps a hostile length prefix from forcing a huge
+// allocation.
+const MaxRecordBytes = 1 << 20
+
+// Writer streams a .dpp profile. Create with NewWriter, call Add per
+// record, then Flush. Writer is not safe for concurrent use; aggregate
+// concurrently into a Store and stream its Snapshot instead.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+	n   uint64
+}
+
+// NewWriter writes the header and returns a streaming writer. digest must
+// describe the call graph of the analysis the records were captured under.
+func NewWriter(w io.Writer, digest analysisio.GraphDigest) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(dppMagic); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{digest.Nodes, digest.Edges, digest.Hash} {
+		n := binary.PutUvarint(buf[:], v)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Add appends one record with its count. Zero-length records and zero
+// counts are rejected — neither has a meaning in a profile, and rejecting
+// them keeps the reader's corruption contract crisp.
+func (w *Writer) Add(record []byte, count uint64) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(record) == 0 {
+		return fmt.Errorf("profile: empty record")
+	}
+	if len(record) > MaxRecordBytes {
+		return fmt.Errorf("profile: record of %d bytes exceeds limit %d", len(record), MaxRecordBytes)
+	}
+	if count == 0 {
+		return fmt.Errorf("profile: zero count")
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(record)))
+	if _, err := w.bw.Write(buf[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.bw.Write(record); err != nil {
+		w.err = err
+		return err
+	}
+	n = binary.PutUvarint(buf[:], count)
+	if _, err := w.bw.Write(buf[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Records reports how many records have been written.
+func (w *Writer) Records() uint64 { return w.n }
+
+// Flush writes out any buffered data. Call once after the last Add.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// WriteSnapshot streams the store's current snapshot through w: one record
+// per distinct context, in deterministic (record-byte) order.
+func (w *Writer) WriteSnapshot(s *Store) error {
+	for _, r := range s.Snapshot() {
+		if err := w.Add(r.Key, r.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reader streams a .dpp profile. Create with NewReader (which validates the
+// header), check Digest against the analysis in hand, then call Next until
+// io.EOF.
+type Reader struct {
+	br     *bufio.Reader
+	digest analysisio.GraphDigest
+	n      uint64
+	err    error
+}
+
+// NewReader parses the header. It fails on a bad magic, an unsupported
+// version, or a truncated digest.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(dppMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	if string(head) != dppMagic {
+		return nil, fmt.Errorf("profile: bad magic %q (not a .dpp profile, or unsupported version)", head)
+	}
+	var dig [3]uint64
+	for i := range dig {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("profile: truncated digest: %w", err)
+		}
+		dig[i] = v
+	}
+	return &Reader{
+		br:     br,
+		digest: analysisio.GraphDigest{Nodes: dig[0], Edges: dig[1], Hash: dig[2]},
+	}, nil
+}
+
+// Digest returns the graph digest the profile was recorded under.
+func (r *Reader) Digest() analysisio.GraphDigest { return r.digest }
+
+// Records reports how many records Next has returned so far.
+func (r *Reader) Records() uint64 { return r.n }
+
+// Next returns the next record and its count. It returns io.EOF at a clean
+// end of stream; any other error marks corrupt input (truncation mid-
+// record, a zero or implausible length, a zero count). The returned slice
+// is owned by the caller.
+func (r *Reader) Next() (record []byte, count uint64, err error) {
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	size, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			r.err = io.EOF
+			return nil, 0, io.EOF
+		}
+		r.err = fmt.Errorf("profile: record %d: truncated length: %w", r.n, err)
+		return nil, 0, r.err
+	}
+	if size == 0 || size > MaxRecordBytes {
+		r.err = fmt.Errorf("profile: record %d: implausible length %d", r.n, size)
+		return nil, 0, r.err
+	}
+	record = make([]byte, size)
+	if _, err := io.ReadFull(r.br, record); err != nil {
+		r.err = fmt.Errorf("profile: record %d: truncated record: %w", r.n, err)
+		return nil, 0, r.err
+	}
+	count, err = binary.ReadUvarint(r.br)
+	if err != nil {
+		r.err = fmt.Errorf("profile: record %d: truncated count: %w", r.n, err)
+		return nil, 0, r.err
+	}
+	if count == 0 {
+		r.err = fmt.Errorf("profile: record %d: zero count", r.n)
+		return nil, 0, r.err
+	}
+	r.n++
+	return record, count, nil
+}

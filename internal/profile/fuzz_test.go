@@ -1,0 +1,103 @@
+package profile
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzProfileReader feeds arbitrary bytes to the .dpp reader and asserts
+// the corruption contract: any input either parses or fails with a clean
+// error — never a panic, never an unbounded allocation (record lengths are
+// capped at MaxRecordBytes before any buffer is sized), never an infinite
+// loop (every Next consumes input or errors). Valid profiles round-trip.
+func FuzzProfileReader(f *testing.F) {
+	// Seed: a well-formed two-record profile.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testDigest())
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.Add([]byte("record-one"), 3)
+	w.Add([]byte{0x00, 0xff, 0x80}, 1<<40)
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Seed: truncations at every structural boundary.
+	f.Add(valid[:0])
+	f.Add(valid[:3])                                   // mid-magic
+	f.Add(valid[:len(dppMagic)])                       // magic only, no digest
+	f.Add(valid[:len(dppMagic)+2])                     // mid-digest
+	f.Add(valid[:len(valid)-1])                        // mid-final-count
+	f.Add(append(valid[:len(valid):len(valid)], 0x00)) // trailing zero length
+	// Seed: hostile lengths and counts.
+	f.Add([]byte("DPP1\n\x01\x01\x01\xff\xff\xff\xff\xff\xff\xff\xff\x7f"))
+	f.Add([]byte("DPP1\n\x00\x00\x00\x01A\x00"))                        // zero count
+	f.Add([]byte("XXXX\n\x00\x00\x00"))                                 // wrong magic
+	f.Add([]byte("DPP1\n\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80")) // overlong uvarint
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var recs []Record
+		var total uint64
+		for {
+			rec, count, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return
+			}
+			if len(rec) == 0 || len(rec) > MaxRecordBytes {
+				t.Fatalf("reader yielded record of length %d", len(rec))
+			}
+			if count == 0 {
+				t.Fatal("reader yielded zero count")
+			}
+			recs = append(recs, Record{Key: append([]byte(nil), rec...), Count: count})
+			total += count
+		}
+		// Whatever parsed cleanly must survive a write/read round-trip.
+		var out bytes.Buffer
+		w, err := NewWriter(&out, r.Digest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if err := w.Add(rec.Key, rec.Count); err != nil {
+				t.Fatalf("re-writing parsed record: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := NewReader(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading round-trip: %v", err)
+		}
+		var total2 uint64
+		i := 0
+		for {
+			rec, count, err := r2.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("round-trip record %d: %v", i, err)
+			}
+			if !bytes.Equal(rec, recs[i].Key) || count != recs[i].Count {
+				t.Fatalf("round-trip record %d drifted", i)
+			}
+			total2 += count
+			i++
+		}
+		if i != len(recs) || total2 != total {
+			t.Fatalf("round-trip lost records: %d/%d, %d/%d", i, len(recs), total2, total)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStoreRaceInternSnapshot is the sharded store's race/stress gate,
+// wired into `make race` via the ordinary test run: 8 goroutines perform
+// 10k interleaved Intern and Snapshot calls each against one store, and
+// the final counts must equal the serial sum. Under -race this also proves
+// the shard locking and the atomic aggregate counters are sound.
+func TestStoreRaceInternSnapshot(t *testing.T) {
+	const (
+		goroutines = 8
+		ops        = 10000
+		distinct   = 64
+	)
+	records := make([][]byte, distinct)
+	for i := range records {
+		records[i] = []byte(fmt.Sprintf("ctx-record-%03d", i))
+	}
+
+	store := NewStore(16)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				// Interleave: every 512th op takes a full snapshot while
+				// the other goroutines keep interning.
+				if i%512 == 511 {
+					if snap := store.Snapshot(); len(snap) > distinct {
+						panic(fmt.Sprintf("snapshot grew past corpus: %d records", len(snap)))
+					}
+					continue
+				}
+				store.Intern(records[(g*13+i)%distinct])
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Serial reference: replay the same access pattern single-threaded.
+	expected := make(map[string]uint64)
+	var expTotal uint64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < ops; i++ {
+			if i%512 == 511 {
+				continue
+			}
+			expected[string(records[(g*13+i)%distinct])]++
+			expTotal++
+		}
+	}
+
+	if store.Total() != expTotal {
+		t.Fatalf("Total = %d, want %d", store.Total(), expTotal)
+	}
+	if store.Unique() != uint64(len(expected)) {
+		t.Fatalf("Unique = %d, want %d", store.Unique(), len(expected))
+	}
+	snap := store.Snapshot()
+	if len(snap) != len(expected) {
+		t.Fatalf("snapshot has %d records, want %d", len(snap), len(expected))
+	}
+	seenIDs := make(map[uint64]bool)
+	var total uint64
+	for _, r := range snap {
+		want, ok := expected[string(r.Key)]
+		if !ok {
+			t.Fatalf("unexpected record %q in snapshot", r.Key)
+		}
+		if r.Count != want {
+			t.Fatalf("record %q: count %d, want %d", r.Key, r.Count, want)
+		}
+		if seenIDs[r.ID] {
+			t.Fatalf("interned ID %d assigned twice", r.ID)
+		}
+		seenIDs[r.ID] = true
+		if r.ID >= uint64(len(expected)) {
+			t.Fatalf("interned ID %d not dense (%d records)", r.ID, len(expected))
+		}
+		total += r.Count
+	}
+	if total != expTotal {
+		t.Fatalf("snapshot counts sum to %d, want %d", total, expTotal)
+	}
+}

@@ -1,0 +1,209 @@
+package deltapath
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+)
+
+func loadAnalysis(t *testing.T, path string) *Analysis {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ParseProgram(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+// TestRunParallelMatchesSerialReference: the parallel store's aggregated
+// counts must equal a single-threaded reference run over the same seeds —
+// the profile pipeline may not lose, duplicate, or misattribute a single
+// context under concurrency.
+func TestRunParallelMatchesSerialReference(t *testing.T) {
+	for _, file := range []string{"testdata/tasks.mv", "testdata/recursion.mv", "testdata/shapes.mv"} {
+		an := loadAnalysis(t, file)
+		seeds := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+
+		// Serial reference: one session at a time, counts in a plain map.
+		expected := make(map[string]uint64)
+		var expSkipped uint64
+		for _, seed := range seeds {
+			_, err := an.Run(seed, func(c Context) {
+				rec, err := c.MarshalBinary()
+				if err != nil {
+					expSkipped++
+					return
+				}
+				expected[string(rec)]++
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", file, seed, err)
+			}
+		}
+
+		prof, err := an.RunParallel(seeds, nil)
+		if err != nil {
+			t.Fatalf("%s: RunParallel: %v", file, err)
+		}
+		if prof.Skipped() != expSkipped {
+			t.Errorf("%s: skipped %d, want %d", file, prof.Skipped(), expSkipped)
+		}
+		recs := prof.Records()
+		if len(recs) != len(expected) {
+			t.Fatalf("%s: %d unique records, want %d", file, len(recs), len(expected))
+		}
+		var total uint64
+		for _, r := range recs {
+			want, ok := expected[string(r.Key)]
+			if !ok {
+				t.Fatalf("%s: unexpected record in store", file)
+			}
+			if r.Count != want {
+				t.Fatalf("%s: record count %d, want %d", file, r.Count, want)
+			}
+			total += r.Count
+		}
+		if total != prof.Total() {
+			t.Fatalf("%s: snapshot total %d != store total %d", file, total, prof.Total())
+		}
+	}
+}
+
+// TestDecodeProfileWorkerEquivalence: the hot-context report must be
+// byte-identical whether decoded serially or by a worker pool.
+func TestDecodeProfileWorkerEquivalence(t *testing.T) {
+	an := loadAnalysis(t, "testdata/tasks.mv")
+	prof, err := an.RunParallel([]uint64{0, 1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var baseline *ProfileReport
+	for _, workers := range []int{1, 2, 4, 8} {
+		rep, err := an.DecodeProfile(bytes.NewReader(buf.Bytes()), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Total != prof.Total() {
+			t.Fatalf("workers=%d: report total %d, profile total %d", workers, rep.Total, prof.Total())
+		}
+		if baseline == nil {
+			baseline = rep
+			continue
+		}
+		if !reflect.DeepEqual(rep, baseline) {
+			t.Fatalf("workers=%d: report differs from workers=1", workers)
+		}
+	}
+	if len(baseline.Rows) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestDecodeProfileRefusesDigestMismatch: a profile recorded under one
+// program must not decode against another program's analysis.
+func TestDecodeProfileRefusesDigestMismatch(t *testing.T) {
+	anA := loadAnalysis(t, "testdata/tasks.mv")
+	anB := loadAnalysis(t, "testdata/recursion.mv")
+	prof, err := anA.RunParallel([]uint64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := anB.DecodeProfile(&buf, 2); err == nil {
+		t.Fatal("profile decoded against the wrong analysis")
+	}
+}
+
+// TestOfflineDecodeProfile: the dprun -save / dpdecode -analysis workflow,
+// profile edition — a persisted analysis decodes a .dpp identically to the
+// live analysis.
+func TestOfflineDecodeProfile(t *testing.T) {
+	an := loadAnalysis(t, "testdata/shapes.mv")
+	prof, err := an.RunParallel([]uint64{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dpp, dpa bytes.Buffer
+	if err := prof.Save(&dpp); err != nil {
+		t.Fatal(err)
+	}
+	if err := an.SaveAnalysis(&dpa); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := LoadDecoder(&dpa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := dec.DecodeProfile(bytes.NewReader(dpp.Bytes()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := an.DecodeProfile(bytes.NewReader(dpp.Bytes()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(offline, live) {
+		t.Fatal("offline report differs from live report")
+	}
+}
+
+// TestProfileCollectMergesChaosRuns: counts from fault-injected sessions
+// merge into the same store, and the self-healing protocol keeps every
+// recorded context decodable.
+func TestProfileCollectMergesChaosRuns(t *testing.T) {
+	an := loadAnalysis(t, "testdata/recursion.mv")
+	prof := an.NewProfile(0)
+	err := prof.Collect([]uint64{3, 4, 5}, func(seed uint64, s *Session) {
+		s.EnableChaos(ChaosOptions{Seed: seed, Rate: 0.05})
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Total() == 0 {
+		t.Fatal("chaos runs recorded no contexts")
+	}
+	var buf bytes.Buffer
+	if err := prof.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := an.DecodeProfile(&buf, 2)
+	if err != nil {
+		t.Fatalf("chaos-collected profile failed to decode: %v", err)
+	}
+	if rep.Total != prof.Total() {
+		t.Fatalf("report total %d, profile total %d", rep.Total, prof.Total())
+	}
+}
+
+// TestProfileReportTop: Top trims deterministically.
+func TestProfileReportTop(t *testing.T) {
+	rep := &ProfileReport{Rows: []HotContext{
+		{Context: "a", Count: 5}, {Context: "b", Count: 3}, {Context: "c", Count: 1},
+	}}
+	if got := rep.Top(2); len(got) != 2 || got[0].Context != "a" {
+		t.Fatalf("Top(2) = %v", got)
+	}
+	if got := rep.Top(0); len(got) != 3 {
+		t.Fatalf("Top(0) = %v", got)
+	}
+	if got := rep.Top(99); len(got) != 3 {
+		t.Fatalf("Top(99) = %v", got)
+	}
+}

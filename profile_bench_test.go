@@ -1,0 +1,54 @@
+package deltapath
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// BenchmarkDecodeProfile measures parallel batch decode of a .dpp profile
+// at several worker counts (sub-benchmark per count, so `-bench
+// DecodeProfile` prints the scaling column directly).
+func BenchmarkDecodeProfile(b *testing.B) {
+	src, err := os.ReadFile("testdata/tasks.mv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ParseProgram(string(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := Analyze(prog, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]uint64, 32)
+	for i := range seeds {
+		seeds[i] = uint64(i)
+	}
+	prof, err := an.RunParallel(seeds, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dpp bytes.Buffer
+	if err := prof.Save(&dpp); err != nil {
+		b.Fatal(err)
+	}
+	data := dpp.Bytes()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := an.DecodeProfile(bytes.NewReader(data), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Total != prof.Total() {
+					b.Fatalf("report total %d, want %d", rep.Total, prof.Total())
+				}
+			}
+		})
+	}
+}
