@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench chaos eval profile-baseline fuzz examples clean
+.PHONY: all build test test-short race bench chaos eval profile-baseline fuzz examples clean \
+	lint bench-smoke bench-baseline golden-freshness ci-local
 
 all: build test
 
@@ -50,6 +51,46 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalContext -fuzztime 10s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzProfileReader -fuzztime 10s ./internal/profile
+
+# Lint: gofmt and vet always; staticcheck/govulncheck when installed (CI
+# installs pinned versions — see .github/workflows/ci.yml; offline
+# containers just skip them).
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "govulncheck not installed; skipping"; fi
+
+# Bench-smoke regression gate: re-measure the newest results/BENCH_*.json
+# baseline and fail on any key metric >25% worse (see cmd/dpbench/compare.go
+# and EXPERIMENTS.md for the gated metrics and re-baselining).
+bench-smoke:
+	$(GO) run ./cmd/dpbench -compare \
+		"$$(ls results/BENCH_*.json | sort | tail -1)" -tolerance 0.25 -repeats 5
+
+# Record a fresh bench-smoke baseline (bump NNNN; commit the file).
+bench-baseline:
+	mkdir -p results
+	$(GO) run ./cmd/dpbench -experiment encode,profile,decode \
+		-bench compress,sunflow,mpegaudio -scale 0.4 -repeats 5 -json \
+		> results/BENCH_0003.json
+
+# Golden freshness: regenerate the golden decodes with -update and fail if
+# the committed files drift (a stale golden means an unreviewed behavior
+# change slipped past).
+golden-freshness:
+	$(GO) test . -run TestGolden -update
+	$(GO) test ./internal/obs -run TestExport -update
+	@git diff --exit-code -- testdata/golden internal/obs/testdata || \
+		{ echo "golden files drifted: review and commit the regenerated files"; exit 1; }
+
+# Everything CI runs, in CI's order — reproduce a red workflow offline.
+ci-local: lint build test race golden-freshness bench-smoke
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalContext -fuzztime 5s ./internal/encoding
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 5s ./internal/encoding
+	$(GO) test -run '^$$' -fuzz FuzzProfileReader -fuzztime 5s ./internal/profile
 
 examples:
 	$(GO) run ./examples/quickstart

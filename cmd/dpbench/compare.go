@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"deltapath/internal/eval"
+	"deltapath/internal/workload"
+)
+
+// This file is the bench-smoke regression gate: dpbench -compare <file>
+// re-measures the experiments recorded in a baseline JSON document (a prior
+// "dpbench -json" run, conventionally the newest results/BENCH_*.json) and
+// fails when a key metric regressed beyond -tolerance.
+//
+// The container caveat from results/BENCH_0002.json applies: this suite is
+// routinely benchmarked on a 1-CPU box where absolute times are noisy and
+// multi-worker scaling is meaningless. The gate therefore (1) compares
+// best-of-N measurements on both sides, (2) checks the machine-independent
+// observability overhead *ratio* (metrics-on / metrics-off) alongside the
+// absolute encode/intern/decode timings, and (3) never compares multi-worker
+// speedup rows — only the workers=1 intern cost.
+
+// baselineDoc mirrors the slice of the -json document the gate reads.
+// Unknown experiments in the file are simply not compared.
+type baselineDoc struct {
+	Encode  []eval.EncodeRow
+	Profile []eval.ProfileRow
+	Decode  []eval.DecodeRow
+	Fig8    []eval.Fig8Row
+	Meta    struct {
+		Scale float64
+		Bench []string
+	}
+}
+
+// check is one gated comparison. Values are oriented so that higher is
+// worse: ratio = fresh/base for lower-is-better metrics and base/fresh for
+// higher-is-better ones; ratio > 1+tolerance flags a regression.
+type check struct {
+	name        string
+	base, fresh float64
+	ratio       float64
+}
+
+func lowerBetter(name string, base, fresh float64) (check, bool) {
+	if base <= 0 || fresh <= 0 {
+		return check{}, false // degenerate measurement; nothing to gate
+	}
+	return check{name: name, base: base, fresh: fresh, ratio: fresh / base}, true
+}
+
+func higherBetter(name string, base, fresh float64) (check, bool) {
+	if base <= 0 || fresh <= 0 {
+		return check{}, false
+	}
+	return check{name: name, base: base, fresh: fresh, ratio: base / fresh}, true
+}
+
+// runCompare executes the gate and exits: 0 when every metric is within
+// tolerance, 1 on any regression, 2 on a malformed baseline.
+func runCompare(path string, tolerance float64, repeats int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalCompare(err)
+	}
+	var base baselineDoc
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "dpbench: -compare %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if len(base.Encode) == 0 && len(base.Profile) == 0 && len(base.Decode) == 0 && len(base.Fig8) == 0 {
+		fmt.Fprintf(os.Stderr, "dpbench: -compare %s: no comparable experiments (encode/profile/decode/fig8)\n", path)
+		os.Exit(2)
+	}
+	scale := base.Meta.Scale
+	if scale <= 0 {
+		scale = 0.1
+	}
+	suite := suiteFromNames(base.Meta.Bench)
+	if repeats < 1 {
+		repeats = 1
+	}
+
+	var checks []check
+	add := func(c check, ok bool) {
+		if ok {
+			checks = append(checks, c)
+		}
+	}
+
+	if len(base.Encode) > 0 {
+		fresh, err := eval.EncodeOverhead(suite, scale, repeats, nil)
+		if err != nil {
+			fatalCompare(err)
+		}
+		freshBy := make(map[string]eval.EncodeRow, len(fresh))
+		for _, r := range fresh {
+			freshBy[r.Program] = r
+		}
+		for _, b := range base.Encode {
+			f, ok := freshBy[b.Program]
+			if !ok {
+				continue
+			}
+			add(lowerBetter("encode "+b.Program+" ns/event (off)", b.NsPerEventOff, f.NsPerEventOff))
+			add(lowerBetter("encode "+b.Program+" obs on/off ratio",
+				b.NsPerEventOn/b.NsPerEventOff, f.NsPerEventOn/f.NsPerEventOff))
+		}
+	}
+
+	if len(base.Profile) > 0 {
+		baseNs := 0.0
+		for _, r := range base.Profile {
+			if r.Workers == 1 {
+				baseNs = r.NsPerIntern
+			}
+		}
+		best := 0.0
+		for i := 0; i < repeats; i++ {
+			rows, err := eval.ProfileThroughput(suite, scale, []int{1})
+			if err != nil {
+				fatalCompare(err)
+			}
+			if ns := rows[0].NsPerIntern; best == 0 || ns < best {
+				best = ns
+			}
+		}
+		add(lowerBetter("profile workers=1 ns/intern", baseNs, best))
+	}
+
+	if len(base.Decode) > 0 {
+		bestBy := make(map[string]float64)
+		for i := 0; i < repeats; i++ {
+			rows, err := eval.DecodeLatency(suite, scale, 2048)
+			if err != nil {
+				fatalCompare(err)
+			}
+			for _, r := range rows {
+				if cur, ok := bestBy[r.Program]; !ok || r.MeanMicros < cur {
+					bestBy[r.Program] = r.MeanMicros
+				}
+			}
+		}
+		for _, b := range base.Decode {
+			if f, ok := bestBy[b.Program]; ok {
+				add(lowerBetter("decode "+b.Program+" mean µs", b.MeanMicros, f))
+			}
+		}
+	}
+
+	if len(base.Fig8) > 0 {
+		fresh, err := eval.Figure8Workers(suite, scale, repeats, 1)
+		if err != nil {
+			fatalCompare(err)
+		}
+		freshBy := make(map[string]eval.Fig8Row, len(fresh))
+		for _, r := range fresh {
+			freshBy[r.Program] = r
+		}
+		for _, b := range base.Fig8 {
+			f, ok := freshBy[b.Program]
+			if !ok {
+				continue
+			}
+			add(higherBetter("fig8 "+b.Program+" DP(wCPT) speed", b.DeltaCPT, f.DeltaCPT))
+		}
+	}
+
+	regressions := 0
+	fmt.Printf("bench-smoke gate: %s vs fresh best-of-%d (tolerance %.0f%%)\n",
+		path, repeats, tolerance*100)
+	fmt.Printf("%-42s %12s %12s %8s  %s\n", "metric", "baseline", "fresh", "ratio", "verdict")
+	for _, c := range checks {
+		verdict := "ok"
+		if c.ratio > 1+tolerance {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-42s %12.2f %12.2f %8.3f  %s\n", c.name, c.base, c.fresh, c.ratio, verdict)
+	}
+	if regressions > 0 {
+		fmt.Printf("%d of %d metrics regressed beyond %.0f%%\n", regressions, len(checks), tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d metrics within tolerance\n", len(checks))
+}
+
+// suiteFromNames resolves the baseline's benchmark subset (empty = full
+// suite). Unknown names are fatal: a renamed benchmark needs re-baselining,
+// not a silently shrunken gate.
+func suiteFromNames(names []string) []workload.Params {
+	if len(names) == 0 {
+		return workload.Suite()
+	}
+	out := make([]workload.Params, 0, len(names))
+	for _, name := range names {
+		p, ok := workload.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dpbench: baseline names unknown benchmark %q (re-baseline needed)\n", name)
+			os.Exit(2)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func fatalCompare(err error) {
+	fmt.Fprintln(os.Stderr, "dpbench: compare:", err)
+	os.Exit(1)
+}

@@ -11,14 +11,25 @@
 //
 // Usage:
 //
-//	dpbench -experiment table1|fig8|table2|decode|profile|all [-scale 0.2]
-//	        [-repeats 3] [-workers 1] [-bench compress,sunflow] [-json]
+//	dpbench -experiment table1|fig8|table2|decode|profile|encode|all
+//	        [-scale 0.2] [-repeats 3] [-workers 1]
+//	        [-bench compress,sunflow] [-json]
+//	dpbench -compare results/BENCH_0003.json [-tolerance 0.25] [-repeats 3]
 //
 // Scale multiplies workload loop-trip counts: 1.0 is the full configured
-// run (minutes), 0.1 a quick pass. -bench restricts to a comma-separated
-// subset of benchmark names. -json emits one machine-readable JSON document
-// holding every requested experiment plus a meta block (CPU count, GOOS,
-// GOARCH) instead of the formatted tables.
+// run (minutes), 0.1 a quick pass. -experiment accepts a comma-separated
+// list. -bench restricts to a comma-separated subset of benchmark names.
+// -json emits one machine-readable JSON document holding every requested
+// experiment plus a meta block (CPU count, GOOS, GOARCH, benchmark subset,
+// and — when the encode experiment ran — the aggregated observability
+// metrics) instead of the formatted tables.
+//
+// The encode experiment measures the observability layer's hot-path cost:
+// whole-run ns per probe event with metrics off (the nil-sink default) and
+// on. -compare is the bench-smoke regression gate built on that output: it
+// re-measures the experiments recorded in a baseline -json document (see
+// compare.go for the gated metrics and the 1-CPU caveat) and exits 1 on
+// any metric more than -tolerance worse than the baseline.
 package main
 
 import (
@@ -30,17 +41,25 @@ import (
 	"strings"
 
 	"deltapath/internal/eval"
+	"deltapath/internal/obs"
 	"deltapath/internal/workload"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1, fig8, table2, decode, profile, or all")
+	experiment := flag.String("experiment", "all", "comma-separated subset of table1, fig8, table2, decode, profile, encode; or all")
 	scale := flag.Float64("scale", 0.2, "workload scale factor (1.0 = full runs)")
-	repeats := flag.Int("repeats", 3, "throughput repetitions per configuration (fig8)")
+	repeats := flag.Int("repeats", 3, "throughput repetitions per configuration (fig8, encode, -compare)")
 	workers := flag.Int("workers", 1, "concurrent benchmark worker threads (fig8)")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
 	asJSON := flag.Bool("json", false, "emit JSON rows instead of formatted tables")
+	compare := flag.String("compare", "", "baseline -json document to regression-gate against (see results/BENCH_*.json)")
+	tolerance := flag.Float64("tolerance", 0.25, "with -compare: allowed relative regression per metric")
 	flag.Parse()
+
+	if *compare != "" {
+		runCompare(*compare, *tolerance, *repeats)
+		return
+	}
 
 	suite := workload.Suite()
 	if *benchList != "" {
@@ -56,8 +75,12 @@ func main() {
 		suite = filtered
 	}
 
+	wanted := make(map[string]bool)
+	for _, name := range strings.Split(*experiment, ",") {
+		wanted[strings.TrimSpace(name)] = true
+	}
 	run := func(name string, f func() error) {
-		if *experiment != "all" && *experiment != name {
+		if !wanted["all"] && !wanted[name] {
 			return
 		}
 		if err := f(); err != nil {
@@ -113,15 +136,35 @@ func main() {
 		}
 		return emit("profile", rows, eval.RenderProfile(rows))
 	})
+	// The encode experiment's metrics-on runs aggregate into reg, which
+	// -json surfaces as meta.metrics — the observability layer observing
+	// its own benchmark.
+	reg := obs.NewRegistry()
+	run("encode", func() error {
+		rows, err := eval.EncodeOverhead(suite, *scale, *repeats, reg)
+		if err != nil {
+			return err
+		}
+		return emit("encode", rows, eval.RenderEncode(rows))
+	})
 
 	if *asJSON {
-		doc["meta"] = map[string]any{
+		names := make([]string, 0, len(suite))
+		for _, p := range suite {
+			names = append(names, p.Name)
+		}
+		meta := map[string]any{
 			"num_cpu":    runtime.NumCPU(),
 			"gomaxprocs": runtime.GOMAXPROCS(0),
 			"goos":       runtime.GOOS,
 			"goarch":     runtime.GOARCH,
 			"scale":      *scale,
+			"bench":      names,
 		}
+		if metrics := reg.Snapshot(); len(metrics) > 0 {
+			meta["metrics"] = metrics
+		}
+		doc["meta"] = meta
 		out, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dpbench:", err)

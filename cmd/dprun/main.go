@@ -24,6 +24,14 @@
 // stream) and heals via the stack-walk resync protocol; the health counters
 // — corruptions detected, resyncs, dropped events, partial decodes — are
 // reported at the end. Every printed context is exact despite the faults.
+//
+// With -metrics, the runtime observability registry is enabled and dumped
+// to stderr when the run finishes: encoder additions, anchor pushes/pops,
+// CPT hazard pushes, decode cache hits, and so on (-metrics-format selects
+// json or prom; see DESIGN.md §11 for the metric table). With -trace, the
+// most recent probe/encoder events (ring capacity -trace-cap) are dumped to
+// stderr as one "seq=… kind=… site=… ctx=…" line each — the post-mortem
+// view of what the encoder last did.
 package main
 
 import (
@@ -48,6 +56,10 @@ func main() {
 	runs := flag.Int("runs", 1, "with -profile: number of concurrent runs to merge (seeds seed..seed+runs-1)")
 	chaosOn := flag.Bool("chaos", false, "inject seeded probe faults and heal via stack-walk resync")
 	chaosRate := flag.Float64("chaos-rate", 0.002, "per-probe-event fault probability under -chaos")
+	metricsOn := flag.Bool("metrics", false, "enable the observability registry and dump it to stderr at exit")
+	metricsFormat := flag.String("metrics-format", "prom", "metrics dump format: prom or json")
+	traceOn := flag.Bool("trace", false, "enable the event tracer and dump the ring to stderr at exit (implies -metrics)")
+	traceCap := flag.Int("trace-cap", 0, "trace ring capacity (rounded up to a power of two; 0 = default 4096)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dprun [-app] [-seed N] [-unique] [-profile out.dpp] [-runs N] [-chaos] [-chaos-rate P] program.mv")
@@ -69,6 +81,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	switch *metricsFormat {
+	case "prom", "json":
+	default:
+		fmt.Fprintln(os.Stderr, "dprun: -metrics-format must be prom or json")
+		os.Exit(2)
+	}
+	if *metricsOn {
+		an.EnableMetrics()
+	}
+	if *traceOn {
+		an.EnableTracing(*traceCap)
+	}
+	// dumpObs writes the metrics and/or trace to stderr; registered here so
+	// every exit path below (decode loop, -record, -profile) reports.
+	dumpObs := func() {
+		if *metricsOn {
+			var err error
+			if *metricsFormat == "json" {
+				err = an.Metrics().WriteJSON(os.Stderr)
+			} else {
+				err = an.Metrics().WritePrometheus(os.Stderr)
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if *traceOn {
+			if err := an.WriteTrace(os.Stderr); err != nil {
+				fatal(err)
+			}
+		}
+	}
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
@@ -82,6 +126,8 @@ func main() {
 		}
 		fmt.Printf("analysis saved to %s\n", *save)
 	}
+
+	defer dumpObs()
 
 	if *profileOut != "" {
 		runProfile(an, *profileOut, *seed, *runs, *chaosOn, *chaosRate)

@@ -56,6 +56,7 @@ import (
 	"deltapath/internal/instrument"
 	"deltapath/internal/lang"
 	"deltapath/internal/minivm"
+	"deltapath/internal/obs"
 	"deltapath/internal/profile"
 )
 
@@ -120,6 +121,12 @@ type Analysis struct {
 
 	digestOnce sync.Once
 	digest     analysisio.GraphDigest
+
+	// obsMu guards the observability state (see observe.go). obsReg/tracer
+	// stay nil until EnableMetrics/EnableTracing — the no-op default.
+	obsMu  sync.Mutex
+	obsReg *obs.Registry
+	tracer *obs.Tracer
 }
 
 // graphDigest lazily computes (once) the digest of the analysed call graph.
@@ -298,6 +305,10 @@ func (a *Analysis) NewSession(seed uint64) (*Session, error) {
 		return nil, err
 	}
 	enc := instrument.NewEncoder(a.plan)
+	if reg, tr := a.observability(); reg != nil {
+		enc.Observe(reg, tr)
+		vm.Observe(reg, tr)
+	}
 	vm.SetProbes(enc)
 	vm.SetInstrumented(a.plan.InstrumentedMethods())
 	return &Session{an: a, vm: vm, enc: enc}, nil
@@ -528,7 +539,11 @@ type Profile struct {
 // analysis. shards is rounded up to a power of two; <= 0 selects the
 // default (64).
 func (a *Analysis) NewProfile(shards int) *Profile {
-	return &Profile{an: a, store: profile.NewStore(shards)}
+	store := profile.NewStore(shards)
+	if reg, _ := a.observability(); reg != nil {
+		store.Observe(reg)
+	}
+	return &Profile{an: a, store: store}
 }
 
 // Add records one hit of the captured context. Contexts captured at emit
@@ -625,7 +640,7 @@ func (a *Analysis) RunParallel(seeds []uint64, onEmit func(Context)) (*Profile, 
 // decodeProfileStream is the shared implementation of DecodeProfile: check
 // the profile's digest against the analysis in hand, then fan the records
 // over a worker pool.
-func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, dec *encoding.Decoder) (*ProfileReport, error) {
+func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, dec *encoding.Decoder, reg *obs.Registry) (*ProfileReport, error) {
 	pr, err := profile.NewReader(r)
 	if err != nil {
 		return nil, err
@@ -634,7 +649,7 @@ func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, 
 		return nil, fmt.Errorf("deltapath: profile mismatch: profile was recorded over %s, analysis graph is %s (stale analysis or wrong program?)",
 			pr.Digest(), want)
 	}
-	return profile.Decode(pr, workers, func(rec []byte) (string, error) {
+	return profile.DecodeObserved(pr, workers, func(rec []byte) (string, error) {
 		st, end, err := encoding.UnmarshalContext(rec)
 		if err != nil {
 			return "", err
@@ -644,7 +659,7 @@ func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, 
 			return "", err
 		}
 		return strings.Join(names, " > "), nil
-	})
+	}, reg)
 }
 
 // DecodeProfile decodes a .dpp profile (Profile.Save) recorded under this
@@ -653,11 +668,12 @@ func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, 
 // worker count. A profile whose graph digest does not match this analysis
 // is refused.
 func (a *Analysis) DecodeProfile(r io.Reader, workers int) (*ProfileReport, error) {
-	return decodeProfileStream(r, workers, a.graphDigest(), a.decoder)
+	reg, _ := a.observability()
+	return decodeProfileStream(r, workers, a.graphDigest(), a.decoder, reg)
 }
 
 // DecodeProfile decodes a .dpp profile against the persisted analysis (see
 // Analysis.DecodeProfile).
 func (d *OfflineDecoder) DecodeProfile(r io.Reader, workers int) (*ProfileReport, error) {
-	return decodeProfileStream(r, workers, d.bundle.Digest, d.decoder)
+	return decodeProfileStream(r, workers, d.bundle.Digest, d.decoder, nil)
 }

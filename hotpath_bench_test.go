@@ -1,0 +1,140 @@
+// BenchmarkEncodeHotPath is the regression gate for the per-event cost of
+// the runtime encoder — the constant-time work the paper's instrumentation
+// performs at every call site and method entry/exit.
+//
+// It records the exact probe-event stream of one instrumented run (call
+// sites, dispatch targets, entries, exits), then replays that stream
+// directly against a fresh encoder, so the measurement is the encoder's
+// hot path alone: no interpreter dispatch, no workload arithmetic. CI and
+// `make bench-smoke` compare the ns/event metric against the baseline in
+// results/ (see EXPERIMENTS.md "Bench-smoke regression gate").
+package deltapath
+
+import (
+	"testing"
+
+	"deltapath/internal/cha"
+	"deltapath/internal/core"
+	"deltapath/internal/cpt"
+	"deltapath/internal/instrument"
+	"deltapath/internal/minivm"
+	"deltapath/internal/workload"
+)
+
+// probeEvent is one recorded instrumentation event. Matching pairs
+// (BeforeCall/AfterCall, Enter/Exit) are properly nested in the stream, so
+// a replay threads tokens through a single stack.
+type probeEvent struct {
+	kind   uint8 // 0 BeforeCall, 1 AfterCall, 2 Enter, 3 Exit
+	site   minivm.SiteRef
+	target minivm.MethodRef
+	m      minivm.MethodRef
+}
+
+// probeRecorder wraps an encoder, forwarding every event and appending it
+// to the stream.
+type probeRecorder struct {
+	enc    *instrument.Encoder
+	stream []probeEvent
+}
+
+func (r *probeRecorder) BeforeCall(site minivm.SiteRef, target minivm.MethodRef) uint8 {
+	r.stream = append(r.stream, probeEvent{kind: 0, site: site, target: target})
+	return r.enc.BeforeCall(site, target)
+}
+
+func (r *probeRecorder) AfterCall(site minivm.SiteRef, target minivm.MethodRef, token uint8) {
+	r.stream = append(r.stream, probeEvent{kind: 1, site: site, target: target})
+	r.enc.AfterCall(site, target, token)
+}
+
+func (r *probeRecorder) Enter(m minivm.MethodRef) uint8 {
+	r.stream = append(r.stream, probeEvent{kind: 2, m: m})
+	return r.enc.Enter(m)
+}
+
+func (r *probeRecorder) Exit(m minivm.MethodRef, token uint8) {
+	r.stream = append(r.stream, probeEvent{kind: 3, m: m})
+	r.enc.Exit(m, token)
+}
+
+// recordEventStream runs one workload under full instrumentation (CPT on)
+// and returns the encoder plan plus the recorded probe-event stream.
+func recordEventStream(b *testing.B, name string, scale float64) (*instrument.Plan, []probeEvent) {
+	b.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("missing benchmark %s", name)
+	}
+	prog, err := p.Scale(scale).Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	build, err := cha.Build(prog, cha.Options{Setting: cha.EncodingAll})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Encode(build.Graph, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := instrument.NewPlan(build, res.Spec, cpt.Compute(build.Graph))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &probeRecorder{enc: instrument.NewEncoder(plan)}
+	vm, err := minivm.NewVM(prog, p.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm.SetProbes(rec)
+	vm.SetInstrumented(plan.InstrumentedMethods())
+	if err := vm.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if len(rec.stream) == 0 {
+		b.Fatal("recorded no probe events")
+	}
+	return plan, rec.stream
+}
+
+// replayStream drives the recorded stream through enc once, threading
+// tokens through a nesting stack exactly as the interpreter would.
+func replayStream(enc *instrument.Encoder, stream []probeEvent, tokens []uint8) []uint8 {
+	tokens = tokens[:0]
+	for i := range stream {
+		ev := &stream[i]
+		switch ev.kind {
+		case 0:
+			tokens = append(tokens, enc.BeforeCall(ev.site, ev.target))
+		case 2:
+			tokens = append(tokens, enc.Enter(ev.m))
+		case 1:
+			enc.AfterCall(ev.site, ev.target, tokens[len(tokens)-1])
+			tokens = tokens[:len(tokens)-1]
+		case 3:
+			enc.Exit(ev.m, tokens[len(tokens)-1])
+			tokens = tokens[:len(tokens)-1]
+		}
+	}
+	return tokens
+}
+
+// BenchmarkEncodeHotPath measures the encoder's per-probe-event cost with
+// the default (disabled) observability sink. One iteration replays the
+// whole recorded stream; the ns/event metric divides by the stream length.
+func BenchmarkEncodeHotPath(b *testing.B) {
+	plan, stream := recordEventStream(b, "compress", 0.02)
+	enc := instrument.NewEncoder(plan)
+	tokens := make([]uint8, 0, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Reset()
+		tokens = replayStream(enc, stream, tokens)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(len(stream))), "ns/event")
+	if enc.MaxID == 0 && enc.MaxStackDepth == 0 {
+		b.Fatal("replay did not exercise the encoder")
+	}
+}

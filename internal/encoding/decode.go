@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"deltapath/internal/callgraph"
+	"deltapath/internal/obs"
 )
 
 // Sentinel decode errors. They classify *corruption* — an encoding that no
@@ -61,6 +62,12 @@ type Decoder struct {
 	// starting there can traverse: the bounded DFS of Section 3.2 that
 	// retreats at anchor nodes.
 	territory map[callgraph.NodeID]map[callgraph.Edge]bool
+
+	// Observability hooks (nil = no-op): cache effectiveness of the two
+	// memo layers above, and the size distribution of decoded contexts.
+	memoHits   *obs.Counter
+	memoMisses *obs.Counter
+	frames     *obs.Histogram
 }
 
 type avEdge struct {
@@ -75,6 +82,15 @@ func NewDecoder(spec *Spec) *Decoder {
 		inEdges:   make(map[callgraph.NodeID][]avEdge),
 		territory: make(map[callgraph.NodeID]map[callgraph.Edge]bool),
 	}
+}
+
+// Observe resolves the decoder's metric hooks from reg (nil disables):
+// memo hits/misses of the in-edge and territory caches, and a histogram
+// of decoded-context sizes.
+func (d *Decoder) Observe(reg *obs.Registry) {
+	d.memoHits = reg.Counter(obs.MetricDecodeMemoHits)
+	d.memoMisses = reg.Counter(obs.MetricDecodeMemoMisses)
+	d.frames = reg.Histogram(obs.MetricDecodeFrames, obs.DefaultDepthBuckets)
 }
 
 // Decode recovers the full calling context whose encoding is st and which
@@ -94,6 +110,7 @@ func (d *Decoder) Decode(st *State, end callgraph.NodeID) ([]Frame, error) {
 			return nil, fmt.Errorf("piece %d (%s): %w", i, st.Stack[i].Kind, err)
 		}
 	}
+	d.frames.Observe(uint64(len(frames)))
 	return frames, nil
 }
 
@@ -253,8 +270,10 @@ func (d *Decoder) sortedIn(n callgraph.NodeID) []avEdge {
 	cached, ok := d.inEdges[n]
 	d.mu.RUnlock()
 	if ok {
+		d.memoHits.Inc()
 		return cached
 	}
+	d.memoMisses.Inc()
 	var list []avEdge
 	for _, e := range d.spec.Graph.In(n) {
 		if _, pushed := d.spec.Push[e]; pushed {
@@ -291,8 +310,10 @@ func (d *Decoder) territoryOf(start callgraph.NodeID) map[callgraph.Edge]bool {
 	t, ok := d.territory[start]
 	d.mu.RUnlock()
 	if ok {
+		d.memoHits.Inc()
 		return t
 	}
+	d.memoMisses.Inc()
 	t = make(map[callgraph.Edge]bool)
 	seen := map[callgraph.NodeID]bool{start: true}
 	work := []callgraph.NodeID{start}

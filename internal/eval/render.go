@@ -90,6 +90,19 @@ func RenderProfile(rows []ProfileRow) string {
 	return b.String()
 }
 
+// RenderEncode prints the observability-overhead table.
+func RenderEncode(rows []EncodeRow) string {
+	var b strings.Builder
+	b.WriteString("Encode hot-path cost (whole-run ns per probe event; metrics off vs on)\n")
+	fmt.Fprintf(&b, "%-22s %12s %12s %12s %10s\n",
+		"program", "events", "off ns/ev", "on ns/ev", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %12d %12.2f %12.2f %9.2f%%\n",
+			r.Program, r.Events, r.NsPerEventOff, r.NsPerEventOn, r.OverheadPct)
+	}
+	return b.String()
+}
+
 // RenderDecodeLatency prints the decode-latency table.
 func RenderDecodeLatency(rows []DecodeRow) string {
 	var b strings.Builder

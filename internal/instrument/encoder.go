@@ -4,6 +4,7 @@ import (
 	"deltapath/internal/callgraph"
 	"deltapath/internal/encoding"
 	"deltapath/internal/minivm"
+	"deltapath/internal/obs"
 	"deltapath/internal/stackwalk"
 )
 
@@ -54,6 +55,12 @@ type Encoder struct {
 
 	// Health holds the graceful-degradation counters (see recover.go).
 	Health Health
+
+	// obs holds the observability hooks (see observe.go). The zero value
+	// is the default no-op sink; obsReg remembers the registry so lazily
+	// built collaborators (the stack walker) can resolve their own hooks.
+	obs    encoderObs
+	obsReg *obs.Registry
 
 	// suspect is set when the encoder itself observes an impossible event
 	// sequence (a pop with no matching push): the state can no longer be
@@ -130,6 +137,7 @@ func (e *Encoder) BeforeCall(site minivm.SiteRef, target minivm.MethodRef) uint8
 		e.expectedValid = true
 		e.expectedSID = pay.expectedSID
 		e.expectedSite = pay.site
+		e.obs.sidSaves.Inc()
 	}
 	node, known := e.plan.Build.NodeOf[target]
 	if known {
@@ -137,6 +145,10 @@ func (e *Encoder) BeforeCall(site minivm.SiteRef, target minivm.MethodRef) uint8
 			e.st.PushCallEdge(kind, pay.site, node)
 			e.pendingRecTarget = node
 			e.noteDepth()
+			e.obs.edgePushes.Inc()
+			if e.obs.tracer != nil {
+				e.obs.tracer.Record(obs.EvEdgePush, uint64(pay.site.Label), e.st.ID)
+			}
 			return tokPushedEdge
 		}
 	}
@@ -150,6 +162,7 @@ func (e *Encoder) BeforeCall(site minivm.SiteRef, target minivm.MethodRef) uint8
 	if e.st.ID > e.MaxID {
 		e.MaxID = e.st.ID
 	}
+	e.obs.additions.Inc()
 	return tokAdded
 }
 
@@ -198,6 +211,7 @@ func (e *Encoder) Enter(m minivm.MethodRef) uint8 {
 		// the encoding (a false-benign UCP).
 		valid := e.expectedValid
 		e.expectedValid = false
+		e.obs.sidChecks.Inc()
 		if !valid || e.expectedSID != pay.sid {
 			// Hazardous unexpected call path: control reached this
 			// statically loaded function through frames the static
@@ -207,12 +221,20 @@ func (e *Encoder) Enter(m minivm.MethodRef) uint8 {
 			e.st.PushUCP(e.expectedSite, e.lastID, e.lastNode, pay.node)
 			e.Hazards++
 			e.noteDepth()
+			e.obs.ucpPushes.Inc()
+			if e.obs.tracer != nil {
+				e.obs.tracer.Record(obs.EvUCPPush, uint64(pay.node), e.st.ID)
+			}
 			tok |= tokPushedUCP
 		}
 	}
 	if pay.anchor && pendingRec != pay.node {
 		e.st.PushAnchor(pay.node)
 		e.noteDepth()
+		e.obs.anchorPushes.Inc()
+		if e.obs.tracer != nil {
+			e.obs.tracer.Record(obs.EvAnchorPush, uint64(pay.node), e.st.ID)
+		}
 		tok |= tokPushedAnchor
 	}
 	if e.cptOn {
@@ -230,6 +252,10 @@ func (e *Encoder) Exit(m minivm.MethodRef, token uint8) {
 	if token&tokPushedAnchor != 0 {
 		if el, ok := e.st.TryPop(); ok {
 			popped = &el
+			e.obs.anchorPops.Inc()
+			if e.obs.tracer != nil {
+				e.obs.tracer.Record(obs.EvAnchorPop, uint64(el.OuterEnd), e.st.ID)
+			}
 		} else {
 			e.noteUnderflow()
 		}
@@ -268,12 +294,15 @@ func (e *Encoder) Exit(m minivm.MethodRef, token uint8) {
 func (e *Encoder) noteUnderflow() {
 	e.suspect = true
 	e.Health.CorruptionsDetected++
+	e.obs.underflows.Inc()
+	e.obs.corruptions.Inc()
 }
 
 func (e *Encoder) noteDepth() {
 	if d := e.st.Depth(); d > e.MaxStackDepth {
 		e.MaxStackDepth = d
 	}
+	e.obs.pieceDepth.Observe(uint64(e.st.Depth()))
 }
 
 // BeginTask implements minivm.TaskProbes: an executor task runs on a fresh

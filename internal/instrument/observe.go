@@ -1,0 +1,52 @@
+package instrument
+
+import (
+	"deltapath/internal/obs"
+)
+
+// encoderObs holds the encoder's pre-resolved observability hooks. The
+// zero value (all nil) is the default no-op sink: every field is nil-safe,
+// so the disabled hot path pays one predictable branch per touched hook
+// and nothing else — the property BenchmarkEncodeHotPath guards.
+type encoderObs struct {
+	additions    *obs.Counter
+	anchorPushes *obs.Counter
+	anchorPops   *obs.Counter
+	edgePushes   *obs.Counter
+	ucpPushes    *obs.Counter
+	sidSaves     *obs.Counter
+	sidChecks    *obs.Counter
+	underflows   *obs.Counter
+	corruptions  *obs.Counter
+	resyncs      *obs.Counter
+	partials     *obs.Counter
+	pieceDepth   *obs.Histogram
+	tracer       *obs.Tracer
+}
+
+// Observe resolves the encoder's metric hooks from reg and attaches tr for
+// event tracing. Either argument may be nil: a nil registry leaves the
+// counters as no-op sinks, a nil tracer disables tracing. Call before the
+// run whose events should be counted; counters are shared, so every
+// encoder observed from one registry aggregates into the same totals.
+func (e *Encoder) Observe(reg *obs.Registry, tr *obs.Tracer) {
+	e.obs = encoderObs{
+		additions:    reg.Counter(obs.MetricEncoderAdditions),
+		anchorPushes: reg.Counter(obs.MetricEncoderAnchorPushes),
+		anchorPops:   reg.Counter(obs.MetricEncoderAnchorPops),
+		edgePushes:   reg.Counter(obs.MetricEncoderEdgePushes),
+		ucpPushes:    reg.Counter(obs.MetricEncoderUCPPushes),
+		sidSaves:     reg.Counter(obs.MetricEncoderSIDSaves),
+		sidChecks:    reg.Counter(obs.MetricEncoderSIDChecks),
+		underflows:   reg.Counter(obs.MetricEncoderUnderflows),
+		corruptions:  reg.Counter(obs.MetricHealCorruptions),
+		resyncs:      reg.Counter(obs.MetricHealResyncs),
+		partials:     reg.Counter(obs.MetricHealPartialDecodes),
+		pieceDepth:   reg.Histogram(obs.MetricEncoderPieceDepth, nil),
+		tracer:       tr,
+	}
+	if e.walker != nil {
+		e.walker.Observe(reg)
+	}
+	e.obsReg = reg
+}

@@ -6,6 +6,7 @@ import (
 	"deltapath/internal/callgraph"
 	"deltapath/internal/encoding"
 	"deltapath/internal/minivm"
+	"deltapath/internal/obs"
 	"deltapath/internal/stackwalk"
 )
 
@@ -55,6 +56,7 @@ func (e *Encoder) decoder() *encoding.Decoder {
 func (e *Encoder) walkNodes(vm *minivm.VM) []callgraph.NodeID {
 	if e.walker == nil {
 		e.walker = &stackwalk.Walker{Filter: e.plan.InstrumentedMethods()}
+		e.walker.Observe(e.obsReg)
 	}
 	refs := e.walker.Capture(vm)
 	nodes := make([]callgraph.NodeID, 0, len(refs))
@@ -115,7 +117,8 @@ func (e *Encoder) nameAt(truth []callgraph.NodeID, i int) string {
 func (e *Encoder) Resync(vm *minivm.VM) { e.resyncTo(e.walkNodes(vm)) }
 
 func (e *Encoder) resyncTo(path []callgraph.NodeID) {
-	st := stackwalk.Reencode(e.plan.Spec, e.plan.entry, path)
+	st := stackwalk.ReencodeObserved(e.plan.Spec, e.plan.entry, path,
+		e.obsReg.Counter(obs.MetricStackwalkReencodes))
 	// Replace in place so references handed out by State() stay live.
 	*e.st = *st
 	e.pendingRecTarget = callgraph.InvalidNode
@@ -131,6 +134,10 @@ func (e *Encoder) resyncTo(path []callgraph.NodeID) {
 	e.suspect = false
 	e.noteDepth()
 	e.Health.Resyncs++
+	e.obs.resyncs.Inc()
+	if e.obs.tracer != nil {
+		e.obs.tracer.Record(obs.EvResync, uint64(e.lastNode), e.st.ID)
+	}
 }
 
 // VerifyAndResync is the self-healing protocol, intended at emit points of
@@ -145,6 +152,7 @@ func (e *Encoder) VerifyAndResync(vm *minivm.VM) bool {
 	if !corrupt {
 		if err := e.verifyAgainst(path); err != nil {
 			e.Health.CorruptionsDetected++
+			e.obs.corruptions.Inc()
 			corrupt = true
 		}
 	}
@@ -156,6 +164,7 @@ func (e *Encoder) VerifyAndResync(vm *minivm.VM) bool {
 	if len(path) > 0 {
 		if _, complete := e.decoder().DecodeBestEffort(e.st, path[len(path)-1]); !complete {
 			e.Health.PartialDecodes++
+			e.obs.partials.Inc()
 		}
 	}
 	e.resyncTo(path)

@@ -3,6 +3,8 @@ package minivm
 import (
 	"errors"
 	"fmt"
+
+	"deltapath/internal/obs"
 )
 
 // Probes is the instrumentation interface. A static analysis binds encoding
@@ -110,6 +112,34 @@ type VM struct {
 	tasks []MethodRef
 	// Tasks counts executor tasks run (excluding the main task).
 	Tasks int
+
+	// obs holds the interpreter's observability hooks (see Observe). The
+	// zero value is the default no-op sink.
+	obs vmObs
+}
+
+// vmObs is the VM's pre-resolved hook set: interpreter call/return
+// volume, emit points, and executor tasks. All fields are nil-safe.
+type vmObs struct {
+	calls   *obs.Counter
+	returns *obs.Counter
+	emits   *obs.Counter
+	tasks   *obs.Counter
+	tracer  *obs.Tracer
+}
+
+// Observe resolves the VM's metric hooks from reg and attaches tr for
+// event tracing; either may be nil. Trace records carry the call depth as
+// the site and the step count as the context, correlating interpreter
+// events with the encoder's piece events in one dump.
+func (vm *VM) Observe(reg *obs.Registry, tr *obs.Tracer) {
+	vm.obs = vmObs{
+		calls:   reg.Counter(obs.MetricVMCalls),
+		returns: reg.Counter(obs.MetricVMReturns),
+		emits:   reg.Counter(obs.MetricVMEmits),
+		tasks:   reg.Counter(obs.MetricVMTasks),
+		tracer:  tr,
+	}
 }
 
 // ErrMaxDepth is returned when the interpreter call stack exceeds MaxDepth.
@@ -293,6 +323,10 @@ func (vm *VM) Run() error {
 
 // runTask runs one executor task (or the main task) on a fresh stack.
 func (vm *VM) runTask(m *loadedMethod) error {
+	vm.obs.tasks.Inc()
+	if vm.obs.tracer != nil {
+		vm.obs.tracer.Record(obs.EvTaskBegin, uint64(len(vm.stack)), vm.Steps)
+	}
 	if tp, ok := vm.probes.(TaskProbes); ok && vm.probes != nil {
 		tp.BeginTask(m.ref)
 	}
@@ -306,6 +340,10 @@ func (vm *VM) invoke(m *loadedMethod) error {
 		return fmt.Errorf("%w (%d)", ErrMaxDepth, vm.MaxDepth)
 	}
 	vm.stack = append(vm.stack, m.ref)
+	vm.obs.calls.Inc()
+	if vm.obs.tracer != nil {
+		vm.obs.tracer.Record(obs.EvCall, uint64(len(vm.stack)), vm.Steps)
+	}
 	var tok uint8
 	probed := vm.hasProbes(m)
 	if probed {
@@ -314,6 +352,10 @@ func (vm *VM) invoke(m *loadedMethod) error {
 	err := vm.exec(m, m.body)
 	if probed {
 		vm.probes.Exit(m.ref, tok)
+	}
+	vm.obs.returns.Inc()
+	if vm.obs.tracer != nil {
+		vm.obs.tracer.Record(obs.EvReturn, uint64(len(vm.stack)), vm.Steps)
 	}
 	vm.stack = vm.stack[:len(vm.stack)-1]
 	return err
@@ -354,6 +396,10 @@ func (vm *VM) exec(m *loadedMethod, body []Instr) error {
 				}
 			}
 		case OpEmit:
+			vm.obs.emits.Inc()
+			if vm.obs.tracer != nil {
+				vm.obs.tracer.Record(obs.EvEmit, uint64(len(vm.stack)), vm.Steps)
+			}
 			if vm.OnEmit != nil {
 				vm.OnEmit(vm, m.ref, in.Tag)
 			}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateExport = flag.Bool("update", false, "rewrite testdata export goldens")
+
+// exportFixture builds a registry with one of everything, with fixed
+// values, so the two export formats can be golden-tested byte for byte.
+func exportFixture() *Registry {
+	r := NewRegistry()
+	r.Counter(MetricEncoderAdditions).Add(1234)
+	r.Counter(MetricEncoderAnchorPushes).Add(56)
+	r.Counter(MetricEncoderUCPPushes).Add(3)
+	r.Gauge(MetricGraphNodes).Set(420)
+	r.Gauge(MetricMaxID).Set(987654)
+	h := r.Histogram(MetricEncoderPieceDepth, []uint64{1, 2, 4, 8})
+	for _, v := range []uint64{1, 1, 2, 3, 5, 8, 13} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateExport {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run Export -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("export drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestExportJSONGolden pins the flat JSON export shape.
+func TestExportJSONGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := exportFixture().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The document must be valid JSON with flat counters.
+	var doc map[string]any
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc[MetricEncoderAdditions] != float64(1234) {
+		t.Fatalf("%s = %v, want 1234", MetricEncoderAdditions, doc[MetricEncoderAdditions])
+	}
+	checkGolden(t, "export.json.golden", b.Bytes())
+}
+
+// TestExportPrometheusGolden pins the Prometheus text exposition shape.
+func TestExportPrometheusGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := exportFixture().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "export.prom.golden", b.Bytes())
+}

@@ -1,0 +1,406 @@
+// Package obs is the runtime observability layer: zero-dependency metrics
+// (atomic counters, gauges, and histograms, registered by name) and a
+// fixed-size lock-free ring-buffer event tracer, wired through the encoder,
+// the VM, the decoder, the stack-walk healer, and the profile pipeline.
+//
+// The design constraint is the paper's own: instrumentation must not
+// distort what it measures. Every metric type is nil-safe — calling Inc,
+// Add, Set, or Observe on a nil pointer is a no-op — so the disabled state
+// is simply "the hook fields were never resolved": one predictable branch
+// per event, no interface dispatch, no map lookup, no allocation. A
+// component opts in by resolving its counters from a Registry once
+// (Encoder.Observe, VM.Observe, ...); the hot path then touches only the
+// pre-resolved pointers.
+//
+// The registry exports two shapes: a flat JSON document (WriteJSON) and
+// Prometheus text exposition format (WritePrometheus). Both are
+// deterministic (name-sorted) so they can be golden-tested.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Canonical metric names. Every name the repository registers is listed
+// here (and in DESIGN.md §11's table) so commands, tests, and dashboards
+// agree on spelling. Counters follow the Prometheus *_total convention.
+const (
+	// Interpreter events (internal/minivm).
+	MetricVMCalls   = "dp_vm_calls_total"
+	MetricVMReturns = "dp_vm_returns_total"
+	MetricVMEmits   = "dp_vm_emits_total"
+	MetricVMTasks   = "dp_vm_tasks_total"
+
+	// Encoder events (internal/instrument).
+	MetricEncoderAdditions    = "dp_encoder_additions_total"
+	MetricEncoderAnchorPushes = "dp_encoder_anchor_pushes_total"
+	MetricEncoderAnchorPops   = "dp_encoder_anchor_pops_total"
+	MetricEncoderEdgePushes   = "dp_encoder_edge_pushes_total"
+	MetricEncoderUCPPushes    = "dp_encoder_ucp_hazard_pushes_total"
+	MetricEncoderSIDSaves     = "dp_encoder_sid_saves_total"
+	MetricEncoderSIDChecks    = "dp_encoder_sid_checks_total"
+	MetricEncoderUnderflows   = "dp_encoder_underflows_total"
+	MetricEncoderPieceDepth   = "dp_encoder_piece_depth"
+
+	// Self-healing events (internal/instrument recovery protocol).
+	MetricHealCorruptions    = "dp_heal_corruptions_detected_total"
+	MetricHealResyncs        = "dp_heal_resyncs_total"
+	MetricHealPartialDecodes = "dp_heal_partial_decodes_total"
+
+	// Decoder cache events (internal/encoding).
+	MetricDecodeMemoHits   = "dp_decode_memo_hits_total"
+	MetricDecodeMemoMisses = "dp_decode_memo_misses_total"
+	MetricDecodeFrames     = "dp_decode_frames"
+
+	// Stack-walk healer (internal/stackwalk).
+	MetricStackwalkWalks     = "dp_stackwalk_walks_total"
+	MetricStackwalkFrames    = "dp_stackwalk_frames_total"
+	MetricStackwalkReencodes = "dp_stackwalk_reencodes_total"
+
+	// Profile pipeline (internal/profile).
+	MetricProfileInterns         = "dp_profile_interns_total"
+	MetricProfileShardContention = "dp_profile_shard_contention_total"
+	MetricProfileDecodeMemoHits  = "dp_profile_decode_memo_hits_total"
+	MetricProfileDecodeMemoMiss  = "dp_profile_decode_memo_misses_total"
+
+	// Static analysis shape (gauges, set once per analysis).
+	MetricGraphNodes = "dp_graph_nodes"
+	MetricGraphEdges = "dp_graph_edges"
+	MetricAnchors    = "dp_anchors"
+	MetricMaxID      = "dp_max_id"
+	MetricCPTSets    = "dp_cpt_sets"
+	MetricCPTSites   = "dp_cpt_expected_sites"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// usable; a nil *Counter is a valid no-op sink, which is how the disabled
+// path stays within the ≤2% hot-path overhead bound.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Inc adds one. Safe on nil.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on nil.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name ("" on nil).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is an atomic last-value metric (analysis shape, configuration).
+// A nil *Gauge is a valid no-op sink.
+type Gauge struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Set stores v. Safe on nil.
+func (g *Gauge) Set(v uint64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the stored value (0 on nil).
+func (g *Gauge) Value() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Name returns the registered name ("" on nil).
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Histogram counts observations into fixed upper-bound buckets (plus an
+// implicit +Inf bucket) with an atomic sum and count — the Prometheus
+// histogram shape without labels. A nil *Histogram is a valid no-op sink.
+type Histogram struct {
+	name    string
+	bounds  []uint64 // ascending upper bounds, exclusive of +Inf
+	buckets []atomic.Uint64
+	inf     atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+// DefaultDepthBuckets suits piece-stack and frame-count distributions.
+var DefaultDepthBuckets = []uint64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Observe records one observation of v. Safe on nil.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.sum.Add(v)
+	h.count.Add(1)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.inf.Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry holds named metrics. Registration is idempotent: asking for an
+// existing name returns the existing metric, so components sharing one
+// registry aggregate into the same counters. A nil *Registry is the no-op
+// sink: every accessor returns nil, which every metric method accepts.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracer   *Tracer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, registering it on first use. Returns
+// nil (the no-op sink) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// ascending upper bounds on first use (nil bounds selects
+// DefaultDepthBuckets). Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		if bounds == nil {
+			bounds = DefaultDepthBuckets
+		}
+		h = &Histogram{
+			name:    name,
+			bounds:  append([]uint64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetTracer attaches an event tracer so exports can report its depth and
+// Tracer() hands it to components. Safe on nil.
+func (r *Registry) SetTracer(t *Tracer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tracer = t
+	r.mu.Unlock()
+}
+
+// Tracer returns the attached tracer (nil on a nil registry or when none
+// is attached).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
+// histSnapshot is a histogram's exported form.
+type histSnapshot struct {
+	name   string
+	bounds []uint64
+	counts []uint64 // per bound, then +Inf appended
+	sum    uint64
+	count  uint64
+}
+
+// snapshot captures every metric under the lock, name-sorted.
+func (r *Registry) snapshot() (counters []*Counter, gauges []*Gauge, hists []histSnapshot) {
+	if r == nil {
+		return nil, nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	for _, h := range r.hists {
+		hs := histSnapshot{name: h.name, bounds: h.bounds, sum: h.sum.Load(), count: h.count.Load()}
+		for i := range h.buckets {
+			hs.counts = append(hs.counts, h.buckets[i].Load())
+		}
+		hs.counts = append(hs.counts, h.inf.Load())
+		hists = append(hists, hs)
+	}
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	return counters, gauges, hists
+}
+
+// Snapshot returns every counter and gauge as a flat name→value map.
+// Histograms contribute their _count and _sum. Nil-safe (empty map).
+func (r *Registry) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64)
+	counters, gauges, hists := r.snapshot()
+	for _, c := range counters {
+		out[c.name] = c.v.Load()
+	}
+	for _, g := range gauges {
+		out[g.name] = g.v.Load()
+	}
+	for _, h := range hists {
+		out[h.name+"_count"] = h.count
+		out[h.name+"_sum"] = h.sum
+	}
+	return out
+}
+
+// WriteJSON writes the registry as one flat, name-sorted JSON document:
+// counters and gauges as numbers, histograms as {buckets, sum, count}
+// objects. The shape is stable and golden-tested.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	counters, gauges, hists := r.snapshot()
+	doc := make(map[string]any, len(counters)+len(gauges)+len(hists))
+	for _, c := range counters {
+		doc[c.name] = c.v.Load()
+	}
+	for _, g := range gauges {
+		doc[g.name] = g.v.Load()
+	}
+	for _, h := range hists {
+		buckets := make(map[string]uint64, len(h.counts))
+		for i, b := range h.bounds {
+			buckets[fmt.Sprintf("le_%d", b)] = h.counts[i]
+		}
+		buckets["le_inf"] = h.counts[len(h.counts)-1]
+		doc[h.name] = map[string]any{"buckets": buckets, "sum": h.sum, "count": h.count}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4): # TYPE lines, cumulative histogram buckets with
+// le labels, name-sorted.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	counters, gauges, hists := r.snapshot()
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v.Load()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.v.Load()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", h.name, b, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			h.name, cum, h.name, h.sum, h.name, h.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSinks: every metric type, and the registry itself, must be a
+// valid no-op when nil — this is the disabled path the whole design
+// hinges on.
+func TestNilSinks(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter must read as zero")
+	}
+	var g *Gauge
+	g.Set(7)
+	if g.Value() != 0 || g.Name() != "" {
+		t.Fatal("nil gauge must read as zero")
+	}
+	var h *Histogram
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must read as zero")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry must hand out nil sinks")
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if r.Tracer() != nil {
+		t.Fatal("nil registry must have no tracer")
+	}
+	var tr *Tracer
+	tr.Record(EvCall, 1, 2)
+	if tr.Events() != nil || tr.Cap() != 0 || tr.Recorded() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+	if err := tr.Dump(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryIdempotent: the same name yields the same metric, so
+// components sharing one registry aggregate together.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(MetricEncoderAdditions)
+	b := r.Counter(MetricEncoderAdditions)
+	if a != b {
+		t.Fatal("Counter registration is not idempotent")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := a.Value(); got != 3 {
+		t.Fatalf("shared counter = %d, want 3", got)
+	}
+	if r.Histogram("h", []uint64{1, 2}) != r.Histogram("h", nil) {
+		t.Fatal("Histogram registration is not idempotent")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge registration is not idempotent")
+	}
+}
+
+// TestCounterConcurrency is the race-gate test for the atomic counters:
+// many goroutines hammer one counter, one gauge, and one histogram; the
+// totals must be exact.
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []uint64{4, 16, 64})
+	const (
+		workers = 8
+		perW    = 10000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Set(uint64(w))
+				h.Observe(uint64(i % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perW {
+		t.Fatalf("counter = %d, want %d", got, workers*perW)
+	}
+	if got := h.Count(); got != workers*perW {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perW)
+	}
+	if g.Value() >= workers {
+		t.Fatalf("gauge = %d, want a worker id < %d", g.Value(), workers)
+	}
+	// Bucket totals must add up to the observation count.
+	var wantSum uint64
+	for i := 0; i < perW; i++ {
+		wantSum += uint64(i % 100)
+	}
+	if got := h.Sum(); got != wantSum*workers {
+		t.Fatalf("histogram sum = %d, want %d", got, wantSum*workers)
+	}
+}
+
+// TestHistogramBuckets pins the bucket boundary rule: v <= bound lands in
+// the bucket, larger values fall through to +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("depth", []uint64{1, 4})
+	for _, v := range []uint64{0, 1, 2, 4, 5, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`depth_bucket{le="1"} 2`,    // 0, 1
+		`depth_bucket{le="4"} 4`,    // + 2, 4 (cumulative)
+		`depth_bucket{le="+Inf"} 6`, // + 5, 100
+		"depth_sum 112",
+		"depth_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

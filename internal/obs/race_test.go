@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation inflates every atomic access — timing bounds are
+// meaningless under it.
+const raceEnabled = true

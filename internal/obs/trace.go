@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies one trace record.
+type EventKind uint8
+
+const (
+	// EvCall/EvReturn bracket one interpreter invocation.
+	EvCall EventKind = iota + 1
+	EvReturn
+	// EvEnter/EvExit bracket one instrumented method activation.
+	EvEnter
+	EvExit
+	// EvAnchorPush/EvAnchorPop bracket one anchor piece (Section 3.2).
+	EvAnchorPush
+	EvAnchorPop
+	// EvEdgePush marks a recursive/pruned call-edge piece start.
+	EvEdgePush
+	// EvUCPPush marks a hazardous unexpected-call-path piece start
+	// (Section 4.1) — the event a chaos post-mortem looks for first.
+	EvUCPPush
+	// EvEmit marks a context capture at an emit point.
+	EvEmit
+	// EvResync marks a stack-walk resynchronization (self-healing).
+	EvResync
+	// EvTaskBegin marks an executor task starting on a fresh stack.
+	EvTaskBegin
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCall:
+		return "call"
+	case EvReturn:
+		return "return"
+	case EvEnter:
+		return "enter"
+	case EvExit:
+		return "exit"
+	case EvAnchorPush:
+		return "anchor-push"
+	case EvAnchorPop:
+		return "anchor-pop"
+	case EvEdgePush:
+		return "edge-push"
+	case EvUCPPush:
+		return "ucp-push"
+	case EvEmit:
+		return "emit"
+	case EvResync:
+		return "resync"
+	case EvTaskBegin:
+		return "task-begin"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one decoded trace record.
+type Event struct {
+	// Seq is the global 1-based record sequence number; it totals every
+	// Record call, so Seq gaps in a dump show exactly how much the ring
+	// overwrote.
+	Seq uint64
+	// Time is the capture time in Unix nanoseconds.
+	Time int64
+	// Kind classifies the event.
+	Kind EventKind
+	// Site identifies the program point: a call-site label or a graph
+	// node id, depending on Kind (the producer documents which).
+	Site uint64
+	// Context is the encoding ID in flight at the event.
+	Context uint64
+}
+
+// slot is one ring entry. Fields are atomics so concurrent writers that
+// lap each other on the same slot stay race-free; seq is written last
+// (and checked on read) so a torn record is dropped, not misreported.
+type slot struct {
+	seq      atomic.Uint64
+	time     atomic.Int64
+	kindSite atomic.Uint64 // kind in the top byte, site in the low 56 bits
+	context  atomic.Uint64
+}
+
+// Tracer is a fixed-size lock-free ring buffer of trace events. Writers
+// claim a slot with one atomic add and store four words — no locks, no
+// allocation — so tracing can stay on in production; the ring keeps the
+// most recent events for post-mortem dumps (dprun -trace). A nil *Tracer
+// is a valid no-op sink.
+type Tracer struct {
+	mask uint64
+	pos  atomic.Uint64
+	ring []slot
+}
+
+// DefaultTraceCapacity is the ring size NewTracer uses for capacity <= 0.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer whose ring holds capacity events, rounded up
+// to a power of two (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	size := 16
+	for size < capacity {
+		size <<= 1
+	}
+	return &Tracer{mask: uint64(size - 1), ring: make([]slot, size)}
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Recorded returns the total number of Record calls (0 on nil); records
+// beyond Cap have been overwritten.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.pos.Load()
+}
+
+// Record appends one event to the ring. Safe on nil and for concurrent
+// use; a writer lapped mid-store yields a torn slot that Events discards
+// via its seq check.
+func (t *Tracer) Record(kind EventKind, site, context uint64) {
+	if t == nil {
+		return
+	}
+	seq := t.pos.Add(1)
+	s := &t.ring[(seq-1)&t.mask]
+	s.seq.Store(0) // invalidate while the fields are in flight
+	s.time.Store(time.Now().UnixNano())
+	s.kindSite.Store(uint64(kind)<<56 | site&(1<<56-1))
+	s.context.Store(context)
+	s.seq.Store(seq)
+}
+
+// Events returns the ring's current contents, oldest first. Slots being
+// concurrently rewritten (seq changed between reads) are skipped; the
+// result is consistent for any interleaving.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.ring))
+	for i := range t.ring {
+		s := &t.ring[i]
+		seq := s.seq.Load()
+		if seq == 0 {
+			continue
+		}
+		ev := Event{
+			Seq:     seq,
+			Time:    s.time.Load(),
+			Context: s.context.Load(),
+		}
+		ks := s.kindSite.Load()
+		ev.Kind = EventKind(ks >> 56)
+		ev.Site = ks & (1<<56 - 1)
+		if s.seq.Load() != seq {
+			continue // torn by a concurrent writer; drop
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump writes the ring's events as one line per record:
+//
+//	seq=42 t=1712345678901234 kind=anchor-push site=7 ctx=19
+//
+// oldest first — the post-mortem format dprun -trace prints.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, ev := range t.Events() {
+		if _, err := fmt.Fprintf(w, "seq=%d t=%d kind=%s site=%d ctx=%d\n",
+			ev.Seq, ev.Time, ev.Kind, ev.Site, ev.Context); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracerWraparound: the ring keeps exactly the newest Cap events, in
+// sequence order, once more than Cap have been recorded.
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(10) // rounds up to 16
+	if tr.Cap() != 16 {
+		t.Fatalf("cap = %d, want 16", tr.Cap())
+	}
+	const n = 40
+	for i := 1; i <= n; i++ {
+		tr.Record(EvEmit, uint64(i), uint64(100+i))
+	}
+	if tr.Recorded() != n {
+		t.Fatalf("recorded = %d, want %d", tr.Recorded(), n)
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("len(events) = %d, want 16", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(n - 16 + 1 + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("events[%d].Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.Site != wantSeq || ev.Context != 100+wantSeq {
+			t.Fatalf("events[%d] fields do not match seq %d: %+v", i, wantSeq, ev)
+		}
+		if ev.Kind != EvEmit {
+			t.Fatalf("events[%d].Kind = %v, want emit", i, ev.Kind)
+		}
+	}
+}
+
+// TestTracerPartialFill: fewer records than capacity dump completely and
+// in order, with no phantom slots.
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Record(EvAnchorPush, 7, 19)
+	tr.Record(EvAnchorPop, 7, 19)
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Kind != EvAnchorPush || evs[1].Kind != EvAnchorPop {
+		t.Fatalf("events = %+v", evs)
+	}
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "kind=anchor-push site=7 ctx=19") {
+		t.Fatalf("dump missing record:\n%s", b.String())
+	}
+}
+
+// TestTracerConcurrentWriters is the race-gate test for the lock-free
+// ring: many writers lapping a small ring while a reader dumps it. Every
+// Record call writes Context = 7*Site, so any surviving record that
+// breaks the invariant was torn across two Record calls — exactly what
+// the seq validation must prevent. The total sequence count stays exact.
+func TestTracerConcurrentWriters(t *testing.T) {
+	tr := NewTracer(32)
+	const (
+		workers = 8
+		perW    = 8000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			for _, ev := range tr.Events() {
+				if ev.Context != ev.Site*7 || ev.Kind != EvEnter {
+					t.Errorf("torn record survived the seq check: %+v", ev)
+					return
+				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				v := uint64(w)<<32 | uint64(i)
+				tr.Record(EvEnter, v, v*7)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if got := tr.Recorded(); got != workers*perW {
+		t.Fatalf("recorded = %d, want %d", got, workers*perW)
+	}
+	evs := tr.Events()
+	if len(evs) == 0 || len(evs) > tr.Cap() {
+		t.Fatalf("events = %d records, cap %d", len(evs), tr.Cap())
+	}
+	for _, ev := range evs {
+		if ev.Context != ev.Site*7 {
+			t.Fatalf("torn record in final dump: %+v", ev)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"deltapath/internal/obs"
 )
 
 // HotContext is one row of a decoded profile report.
@@ -54,6 +56,15 @@ type decodeJob struct {
 // The first error — a corrupt record, a failed decode — aborts the run;
 // remaining records are drained but not decoded.
 func Decode(r *Reader, workers int, decode func(record []byte) (string, error)) (*Report, error) {
+	return DecodeObserved(r, workers, decode, nil)
+}
+
+// DecodeObserved is Decode with an observability hook: reg (nil = no-op)
+// receives the per-worker memo's hit/miss counters, the measure of how much
+// decode work append-mode duplication saved.
+func DecodeObserved(r *Reader, workers int, decode func(record []byte) (string, error), reg *obs.Registry) (*Report, error) {
+	memoHits := reg.Counter(obs.MetricProfileDecodeMemoHits)
+	memoMisses := reg.Counter(obs.MetricProfileDecodeMemoMiss)
 	if workers < 1 {
 		workers = 1
 	}
@@ -100,7 +111,10 @@ func Decode(r *Reader, workers int, decode func(record []byte) (string, error)) 
 					continue // drain without decoding
 				}
 				ctx, ok := memo[j.record]
-				if !ok {
+				if ok {
+					memoHits.Inc()
+				} else {
+					memoMisses.Inc()
 					var err error
 					ctx, err = decode([]byte(j.record))
 					if err != nil {

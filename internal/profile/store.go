@@ -27,6 +27,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"deltapath/internal/obs"
 )
 
 // DefaultShards is the shard count NewStore uses when given n <= 0. 64
@@ -47,6 +49,18 @@ type Store struct {
 	total  atomic.Uint64 // every successful Intern/AddCount sample
 	unique atomic.Uint64 // distinct records interned
 	nextID atomic.Uint64 // next interned ID
+
+	// Observability hooks (nil = no-op): intern rate, and how often a
+	// writer found its shard lock held — the signal that the shard count
+	// is too low for the writer count.
+	interns    *obs.Counter
+	contention *obs.Counter
+}
+
+// Observe resolves the store's metric hooks from reg (nil disables).
+func (s *Store) Observe(reg *obs.Registry) {
+	s.interns = reg.Counter(obs.MetricProfileInterns)
+	s.contention = reg.Counter(obs.MetricProfileShardContention)
 }
 
 // shard is one mutex-guarded slice of the record space. The padding keeps
@@ -110,8 +124,15 @@ func (s *Store) Intern(record []byte) uint64 {
 // when merging pre-aggregated profiles. n == 0 records nothing and returns
 // the record's ID if it is already interned (or interns it with count 0).
 func (s *Store) AddCount(record []byte, n uint64) uint64 {
+	s.interns.Inc()
 	sh := &s.shards[fnv1a(record)&s.mask]
-	sh.mu.Lock()
+	if !sh.mu.TryLock() {
+		// Another writer holds this shard: count the collision, then block
+		// normally. TryLock-then-Lock costs one extra CAS only on the
+		// already-slow contended path.
+		s.contention.Inc()
+		sh.mu.Lock()
+	}
 	e := sh.m[string(record)] // no-alloc map lookup
 	if e == nil {
 		e = &entry{id: s.nextID.Add(1) - 1}

@@ -3,6 +3,7 @@ package stackwalk
 import (
 	"deltapath/internal/callgraph"
 	"deltapath/internal/encoding"
+	"deltapath/internal/obs"
 )
 
 // Reencode derives a valid encoding.State from a walked stack: the state
@@ -22,6 +23,13 @@ import (
 // cost is O(depth), the same bill as one anchor push amortized over the
 // events since the fault.
 func Reencode(spec *encoding.Spec, entry callgraph.NodeID, path []callgraph.NodeID) *encoding.State {
+	return ReencodeObserved(spec, entry, path, nil)
+}
+
+// ReencodeObserved is Reencode with an observability hook: reencodes (nil
+// = no-op) counts each state rebuild, the healer's primary rate signal.
+func ReencodeObserved(spec *encoding.Spec, entry callgraph.NodeID, path []callgraph.NodeID, reencodes *obs.Counter) *encoding.State {
+	reencodes.Inc()
 	if len(path) == 0 {
 		return encoding.NewState(entry)
 	}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"deltapath/internal/minivm"
+	"deltapath/internal/obs"
 )
 
 // Walker captures calling contexts from a VM by walking its stack.
@@ -20,11 +21,25 @@ type Walker struct {
 	// Filter, when non-nil, keeps only these methods in captured
 	// contexts (mirroring the encoding-application setting).
 	Filter map[minivm.MethodRef]bool
+
+	// walks/frames are observability hooks (nil = no-op): how often the
+	// expensive ground-truth walk runs, and how many frames it copied —
+	// the healer's cost signal.
+	walks  *obs.Counter
+	frames *obs.Counter
+}
+
+// Observe resolves the walker's metric hooks from reg (nil disables).
+func (w *Walker) Observe(reg *obs.Registry) {
+	w.walks = reg.Counter(obs.MetricStackwalkWalks)
+	w.frames = reg.Counter(obs.MetricStackwalkFrames)
 }
 
 // Capture returns the current calling context, outermost first.
 func (w *Walker) Capture(vm *minivm.VM) []minivm.MethodRef {
 	st := vm.Stack()
+	w.walks.Inc()
+	w.frames.Add(uint64(len(st)))
 	if w.Filter == nil {
 		return st
 	}

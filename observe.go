@@ -1,0 +1,140 @@
+package deltapath
+
+import (
+	"io"
+
+	"deltapath/internal/obs"
+)
+
+// This file is the public surface of the runtime observability layer
+// (internal/obs): per-analysis metrics and an optional event tracer, both
+// off by default. Disabled, every hook in the stack is a nil-pointer no-op
+// — the before/after benchmark in hotpath_bench_test.go holds the encode
+// hot path to within 2% of the un-instrumented baseline. Enabled, every
+// session, decoder, and profile created from the analysis feeds one shared
+// registry.
+
+// Metrics is a read handle on an analysis's metric registry. The zero
+// value (and the handle of an analysis that never called EnableMetrics)
+// is empty but safe: Snapshot returns an empty map and the writers write
+// an empty document.
+type Metrics struct {
+	reg *obs.Registry
+}
+
+// Snapshot returns every metric as a flat name→value map. Histograms
+// contribute name_count and name_sum entries.
+func (m Metrics) Snapshot() map[string]uint64 { return m.reg.Snapshot() }
+
+// Value returns one metric by canonical name (see DESIGN.md §11 for the
+// table), 0 if it was never registered.
+func (m Metrics) Value(name string) uint64 { return m.reg.Snapshot()[name] }
+
+// WriteJSON writes the metrics as one flat, name-sorted JSON document.
+func (m Metrics) WriteJSON(w io.Writer) error { return m.reg.WriteJSON(w) }
+
+// WritePrometheus writes the metrics in Prometheus text exposition format.
+func (m Metrics) WritePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }
+
+// TraceEvent is one record of the event tracer, decoded for presentation.
+type TraceEvent struct {
+	// Seq is the global 1-based sequence number; gaps show how many
+	// records the ring overwrote.
+	Seq uint64
+	// Time is the capture time in Unix nanoseconds.
+	Time int64
+	// Kind names the event ("call", "anchor-push", "ucp-push", ...).
+	Kind string
+	// Site is the program point: a call-site label or graph node id,
+	// depending on Kind.
+	Site uint64
+	// Context is the encoding ID in flight at the event.
+	Context uint64
+}
+
+// EnableMetrics switches the analysis's observability on: sessions,
+// decoders, and profiles created afterwards (and the shared decoder used
+// by Decode/DecodeProfile) resolve their hooks against one registry.
+// Idempotent; call it before creating sessions. The static shape of the
+// analysis — graph size, anchors, encoding-space requirement, CPT set
+// counts — is published as gauges immediately.
+func (a *Analysis) EnableMetrics() {
+	a.obsMu.Lock()
+	defer a.obsMu.Unlock()
+	if a.obsReg != nil {
+		return
+	}
+	reg := obs.NewRegistry()
+	reg.Gauge(obs.MetricGraphNodes).Set(uint64(a.build.Graph.NumNodes()))
+	reg.Gauge(obs.MetricGraphEdges).Set(uint64(a.build.Graph.NumEdges()))
+	reg.Gauge(obs.MetricAnchors).Set(uint64(len(a.result.Spec.Anchors)))
+	reg.Gauge(obs.MetricMaxID).Set(a.result.MaxID)
+	if a.plan.CPT != nil {
+		a.plan.CPT.Observe(reg)
+	}
+	a.decoder.Observe(reg)
+	a.obsReg = reg
+}
+
+// EnableTracing attaches a fixed-size lock-free ring buffer tracer that
+// keeps the most recent capacity events (rounded up to a power of two;
+// <= 0 selects the default, 4096). It implies EnableMetrics. Idempotent;
+// call it before creating sessions.
+func (a *Analysis) EnableTracing(capacity int) {
+	a.EnableMetrics()
+	a.obsMu.Lock()
+	defer a.obsMu.Unlock()
+	if a.tracer == nil {
+		a.tracer = obs.NewTracer(capacity)
+		a.obsReg.SetTracer(a.tracer)
+	}
+}
+
+// Metrics returns the analysis's metric handle. Valid — but empty — when
+// EnableMetrics was never called.
+func (a *Analysis) Metrics() Metrics {
+	a.obsMu.Lock()
+	defer a.obsMu.Unlock()
+	return Metrics{reg: a.obsReg}
+}
+
+// TraceEvents returns the tracer ring's current contents, oldest first
+// (nil when EnableTracing was never called). Records still being written
+// by concurrent sessions are skipped, never misreported.
+func (a *Analysis) TraceEvents() []TraceEvent {
+	a.obsMu.Lock()
+	tr := a.tracer
+	a.obsMu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	events := tr.Events()
+	out := make([]TraceEvent, len(events))
+	for i, ev := range events {
+		out[i] = TraceEvent{
+			Seq:     ev.Seq,
+			Time:    ev.Time,
+			Kind:    ev.Kind.String(),
+			Site:    ev.Site,
+			Context: ev.Context,
+		}
+	}
+	return out
+}
+
+// WriteTrace dumps the tracer ring as one "seq=… t=… kind=… site=… ctx=…"
+// line per record, oldest first — the dprun -trace output.
+func (a *Analysis) WriteTrace(w io.Writer) error {
+	a.obsMu.Lock()
+	tr := a.tracer
+	a.obsMu.Unlock()
+	return tr.Dump(w)
+}
+
+// observability returns the registry and tracer a new component should
+// resolve its hooks from (both nil when metrics are off).
+func (a *Analysis) observability() (*obs.Registry, *obs.Tracer) {
+	a.obsMu.Lock()
+	defer a.obsMu.Unlock()
+	return a.obsReg, a.tracer
+}
