@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build test test-short race bench chaos eval profile-baseline fuzz examples clean \
-	lint bench-smoke bench-baseline golden-freshness ci-local
+	lint lint-invariants verify-encodings bench-smoke bench-baseline golden-freshness ci-local
 
 all: build test
 
@@ -46,11 +46,13 @@ profile-baseline:
 	$(GO) run ./cmd/dpbench -experiment profile -scale 0.1 \
 		-bench compress,sunflow,xml.validation -json | tee results/BENCH_0002.json
 
-# Short fuzz smoke over the two byte-level parsers (also run in CI).
+# Short fuzz smoke over the byte-level parsers and the .dpa verifier
+# (also run in CI).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalContext -fuzztime 10s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzProfileReader -fuzztime 10s ./internal/profile
+	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime 10s ./internal/verify
 
 # Lint: gofmt and vet always; staticcheck/govulncheck when installed (CI
 # installs pinned versions — see .github/workflows/ci.yml; offline
@@ -62,6 +64,20 @@ lint:
 		else echo "staticcheck not installed; skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 		else echo "govulncheck not installed; skipping"; fi
+
+# Project-specific invariants as a go vet plugin (internal/lint: obssink,
+# profilelock, magicbytes — see cmd/dplint-go for the protocol).
+lint-invariants:
+	mkdir -p bin
+	$(GO) build -o bin/dplint-go ./cmd/dplint-go
+	$(GO) vet -vettool=$(CURDIR)/bin/dplint-go ./...
+
+# Static encoding-soundness certificates: dplint must verify every curated
+# program and committed analysis fixture-free of findings (the seeded-defect
+# fixtures under testdata/lint are exercised by TestGoldenLint instead —
+# they are supposed to fail).
+verify-encodings:
+	$(GO) run ./cmd/dplint examples/*.mv testdata/*.mv
 
 # Bench-smoke regression gate: re-measure the newest results/BENCH_*.json
 # baseline and fail on any key metric >25% worse (see cmd/dpbench/compare.go
@@ -83,14 +99,15 @@ bench-baseline:
 golden-freshness:
 	$(GO) test . -run TestGolden -update
 	$(GO) test ./internal/obs -run TestExport -update
-	@git diff --exit-code -- testdata/golden internal/obs/testdata || \
+	@git diff --exit-code -- testdata/golden testdata/lint internal/obs/testdata || \
 		{ echo "golden files drifted: review and commit the regenerated files"; exit 1; }
 
 # Everything CI runs, in CI's order — reproduce a red workflow offline.
-ci-local: lint build test race golden-freshness bench-smoke
+ci-local: lint lint-invariants build test race verify-encodings golden-freshness bench-smoke
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalContext -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzProfileReader -fuzztime 5s ./internal/profile
+	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime 5s ./internal/verify
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	dpbench -experiment table1|fig8|table2|decode|profile|encode|all
+//	dpbench -experiment table1|fig8|table2|decode|profile|encode|graph|all
 //	        [-scale 0.2] [-repeats 3] [-workers 1]
 //	        [-bench compress,sunflow] [-json]
 //	dpbench -compare results/BENCH_0003.json [-tolerance 0.25] [-repeats 3]
@@ -23,6 +23,12 @@
 // experiment plus a meta block (CPU count, GOOS, GOARCH, benchmark subset,
 // and — when the encode experiment ran — the aggregated observability
 // metrics) instead of the formatted tables.
+//
+// The graph experiment compares CHA against RTA call-graph construction
+// (nodes, edges, targets per site, anchors, encoding bits, and the CHA−RTA
+// deltas) over the suite plus the curated programs matched by -mv
+// (default examples/*.mv — the generated suite has no dead code, so the
+// curated programs carry the precision witnesses).
 //
 // The encode experiment measures the observability layer's hot-path cost:
 // whole-run ns per probe event with metrics off (the nil-sink default) and
@@ -37,16 +43,41 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 
 	"deltapath/internal/eval"
+	"deltapath/internal/lang"
 	"deltapath/internal/obs"
 	"deltapath/internal/workload"
 )
 
+// loadPrograms parses every .mv program the glob matches, named by base
+// filename. A glob matching nothing is not an error — the graph experiment
+// then runs over the generated suite alone.
+func loadPrograms(glob string) ([]eval.NamedProgram, error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("-mv %q: %w", glob, err)
+	}
+	var out []eval.NamedProgram
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, eval.NamedProgram{Name: filepath.Base(p), Prog: prog})
+	}
+	return out, nil
+}
+
 func main() {
-	experiment := flag.String("experiment", "all", "comma-separated subset of table1, fig8, table2, decode, profile, encode; or all")
+	experiment := flag.String("experiment", "all", "comma-separated subset of table1, fig8, table2, decode, profile, encode, graph; or all")
 	scale := flag.Float64("scale", 0.2, "workload scale factor (1.0 = full runs)")
 	repeats := flag.Int("repeats", 3, "throughput repetitions per configuration (fig8, encode, -compare)")
 	workers := flag.Int("workers", 1, "concurrent benchmark worker threads (fig8)")
@@ -54,6 +85,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit JSON rows instead of formatted tables")
 	compare := flag.String("compare", "", "baseline -json document to regression-gate against (see results/BENCH_*.json)")
 	tolerance := flag.Float64("tolerance", 0.25, "with -compare: allowed relative regression per metric")
+	mvGlob := flag.String("mv", "examples/*.mv", "glob of curated .mv programs the graph experiment adds to the suite")
 	flag.Parse()
 
 	if *compare != "" {
@@ -135,6 +167,21 @@ func main() {
 			return err
 		}
 		return emit("profile", rows, eval.RenderProfile(rows))
+	})
+	// The generated workload suite alone cannot show a CHA-vs-RTA delta —
+	// its coverage pass makes every generated method reachable — so the
+	// graph experiment folds in the curated example programs, which carry
+	// dead spawns and dynamic-only call paths on purpose.
+	run("graph", func() error {
+		extra, err := loadPrograms(*mvGlob)
+		if err != nil {
+			return err
+		}
+		rows, err := eval.GraphPrecision(suite, extra)
+		if err != nil {
+			return err
+		}
+		return emit("graph", rows, eval.RenderGraph(rows))
 	})
 	// The encode experiment's metrics-on runs aggregate into reg, which
 	// -json surfaces as meta.metrics — the observability layer observing

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dpencode [-app] [-maxid N] [-dot] [-verbose] program.mv
+//	dpencode [-app] [-graph cha|rta] [-maxid N] [-dot] [-verbose] program.mv
 package main
 
 import (
@@ -20,16 +20,18 @@ import (
 	"deltapath/internal/core"
 	"deltapath/internal/cpt"
 	"deltapath/internal/lang"
+	"deltapath/internal/rta"
 )
 
 func main() {
 	app := flag.Bool("app", false, "encoding-application setting (exclude library classes)")
+	graph := flag.String("graph", "cha", "call-graph builder: cha (class hierarchy) or rta (entry-rooted reachability)")
 	maxID := flag.Uint64("maxid", 0, "encoding integer limit (0 = 2^63-1)")
 	dot := flag.Bool("dot", false, "print the call graph in Graphviz dot format and exit")
 	verbose := flag.Bool("verbose", false, "print per-site addition values and per-node ICCs")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dpencode [-app] [-maxid N] [-dot] [-verbose] program.mv")
+		fmt.Fprintln(os.Stderr, "usage: dpencode [-app] [-graph cha|rta] [-maxid N] [-dot] [-verbose] program.mv")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -44,7 +46,16 @@ func main() {
 	if *app {
 		setting = cha.EncodingApplication
 	}
-	build, err := cha.Build(prog, cha.Options{Setting: setting})
+	var build *cha.Result
+	switch *graph {
+	case "cha":
+		build, err = cha.Build(prog, cha.Options{Setting: setting})
+	case "rta":
+		build, err = rta.Build(prog, cha.Options{Setting: setting})
+	default:
+		fmt.Fprintf(os.Stderr, "dpencode: unknown -graph %q (want cha or rta)\n", *graph)
+		os.Exit(2)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -64,6 +75,7 @@ func main() {
 	plan := cpt.Compute(g)
 
 	fmt.Printf("setting:            %s\n", setting)
+	fmt.Printf("graph builder:      %s\n", *graph)
 	fmt.Printf("call graph:         %d nodes, %d edges, %d call sites (%d virtual)\n",
 		g.NumNodes(), g.NumEdges(), g.NumSites(), g.NumVirtualSites())
 	fmt.Printf("encoding space:     %s (%d bits) without overflow anchors\n", core.FormatSpace(est), bits)

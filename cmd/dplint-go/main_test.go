@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles dplint-go into a temp dir and returns the binary
+// path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	tool := filepath.Join(t.TempDir(), "dplint-go")
+	cmd := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// TestVettoolProtocol drives the real `go vet -vettool=` integration both
+// ways: green over this repository's own profile and obs packages, red
+// over a scratch module seeding one violation per analyzer. Skipped under
+// -short — it shells out to the go tool.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs go vet")
+	}
+	tool := buildTool(t)
+
+	t.Run("green-on-repo", func(t *testing.T) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool,
+			"./internal/profile", "./internal/obs", ".")
+		cmd.Dir = filepath.Join("..", "..")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("vettool flagged the repo:\n%s", out)
+		}
+	})
+
+	t.Run("red-on-violations", func(t *testing.T) {
+		mod := t.TempDir()
+		write := func(rel, src string) {
+			t.Helper()
+			path := filepath.Join(mod, rel)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		write("go.mod", "module example.com/lintmod\n\ngo 1.22\n")
+		// The obs-sink violation: inline resolution on the event path.
+		write("hot.go", `package lintmod
+
+type registry struct{}
+type counter struct{}
+
+func (registry) Counter(name string) counter { return counter{} }
+func (counter) Inc()                         {}
+
+func hot(reg registry) {
+	reg.Counter("x").Inc()
+}
+`)
+		// The shard-lock violation, inside a package the rule scopes to.
+		write("internal/profile/bad.go", `package profile
+
+import "sync"
+
+type shard struct{ mu sync.Mutex }
+
+func bad(sh *shard) {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}
+`)
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		err := cmd.Run()
+		if err == nil {
+			t.Fatalf("go vet passed over seeded violations:\n%s", out.String())
+		}
+		for _, want := range []string{"obssink", "profilelock"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("vet output missing %s finding:\n%s", want, out.String())
+			}
+		}
+	})
+}

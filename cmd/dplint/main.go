@@ -1,0 +1,126 @@
+// Command dplint statically verifies encoding soundness: it proves, from
+// the analysis alone, that every context ID the instrumentation can
+// produce decodes to exactly one calling context — the property the test
+// suites only observe dynamically. See internal/verify for the invariant
+// list (interval disjointness per Algorithm 1, anchored recursion and
+// capacity per Algorithm 2, SID closure per Section 4.1).
+//
+// Inputs are .mv programs (the full analysis pipeline runs, then the
+// result is verified — a certificate for "what Analyze would give you")
+// and/or .dpa analysis files (the persisted artifact is verified as-is —
+// a certificate for "what this file will decode"). Reports are emitted in
+// input order, one per file, as text or JSON (-json); both forms are
+// byte-deterministic for a given input.
+//
+// Exit status: 0 — every input verified clean; 1 — at least one finding
+// (including unloadable .dpa artifacts, which are corrupt by definition);
+// 2 — usage error or unreadable/unparsable .mv input.
+//
+// Usage:
+//
+//	dplint [-json] [-app] [-graph cha|rta] [-maxid N] input.mv analysis.dpa ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deltapath/internal/cha"
+	"deltapath/internal/core"
+	"deltapath/internal/cpt"
+	"deltapath/internal/lang"
+	"deltapath/internal/rta"
+	"deltapath/internal/verify"
+)
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit one JSON document holding every report")
+	app := flag.Bool("app", false, "for .mv inputs: encoding-application setting (exclude library classes)")
+	graph := flag.String("graph", "cha", "for .mv inputs: call-graph builder, cha or rta")
+	maxID := flag.Uint64("maxid", 0, "encoding integer limit the capacity check enforces (0 = 2^63-1)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dplint [-json] [-app] [-graph cha|rta] [-maxid N] input.mv analysis.dpa ...")
+		os.Exit(2)
+	}
+	if *graph != "cha" && *graph != "rta" {
+		fmt.Fprintf(os.Stderr, "dplint: unknown -graph %q (want cha or rta)\n", *graph)
+		os.Exit(2)
+	}
+
+	opts := verify.Options{MaxID: *maxID}
+	reports := make([]*verify.Report, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		if strings.HasSuffix(path, ".mv") {
+			reports = append(reports, checkProgram(path, *app, *graph, *maxID, opts))
+		} else {
+			reports = append(reports, verify.CheckFile(path, opts))
+		}
+	}
+
+	findings := 0
+	if *asJSON {
+		doc := struct {
+			Reports []*verify.Report `json:"reports"`
+		}{reports}
+		out, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		for _, r := range reports {
+			findings += len(r.Findings)
+		}
+	} else {
+		for _, r := range reports {
+			fmt.Print(r.Text())
+			findings += len(r.Findings)
+		}
+	}
+	if findings > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkProgram runs the analysis pipeline exactly as the public Analyze
+// does (KeepUnreachable instrumentation graph, CPT always on) and verifies
+// the result.
+func checkProgram(path string, app bool, graph string, maxID uint64, opts verify.Options) *verify.Report {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	setting := cha.EncodingAll
+	if app {
+		setting = cha.EncodingApplication
+	}
+	buildOpts := cha.Options{Setting: setting, KeepUnreachable: true}
+	var build *cha.Result
+	if graph == "rta" {
+		build, err = rta.Build(prog, buildOpts)
+	} else {
+		build, err = cha.Build(prog, buildOpts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Encode(build.Graph, core.Options{MaxID: maxID})
+	if err != nil {
+		fatal(err)
+	}
+	rep := verify.Check(res.Spec, cpt.Compute(build.Graph), opts)
+	rep.Source = path
+	return rep
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dplint:", err)
+	os.Exit(2)
+}

@@ -58,6 +58,8 @@ import (
 	"deltapath/internal/minivm"
 	"deltapath/internal/obs"
 	"deltapath/internal/profile"
+	"deltapath/internal/rta"
+	"deltapath/internal/verify"
 )
 
 // Sentinel decode errors, re-exported so callers can distinguish a corrupt
@@ -108,6 +110,34 @@ type Options struct {
 	// identifies hot "trunk" functions and contexts are encoded relative
 	// to them.
 	TrunkAnchors []string
+
+	// GraphBuilder selects the call-graph construction algorithm the
+	// analysis is built over. The default (GraphCHA) instruments every
+	// statically loaded method, matching a Java agent; GraphRTA grows the
+	// graph from the entry by on-the-fly reachability — tighter encoding
+	// space, but methods only dynamic code can reach are left to call path
+	// tracking, so it requires CPT (incompatible with DisableCPT).
+	GraphBuilder GraphBuilder
+}
+
+// GraphBuilder names a call-graph construction algorithm (see
+// Options.GraphBuilder).
+type GraphBuilder int
+
+const (
+	// GraphCHA: class hierarchy analysis over every statically loaded
+	// method (internal/cha), the paper's WALA-equivalent default.
+	GraphCHA GraphBuilder = iota
+	// GraphRTA: on-the-fly reachability from the entry (internal/rta);
+	// strictly no more nodes or edges than GraphCHA.
+	GraphRTA
+)
+
+func (b GraphBuilder) String() string {
+	if b == GraphRTA {
+		return "rta"
+	}
+	return "cha"
 }
 
 // Analysis is the static-analysis product: everything needed to run a
@@ -169,12 +199,25 @@ func Analyze(prog *Program, opts Options) (*Analysis, error) {
 	// KeepUnreachable: a Java agent instruments every class it sees
 	// loaded, including methods the static call graph considers
 	// unreachable — which is what makes contexts decodable when dynamic
-	// code calls into them (they become piece-start anchors).
-	build, err := cha.Build(prog, cha.Options{
+	// code calls into them (they become piece-start anchors). The RTA
+	// builder deliberately gives that up for a tighter graph, so it leans
+	// on call path tracking for any method it pruned.
+	var build *cha.Result
+	var err error
+	buildOpts := cha.Options{
 		Setting:         setting,
 		KeepUnreachable: true,
 		ExcludeMethods:  exclude,
-	})
+	}
+	switch opts.GraphBuilder {
+	case GraphRTA:
+		if opts.DisableCPT {
+			return nil, fmt.Errorf("deltapath: the RTA graph builder requires call path tracking")
+		}
+		build, err = rta.Build(prog, buildOpts)
+	default:
+		build, err = cha.Build(prog, buildOpts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -456,6 +499,22 @@ func (a *Analysis) DecodeBytes(record []byte) ([]string, error) {
 func (a *Analysis) SaveAnalysis(w io.Writer) error {
 	var cptPlan *cpt.Plan = a.plan.CPT
 	return analysisio.Save(w, a.result.Spec, cptPlan)
+}
+
+// VerifyEncoding statically certifies the encoding this analysis produced:
+// addition-value intervals pairwise disjoint (every context ID decodes to
+// exactly one path), every recursive cycle anchored, piece capacities
+// within the integer limit, SID sets closed under the hazard rules. It is
+// the programmatic form of cmd/dplint; a nil return is a soundness
+// certificate for every execution, not just the ones the tests ran. The
+// returned error lists every finding.
+func (a *Analysis) VerifyEncoding() error {
+	rep := verify.Check(a.result.Spec, a.plan.CPT, verify.Options{})
+	if rep.Clean() {
+		return nil
+	}
+	rep.Source = "analysis"
+	return fmt.Errorf("deltapath: encoding verification failed:\n%s", strings.TrimRight(rep.Text(), "\n"))
 }
 
 // OfflineDecoder decodes context records against a persisted analysis.

@@ -1,0 +1,104 @@
+package deltapath
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGraphBuilderRTA runs the whole corpus through the public pipeline
+// with the RTA builder: analyses construct, executions run, every emitted
+// context decodes (or is legitimately outside the analysed program — RTA
+// prunes statically unreachable methods by design), and the verifier
+// certifies each encoding sound.
+func TestGraphBuilderRTA(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.mv")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := ParseProgram(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			chaAn, err := Analyze(prog, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			an, err := Analyze(prog, Options{GraphBuilder: GraphRTA})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := an.VerifyEncoding(); err != nil {
+				t.Fatalf("rta analysis fails verification: %v", err)
+			}
+			// The acceptance inequality, end to end: RTA never yields a
+			// larger graph than CHA (digest strings lead with node and
+			// edge counts).
+			var rn, re, cn, ce int
+			var rh, ch string
+			fmt.Sscanf(an.GraphDigest(), "%d nodes/%d edges/%s", &rn, &re, &rh)
+			fmt.Sscanf(chaAn.GraphDigest(), "%d nodes/%d edges/%s", &cn, &ce, &ch)
+			if rn > cn || re > ce {
+				t.Fatalf("rta graph (%s) larger than cha graph (%s)",
+					an.GraphDigest(), chaAn.GraphDigest())
+			}
+			for seed := uint64(0); seed < 3; seed++ {
+				contexts, err := an.Run(seed, nil)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, c := range contexts {
+					if _, err := an.Decode(c); err != nil &&
+						!strings.Contains(err.Error(), "outside the analysed") {
+						t.Fatalf("seed %d decode at %s: %v", seed, c.At, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGraphBuilderRTARequiresCPT pins the option conflict.
+func TestGraphBuilderRTARequiresCPT(t *testing.T) {
+	prog, err := ParseProgram("entry a.M.m\nclass a.M { method m { emit x } }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, Options{GraphBuilder: GraphRTA, DisableCPT: true}); err == nil {
+		t.Fatal("RTA with CPT disabled should be rejected")
+	}
+}
+
+// TestVerifyEncodingCleanByDefault: every default analysis over the corpus
+// must self-certify.
+func TestVerifyEncodingCleanByDefault(t *testing.T) {
+	files, _ := filepath.Glob("testdata/*.mv")
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := ParseProgram(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, appOnly := range []bool{false, true} {
+			an, err := Analyze(prog, Options{ApplicationOnly: appOnly})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := an.VerifyEncoding(); err != nil {
+				t.Errorf("%s appOnly=%v: %v", file, appOnly, err)
+			}
+		}
+	}
+}

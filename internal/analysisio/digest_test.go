@@ -44,6 +44,14 @@ func TestCheckGraphAcceptsSameRefusesSkewed(t *testing.T) {
 	if !strings.Contains(err.Error(), "stale analysis file") {
 		t.Fatalf("skew error not descriptive: %v", err)
 	}
+	// The message must name both digests — expected (the analysis) and
+	// actual (the live graph) — so a mismatch report is actionable without
+	// re-running anything.
+	for _, want := range []string{bundle.Digest.String(), DigestGraph(newBuild.Graph).String()} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("skew error does not name digest %s: %v", want, err)
+		}
+	}
 }
 
 func TestLoadRejectsTamperedDigest(t *testing.T) {

@@ -81,7 +81,7 @@ func (r *Result) Node(m minivm.MethodRef) callgraph.NodeID {
 
 // Build constructs the call graph of prog's statically loaded classes.
 func Build(prog *minivm.Program, opts Options) (*Result, error) {
-	h := newHierarchy(prog.Classes)
+	h := NewHierarchy(prog.Classes)
 
 	// Full static graph first (both settings need it: reachability under
 	// encoding-application is still defined through library code).
@@ -98,12 +98,12 @@ func Build(prog *minivm.Program, opts Options) (*Result, error) {
 	for _, c := range prog.Classes {
 		for _, m := range c.Methods {
 			from := minivm.MethodRef{Class: c.Name, Method: m.Name}
-			walkCalls(m.Body, func(in *minivm.Instr) {
+			WalkCalls(m.Body, func(in *minivm.Instr) {
 				switch in.Op {
 				case minivm.OpCall:
 					edges = append(edges, edgeRec{from, in.Site, minivm.MethodRef{Class: in.Class, Method: in.Name}})
 				case minivm.OpVCall:
-					for _, target := range h.dispatch(in.Class, in.Name) {
+					for _, target := range h.Dispatch(in.Class, in.Name) {
 						edges = append(edges, edgeRec{from, in.Site, target})
 					}
 				case minivm.OpSpawn:
@@ -146,7 +146,7 @@ func Build(prog *minivm.Program, opts Options) (*Result, error) {
 	}
 
 	include := func(ref minivm.MethodRef) bool {
-		cls := h.class(ref.Class)
+		cls := h.Class(ref.Class)
 		if cls == nil || cls.Method(ref.Method) == nil {
 			return false // call to a dynamic or unknown class: not a static node
 		}
@@ -166,7 +166,7 @@ func Build(prog *minivm.Program, opts Options) (*Result, error) {
 	}
 
 	if appOnly {
-		ec := h.class(prog.Entry.Class)
+		ec := h.Class(prog.Entry.Class)
 		if ec != nil && ec.Library {
 			return nil, fmt.Errorf("cha: entry method %s is in a library class; it cannot be excluded", prog.Entry)
 		}
@@ -181,7 +181,7 @@ func Build(prog *minivm.Program, opts Options) (*Result, error) {
 		if id, ok := res.NodeOf[ref]; ok {
 			return id
 		}
-		cls := h.class(ref.Class)
+		cls := h.Class(ref.Class)
 		id := res.Graph.AddNode(ref.String(), cls.Library)
 		res.NodeOf[ref] = id
 		res.RefOf = append(res.RefOf, ref)
@@ -220,30 +220,33 @@ func Build(prog *minivm.Program, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// walkCalls applies f to every instruction in body, recursing into loops
-// and try/catch blocks.
-func walkCalls(body []minivm.Instr, f func(*minivm.Instr)) {
+// WalkCalls applies f to every instruction in body, recursing into loops
+// and try/catch blocks. Exported for sibling call-graph builders
+// (package rta) so call-site discovery has a single definition.
+func WalkCalls(body []minivm.Instr, f func(*minivm.Instr)) {
 	for i := range body {
 		in := &body[i]
 		f(in)
 		switch in.Op {
 		case minivm.OpLoop:
-			walkCalls(in.Body, f)
+			WalkCalls(in.Body, f)
 		case minivm.OpTry:
-			walkCalls(in.Body, f)
-			walkCalls(in.Handler, f)
+			WalkCalls(in.Body, f)
+			WalkCalls(in.Handler, f)
 		}
 	}
 }
 
-// hierarchy indexes the static class set.
-type hierarchy struct {
+// Hierarchy indexes the static class set. Exported for sibling
+// call-graph builders (package rta); dispatch-set semantics must stay
+// identical across builders or their graphs are not comparable.
+type Hierarchy struct {
 	byName   map[string]*minivm.Class
 	children map[string][]string // class -> direct static subclasses, declaration order
 }
 
-func newHierarchy(classes []*minivm.Class) *hierarchy {
-	h := &hierarchy{
+func NewHierarchy(classes []*minivm.Class) *Hierarchy {
+	h := &Hierarchy{
 		byName:   make(map[string]*minivm.Class, len(classes)),
 		children: make(map[string][]string),
 	}
@@ -258,13 +261,14 @@ func newHierarchy(classes []*minivm.Class) *hierarchy {
 	return h
 }
 
-func (h *hierarchy) class(name string) *minivm.Class { return h.byName[name] }
+// Class returns the static class named name, or nil.
+func (h *Hierarchy) Class(name string) *minivm.Class { return h.byName[name] }
 
-// dispatch returns the CHA dispatch set of a virtual call on class.method:
+// Dispatch returns the CHA dispatch set of a virtual call on class.method:
 // every static class at or below class that declares method, in
 // pre-order over the declaration-ordered hierarchy. This matches the VM's
 // runtime dispatch-table construction restricted to static classes.
-func (h *hierarchy) dispatch(class, method string) []minivm.MethodRef {
+func (h *Hierarchy) Dispatch(class, method string) []minivm.MethodRef {
 	var out []minivm.MethodRef
 	var visit func(name string)
 	visit = func(name string) {

@@ -18,7 +18,7 @@ func PruneForTargets(prog *minivm.Program, targets map[minivm.MethodRef]bool) (m
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("cha: no target methods given")
 	}
-	h := newHierarchy(prog.Classes)
+	h := NewHierarchy(prog.Classes)
 	// Reverse edges of the full static graph.
 	rev := make(map[minivm.MethodRef][]minivm.MethodRef)
 	all := make([]minivm.MethodRef, 0, 64)
@@ -26,13 +26,13 @@ func PruneForTargets(prog *minivm.Program, targets map[minivm.MethodRef]bool) (m
 		for _, m := range c.Methods {
 			from := minivm.MethodRef{Class: c.Name, Method: m.Name}
 			all = append(all, from)
-			walkCalls(m.Body, func(in *minivm.Instr) {
+			WalkCalls(m.Body, func(in *minivm.Instr) {
 				switch in.Op {
 				case minivm.OpCall:
 					to := minivm.MethodRef{Class: in.Class, Method: in.Name}
 					rev[to] = append(rev[to], from)
 				case minivm.OpVCall:
-					for _, to := range h.dispatch(in.Class, in.Name) {
+					for _, to := range h.Dispatch(in.Class, in.Name) {
 						rev[to] = append(rev[to], from)
 					}
 				}
@@ -42,7 +42,7 @@ func PruneForTargets(prog *minivm.Program, targets map[minivm.MethodRef]bool) (m
 	keep := make(map[minivm.MethodRef]bool)
 	var work []minivm.MethodRef
 	for t := range targets {
-		cls := h.class(t.Class)
+		cls := h.Class(t.Class)
 		if cls == nil || cls.Method(t.Method) == nil {
 			return nil, fmt.Errorf("cha: target method %s not found among static classes", t)
 		}

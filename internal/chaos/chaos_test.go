@@ -22,16 +22,19 @@ import (
 	"deltapath/internal/encoding"
 	"deltapath/internal/instrument"
 	"deltapath/internal/minivm"
+	"deltapath/internal/verify"
 	"deltapath/internal/workload"
 )
 
 type bench struct {
-	name   string
-	prog   *minivm.Program
-	build  *cha.Result
-	plan   *instrument.Plan
-	dec    *encoding.Decoder
-	window uint64 // probe events in a fault-free reference run
+	name    string
+	prog    *minivm.Program
+	build   *cha.Result
+	spec    *encoding.Spec
+	cptPlan *cpt.Plan
+	plan    *instrument.Plan
+	dec     *encoding.Decoder
+	window  uint64 // probe events in a fault-free reference run
 }
 
 var benchCache []*bench
@@ -80,16 +83,24 @@ func benches(t *testing.T) []*bench {
 		if err != nil {
 			t.Fatalf("%s: encode: %v", p.Name, err)
 		}
-		plan, err := instrument.NewPlan(build, res.Spec, cpt.Compute(build.Graph))
+		cptPlan := cpt.Compute(build.Graph)
+		plan, err := instrument.NewPlan(build, res.Spec, cptPlan)
 		if err != nil {
 			t.Fatalf("%s: plan: %v", p.Name, err)
 		}
+		// The static certificate must hold before any chaos runs: an
+		// unsound encoding would make every "healed" assertion vacuous.
+		if rep := verify.Check(res.Spec, cptPlan, verify.Options{}); !rep.Clean() {
+			t.Fatalf("%s: analysis fails static verification before injection:\n%s", p.Name, rep.Text())
+		}
 		b := &bench{
-			name:  p.Name,
-			prog:  prog,
-			build: build,
-			plan:  plan,
-			dec:   encoding.NewDecoder(res.Spec),
+			name:    p.Name,
+			prog:    prog,
+			build:   build,
+			spec:    res.Spec,
+			cptPlan: cptPlan,
+			plan:    plan,
+			dec:     encoding.NewDecoder(res.Spec),
 		}
 		// Measure the probe-event window with a quiet injector, so one-shot
 		// faults can be aimed anywhere in a run.
@@ -154,6 +165,17 @@ func runVerified(t *testing.T, b *bench, cfg Config, vmSeed uint64) (*instrument
 	}
 	if checked == 0 {
 		t.Fatalf("%s seed %d: no contexts verified; run is vacuous", b.name, vmSeed)
+	}
+	// Post-heal certification: whenever this run detected or healed a
+	// corruption, the static analysis the recovery decoded against must
+	// still verify clean — a healed-but-unsound state would mean the
+	// dynamic assertions above passed against a broken injectivity proof,
+	// which the per-emit decode==truth check alone cannot distinguish.
+	if h := enc.Health; h.CorruptionsDetected > 0 || h.Resyncs > 0 {
+		if rep := verify.Check(b.spec, b.cptPlan, verify.Options{}); !rep.Clean() {
+			t.Fatalf("%s seed %d fault %v: analysis fails static verification after heal (health %+v):\n%s",
+				b.name, vmSeed, cfg.OneShotFault, h, rep.Text())
+		}
 	}
 	return enc, inj
 }

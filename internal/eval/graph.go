@@ -1,0 +1,148 @@
+package eval
+
+// The graph-precision experiment: CHA versus RTA call-graph construction,
+// column for column, over the workload suite plus curated example
+// programs. Precision here is the paper's scalability lever (Section 6):
+// every spurious edge inflates some node's ICC product, and enough
+// inflation forces extra anchors — so fewer edges and fewer anchors is a
+// directly encoding-relevant improvement, not just a smaller picture.
+//
+// Both builders are measured as analysis construction uses them
+// (cha.Options{KeepUnreachable: true}): the CHA column is the graph a
+// default Analyze instruments, the RTA column the graph Analyze with
+// Options.GraphBuilder = GraphRTA instruments. RTA's whole contribution is
+// discarding what the entry cannot reach, so the deltas are the price CHA
+// pays for instrumenting everything a class loader might see.
+
+import (
+	"fmt"
+	"strings"
+
+	"deltapath/internal/cha"
+	"deltapath/internal/core"
+	"deltapath/internal/minivm"
+	"deltapath/internal/rta"
+	"deltapath/internal/workload"
+)
+
+// NamedProgram is a parsed program with a display name — how curated .mv
+// files (examples/*.mv) join the generated workload suite in an
+// experiment.
+type NamedProgram struct {
+	Name string
+	Prog *minivm.Program
+}
+
+// GraphCols is one builder's graph shape and its encoding consequences.
+type GraphCols struct {
+	Nodes          int     `json:"nodes"`
+	Edges          int     `json:"edges"`
+	Sites          int     `json:"sites"`
+	VirtualSites   int     `json:"virtual_sites"`
+	TargetsPerSite float64 `json:"targets_per_site"`
+	Anchors        int     `json:"anchors"`      // total piece-dividing anchors Algorithm 2 chose
+	PieceStarts    int     `json:"piece_starts"` // entry + anchors: decode restart points
+	MaxIDBits      int     `json:"max_id_bits"`  // bits to hold the largest context ID
+}
+
+// GraphRow compares the two builders on one program. EdgeDelta and
+// AnchorDelta are CHA minus RTA: non-negative by the subset theorem
+// (internal/rta), positive where RTA's reachability pruning bought
+// encoding space.
+type GraphRow struct {
+	Program     string    `json:"program"`
+	CHA         GraphCols `json:"cha"`
+	RTA         GraphCols `json:"rta"`
+	EdgeDelta   int       `json:"edge_delta"`
+	AnchorDelta int       `json:"anchor_delta"`
+}
+
+// GraphPrecision measures both builders over the generated suite and any
+// extra curated programs.
+func GraphPrecision(suite []workload.Params, extra []NamedProgram) ([]GraphRow, error) {
+	programs := make([]NamedProgram, 0, len(suite)+len(extra))
+	for _, p := range suite {
+		prog, err := p.Generate()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		programs = append(programs, NamedProgram{Name: p.Name, Prog: prog})
+	}
+	programs = append(programs, extra...)
+
+	rows := make([]GraphRow, 0, len(programs))
+	for _, np := range programs {
+		opts := cha.Options{KeepUnreachable: true}
+		chaRes, err := cha.Build(np.Prog, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: cha: %w", np.Name, err)
+		}
+		rtaRes, err := rta.Build(np.Prog, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: rta: %w", np.Name, err)
+		}
+		chaCols, err := graphCols(chaRes)
+		if err != nil {
+			return nil, fmt.Errorf("%s: cha: %w", np.Name, err)
+		}
+		rtaCols, err := graphCols(rtaRes)
+		if err != nil {
+			return nil, fmt.Errorf("%s: rta: %w", np.Name, err)
+		}
+		rows = append(rows, GraphRow{
+			Program:     np.Name,
+			CHA:         chaCols,
+			RTA:         rtaCols,
+			EdgeDelta:   chaCols.Edges - rtaCols.Edges,
+			AnchorDelta: chaCols.Anchors - rtaCols.Anchors,
+		})
+	}
+	return rows, nil
+}
+
+func graphCols(build *cha.Result) (GraphCols, error) {
+	g := build.Graph
+	res, err := core.Encode(g, core.Options{})
+	if err != nil {
+		return GraphCols{}, err
+	}
+	_, bits, err := core.EstimateSpace(g)
+	if err != nil {
+		return GraphCols{}, err
+	}
+	tps := 0.0
+	if g.NumSites() > 0 {
+		tps = float64(g.NumEdges()) / float64(g.NumSites())
+	}
+	return GraphCols{
+		Nodes:          g.NumNodes(),
+		Edges:          g.NumEdges(),
+		Sites:          g.NumSites(),
+		VirtualSites:   g.NumVirtualSites(),
+		TargetsPerSite: tps,
+		Anchors:        len(res.Spec.Anchors),
+		PieceStarts:    len(res.PieceStarts),
+		MaxIDBits:      bits,
+	}, nil
+}
+
+// RenderGraph prints the precision table.
+func RenderGraph(rows []GraphRow) string {
+	var b strings.Builder
+	b.WriteString("Graph precision: CHA vs RTA call-graph construction (instrumentation graphs)\n")
+	fmt.Fprintf(&b, "%-22s | %6s %6s %5s %4s %4s | %6s %6s %5s %4s %4s | %6s %6s\n",
+		"program",
+		"nodes", "edges", "t/cs", "anc", "bits",
+		"nodes", "edges", "t/cs", "anc", "bits",
+		"Δedge", "Δanc")
+	fmt.Fprintf(&b, "%-22s | %-30s | %-30s |\n", "",
+		"------------ CHA -------------", "------------ RTA -------------")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s | %6d %6d %5.2f %4d %4d | %6d %6d %5.2f %4d %4d | %6d %6d\n",
+			r.Program,
+			r.CHA.Nodes, r.CHA.Edges, r.CHA.TargetsPerSite, r.CHA.Anchors, r.CHA.MaxIDBits,
+			r.RTA.Nodes, r.RTA.Edges, r.RTA.TargetsPerSite, r.RTA.Anchors, r.RTA.MaxIDBits,
+			r.EdgeDelta, r.AnchorDelta)
+	}
+	return b.String()
+}

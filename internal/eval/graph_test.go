@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deltapath/internal/lang"
+	"deltapath/internal/workload"
+)
+
+func exampleProgramsT(t *testing.T) []NamedProgram {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.mv"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example programs: %v", err)
+	}
+	var out []NamedProgram
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		out = append(out, NamedProgram{Name: filepath.Base(p), Prog: prog})
+	}
+	return out
+}
+
+// TestGraphPrecision pins the experiment's acceptance inequalities over a
+// suite subset plus every curated example: RTA is never larger than CHA on
+// any program, and at least one example shows a strict edge or anchor
+// improvement.
+func TestGraphPrecision(t *testing.T) {
+	small, ok := workload.ByName("compress")
+	if !ok {
+		t.Fatal("compress not in suite")
+	}
+	rows, err := GraphPrecision([]workload.Params{small.Scale(0.05)}, exampleProgramsT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := false
+	for _, r := range rows {
+		if r.EdgeDelta < 0 || r.AnchorDelta < 0 {
+			t.Errorf("%s: RTA larger than CHA: Δedges=%d Δanchors=%d",
+				r.Program, r.EdgeDelta, r.AnchorDelta)
+		}
+		if r.RTA.Nodes > r.CHA.Nodes {
+			t.Errorf("%s: RTA has more nodes (%d) than CHA (%d)", r.Program, r.RTA.Nodes, r.CHA.Nodes)
+		}
+		if r.EdgeDelta > 0 || r.AnchorDelta > 0 {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Error("no program shows a strict RTA improvement; the precision witness examples are broken")
+	}
+	if out := RenderGraph(rows); len(out) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,183 @@
+// Package lint implements the project's custom invariant analyzers — the
+// rules that keep the hot paths and the byte formats honest and that
+// generic linters cannot know about:
+//
+//   - obssink: observability probe sites must use the once-resolved
+//     nil-safe sink pattern, never resolve a Counter/Histogram on the hot
+//     path (see internal/obs: resolution takes a registry lock, the
+//     resolved sink is a nil-check and an atomic add).
+//   - profilelock: in internal/profile, shard mutexes follow the
+//     TryLock-then-Lock contention-counting discipline; a raw Lock on a
+//     shard field silently stops counting contention.
+//   - magicbytes: the .dpa/.dpp format magics are spelled once, in the
+//     packages that own the formats; a re-spelled literal elsewhere is a
+//     format dependency the owning package cannot see when it revs the
+//     version.
+//
+// The framework is deliberately syntactic and stdlib-only (go/ast,
+// go/parser, go/token): the build environment pins zero dependencies, so
+// there is no golang.org/x/tools and no go/analysis. The analyzers run
+// both as unit tests here and as a `go vet -vettool` plugin via
+// cmd/dplint-go, which speaks the unitchecker protocol by hand.
+//
+// Suppression: a finding is dropped when the comment directive
+// `//dplint:coldpath` appears on the finding's line or the line above it —
+// the escape hatch for deliberately cold code (e.g. profile.Store.Snapshot
+// locking shards without the contention counter).
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return f.Pos.String() + ": " + f.Analyzer + ": " + f.Message
+}
+
+// File is one parsed source file plus the package context the analyzers
+// scope their rules by.
+type File struct {
+	// Path is the file path findings are reported under.
+	Path string
+	// Pkg is the import path of the enclosing package (e.g.
+	// "deltapath/internal/profile"); rules use it to exempt the packages
+	// that own an invariant.
+	Pkg  string
+	Fset *token.FileSet
+	AST  *ast.File
+}
+
+// Test reports whether this is a test file — most rules exempt tests,
+// which may legitimately spell corrupt magics or exercise locks raw.
+func (f *File) Test() bool { return strings.HasSuffix(f.Path, "_test.go") }
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(f *File) []Finding
+}
+
+// All returns every analyzer cmd/dplint-go runs.
+func All() []*Analyzer {
+	return []*Analyzer{ObsSink, ProfileLock, MagicBytes}
+}
+
+// ParseFile parses one source file (with comments, for the suppression
+// directive) into the form analyzers consume.
+func ParseFile(path, pkg string, src []byte) (*File, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Path: path, Pkg: pkg, Fset: fset, AST: f}, nil
+}
+
+// Check runs the analyzers over the file, applies //dplint:coldpath
+// suppression, and returns the surviving findings in position order.
+func Check(f *File, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	suppressed := coldpathLines(f)
+	for _, a := range analyzers {
+		for _, fd := range a.Run(f) {
+			if suppressed[fd.Pos.Line] || suppressed[fd.Pos.Line-1] {
+				continue
+			}
+			out = append(out, fd)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// coldpathLines collects the lines carrying a //dplint:coldpath directive.
+func coldpathLines(f *File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//dplint:coldpath") {
+				lines[f.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// pkgIs reports whether the file's package import path is pkg or ends in
+// "/"+pkg — so rules written against this module's layout also fire on
+// fixture packages named after it.
+func pkgIs(f *File, pkg string) bool {
+	return f.Pkg == pkg || strings.HasSuffix(f.Pkg, "/"+pkg)
+}
+
+// exprString renders a (simple) expression for receiver-identity
+// comparison: identifiers, selectors, indexes, calls, and unary/star
+// chains — everything a mutex receiver plausibly is.
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('.')
+		b.WriteString(e.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('[')
+		writeExpr(b, e.Index)
+		b.WriteByte(']')
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, e.X)
+	case *ast.UnaryExpr:
+		b.WriteString(e.Op.String())
+		writeExpr(b, e.X)
+	case *ast.ParenExpr:
+		b.WriteByte('(')
+		writeExpr(b, e.X)
+		b.WriteByte(')')
+	case *ast.BasicLit:
+		b.WriteString(e.Value)
+	case *ast.CallExpr:
+		writeExpr(b, e.Fun)
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a)
+		}
+		b.WriteByte(')')
+	default:
+		// Anything more exotic renders as a non-matching placeholder, so
+		// receiver comparison fails closed (the finding stands).
+		b.WriteString("<?expr>")
+	}
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseFixture loads a testdata source file under the given package
+// import path.
+func parseFixture(t *testing.T, name, pkg string) *File {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseFile(path, pkg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// wantLines reads the fixture's own "// want <analyzer>" markers — the
+// expected findings are declared next to the code that earns them.
+func wantLines(t *testing.T, name, analyzer string) map[int]bool {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[int]bool)
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "// want "+analyzer) {
+			want[i+1] = true
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("%s carries no want markers", name)
+	}
+	return want
+}
+
+func checkFixture(t *testing.T, name, pkg string, a *Analyzer) {
+	t.Helper()
+	f := parseFixture(t, name, pkg)
+	want := wantLines(t, name, a.Name)
+	got := make(map[int]bool)
+	for _, fd := range Check(f, []*Analyzer{a}) {
+		if fd.Analyzer != a.Name {
+			t.Errorf("unexpected analyzer %q in finding %s", fd.Analyzer, fd)
+		}
+		got[fd.Pos.Line] = true
+	}
+	for line := range want {
+		if !got[line] {
+			t.Errorf("%s:%d: expected a %s finding, got none", name, line, a.Name)
+		}
+	}
+	for line := range got {
+		if !want[line] {
+			t.Errorf("%s:%d: unexpected %s finding", name, line, a.Name)
+		}
+	}
+}
+
+// TestObsSinkFixture proves the analyzer fails on the seeded violations —
+// the "demonstrably red" half of the vettool's contract — and stays quiet
+// on the resolved-sink, gauge, and suppressed patterns.
+func TestObsSinkFixture(t *testing.T) {
+	checkFixture(t, "obssink_src.go", "example.com/app/hotpath", ObsSink)
+}
+
+func TestProfileLockFixture(t *testing.T) {
+	checkFixture(t, "profilelock_src.go", "deltapath/internal/profile", ProfileLock)
+}
+
+func TestMagicBytesFixture(t *testing.T) {
+	checkFixture(t, "magicbytes_src.go", "example.com/app/sniffing", MagicBytes)
+}
+
+// TestExemptScopes: the same violating sources are clean inside the
+// packages that own each invariant, and inside test files.
+func TestExemptScopes(t *testing.T) {
+	cases := []struct {
+		fixture string
+		pkg     string
+		a       *Analyzer
+	}{
+		{"obssink_src.go", "deltapath/internal/obs", ObsSink},
+		{"profilelock_src.go", "deltapath/internal/cpt", ProfileLock}, // rule is profile-only
+		{"magicbytes_src.go", "deltapath/internal/analysisio", MagicBytes},
+		{"magicbytes_src.go", "deltapath/internal/profile", MagicBytes},
+	}
+	for _, c := range cases {
+		f := parseFixture(t, c.fixture, c.pkg)
+		if got := Check(f, []*Analyzer{c.a}); len(got) != 0 {
+			t.Errorf("%s in %s: expected exemption, got %v", c.fixture, c.pkg, got)
+		}
+	}
+	// Test files are exempt regardless of package.
+	src, err := os.ReadFile(filepath.Join("testdata", "magicbytes_src.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseFile("sniff_test.go", "example.com/app/sniffing", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Check(f, All()); len(got) != 0 {
+		t.Errorf("test file not exempt: %v", got)
+	}
+}
+
+// TestRepoClean runs every analyzer over the repository's own sources —
+// the unit-test twin of CI's `go vet -vettool=dplint-go ./...` gate. Any
+// finding here means a hot path regressed into inline sink resolution, a
+// shard lock lost its contention counting, or a format magic leaked out
+// of its owning package.
+func TestRepoClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || name == "results" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		pkg := "deltapath"
+		if dir := filepath.ToSlash(filepath.Dir(rel)); dir != "." {
+			pkg += "/" + dir
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := ParseFile(rel, pkg, src)
+		if err != nil {
+			t.Errorf("%s: parse: %v", rel, err)
+			return nil
+		}
+		for _, fd := range Check(f, All()) {
+			t.Errorf("repo not lint-clean: %s", fd)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// MagicBytes flags string literals spelling a wire-format magic — "DPA1\n",
+// "DPA2\n" (analysis files), "DPP1\n" (profile files) — outside the
+// packages that own those formats (internal/analysisio, internal/profile)
+// and outside tests. A re-spelled magic is a hidden format dependency: the
+// owning reader revs its version string and the stray copy keeps matching
+// the old bytes. Consumers should call the owning package's reader instead
+// of sniffing headers themselves.
+var MagicBytes = &Analyzer{
+	Name: "magicbytes",
+	Doc: "wire-format magic strings are spelled once, in the package that " +
+		"owns the format; elsewhere, call that package's reader",
+	Run: runMagicBytes,
+}
+
+var magicStrings = []string{"DPA1\n", "DPA2\n", "DPP1\n"}
+
+func runMagicBytes(f *File) []Finding {
+	// internal/lint is exempt too: the rule definition has to spell the
+	// magics it matches.
+	if f.Test() || pkgIs(f, "internal/analysisio") || pkgIs(f, "internal/profile") ||
+		pkgIs(f, "internal/lint") {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		val, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		for _, magic := range magicStrings {
+			if strings.Contains(val, magic) {
+				out = append(out, Finding{
+					Analyzer: "magicbytes",
+					Pos:      f.Fset.Position(lit.Pos()),
+					Message: fmt.Sprintf(
+						"literal spells the %q wire magic: use the owning package's reader instead of matching format bytes here",
+						strings.TrimSuffix(magic, "\n")),
+				})
+				break
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// ObsSink flags metric updates that resolve their sink inline:
+//
+//	reg.Counter(obs.MetricX).Inc()           // flagged
+//	reg.Histogram(obs.MetricY, b).Observe(v) // flagged
+//
+// Resolution walks the registry under a lock; the once-resolved pattern
+// (w.hits = reg.Counter(...) at setup, w.hits.Inc() on the hot path) costs
+// a nil check and an atomic add instead. Gauge chains are exempt: gauges
+// are set at analysis/setup time, never on a hot path. The obs package
+// itself and test files are exempt.
+var ObsSink = &Analyzer{
+	Name: "obssink",
+	Doc: "metric sinks must be resolved once at setup, not per event " +
+		"(reg.Counter(x).Inc() resolves under the registry lock on every call)",
+	Run: runObsSink,
+}
+
+// obsResolvers are the registry methods that look a sink up by name;
+// obsUpdates are the hot-path sink methods.
+var (
+	obsResolvers = map[string]bool{"Counter": true, "Histogram": true}
+	obsUpdates   = map[string]bool{"Inc": true, "Add": true, "Observe": true}
+)
+
+func runObsSink(f *File) []Finding {
+	if f.Test() || pkgIs(f, "internal/obs") {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		// The violating shape is update(resolve(...)(...)): a call whose
+		// Fun selects an update method off another call that selects a
+		// resolver method.
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !obsUpdates[sel.Sel.Name] {
+			return true
+		}
+		inner, ok := sel.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		innerSel, ok := inner.Fun.(*ast.SelectorExpr)
+		if !ok || !obsResolvers[innerSel.Sel.Name] {
+			return true
+		}
+		out = append(out, Finding{
+			Analyzer: "obssink",
+			Pos:      f.Fset.Position(call.Pos()),
+			Message: fmt.Sprintf(
+				"%s(...).%s(...) resolves the metric sink on the event path: resolve it once at setup and keep the sink (see internal/obs nil-safe sinks)",
+				innerSel.Sel.Name, sel.Sel.Name),
+		})
+		return true
+	})
+	return out
+}

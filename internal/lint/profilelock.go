@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// ProfileLock enforces the sharded store's locking discipline in
+// internal/profile: a shard mutex field is taken with
+//
+//	if !sh.mu.TryLock() {
+//	    s.contention.Inc() // or any bookkeeping
+//	    sh.mu.Lock()
+//	}
+//
+// so the contended path is counted before blocking. A raw `x.mu.Lock()`
+// on a field silently stops counting contention — the observability the
+// profile experiment's scaling numbers depend on. The rule fires only on
+// field-qualified mutexes (`recv.mu.Lock()`); a bare local `mu.Lock()` is
+// not a shard lock. Deliberately cold paths (Snapshot draining shards)
+// opt out with //dplint:coldpath.
+var ProfileLock = &Analyzer{
+	Name: "profilelock",
+	Doc: "internal/profile shard mutexes use TryLock-then-Lock so contention " +
+		"is counted; raw field Lock calls lose the contention signal",
+	Run: runProfileLock,
+}
+
+func runProfileLock(f *File) []Finding {
+	if f.Test() || !pkgIs(f, "internal/profile") {
+		return nil
+	}
+
+	// First pass: receivers whose Lock is guarded — an if statement on
+	// !recv.TryLock() blesses every recv.Lock() inside its body.
+	guarded := make(map[ast.Node]bool)
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		recv, ok := tryLockGuard(ifStmt.Cond)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ifStmt.Body, func(inner ast.Node) bool {
+			if call, ok := mutexFieldCall(inner, "Lock"); ok && exprString(call.recv) == recv {
+				guarded[call.node] = true
+			}
+			return true
+		})
+		return true
+	})
+
+	var out []Finding
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := mutexFieldCall(n, "Lock")
+		if !ok || guarded[call.node] {
+			return true
+		}
+		out = append(out, Finding{
+			Analyzer: "profilelock",
+			Pos:      f.Fset.Position(call.node.Pos()),
+			Message: fmt.Sprintf(
+				"raw %s.Lock() skips the TryLock contention counter: guard with `if !%s.TryLock() { count; %s.Lock() }` or mark //dplint:coldpath",
+				exprString(call.recv), exprString(call.recv), exprString(call.recv)),
+		})
+		return true
+	})
+	return out
+}
+
+// tryLockGuard matches the condition `!recv.TryLock()` where recv is a
+// mutex field chain, returning the rendered receiver.
+func tryLockGuard(cond ast.Expr) (string, bool) {
+	not, ok := cond.(*ast.UnaryExpr)
+	if !ok || not.Op.String() != "!" {
+		return "", false
+	}
+	if call, ok := mutexFieldCallExpr(not.X, "TryLock"); ok {
+		return exprString(call.recv), true
+	}
+	return "", false
+}
+
+// fieldCall is a matched `<recv>.<method>()` where recv ends in a mutex
+// field selection (x.mu, sh.mu, s.shards[i].mu, ...).
+type fieldCall struct {
+	node *ast.CallExpr
+	recv ast.Expr // the mutex expression, e.g. sh.mu
+}
+
+func mutexFieldCall(n ast.Node, method string) (fieldCall, bool) {
+	e, ok := n.(ast.Expr)
+	if !ok {
+		return fieldCall{}, false
+	}
+	return mutexFieldCallExpr(e, method)
+}
+
+func mutexFieldCallExpr(e ast.Expr, method string) (fieldCall, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return fieldCall{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method || len(call.Args) != 0 {
+		return fieldCall{}, false
+	}
+	// The receiver must be a field selection of a mutex named mu
+	// (recv.mu), not a bare identifier: only field-held mutexes are shard
+	// locks, and the repo's convention names them mu.
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "mu" {
+		return fieldCall{}, false
+	}
+	return fieldCall{node: call, recv: sel.X}, true
+}

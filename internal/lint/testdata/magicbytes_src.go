@@ -1,0 +1,17 @@
+// Fixture for the magicbytes analyzer: wire-format magics spelled outside
+// the owning packages.
+package sniffing
+
+const staleMagic = "DPA1\n" // want magicbytes
+
+func sniff(head []byte) bool {
+	if string(head) == "DPA2\n" { // want magicbytes
+		return true
+	}
+	return string(head[:5]) == "DPP1\n" // want magicbytes
+}
+
+func fine(head []byte) bool {
+	// Not a magic: prefix alone, or different version strings.
+	return string(head) == "DPA" || string(head) == "DPX9\n"
+}

@@ -1,0 +1,25 @@
+// Fixture for the obssink analyzer: hot-path metric chains that must be
+// flagged, next to the allowed patterns. Lives under testdata so the go
+// tool never builds it; the lint tests parse it directly.
+package hotpath
+
+func violations(reg registry, v uint64) {
+	reg.Counter(metricCalls).Inc()                 // want obssink
+	reg.Counter(metricBytes).Add(v)                // want obssink
+	reg.Histogram(metricDepth, buckets).Observe(v) // want obssink
+}
+
+func allowed(reg registry, v uint64) {
+	// Once-resolved sinks: resolution happens here, updates elsewhere.
+	calls := reg.Counter(metricCalls)
+	calls.Inc()
+	calls.Add(v)
+
+	// Gauges are setup-time, not hot-path: exempt.
+	reg.Gauge(metricNodes).Set(v)
+
+	// Deliberate inline resolution on a cold path, suppressed:
+	//dplint:coldpath
+	reg.Counter(metricCold).Inc()
+	reg.Counter(metricCold2).Add(1) //dplint:coldpath
+}

@@ -1,0 +1,33 @@
+// Fixture for the profilelock analyzer: shard-mutex locking patterns in a
+// package posing as deltapath/internal/profile.
+package profile
+
+func violations(s *store) {
+	sh := &s.shards[0]
+	sh.mu.Lock() // want profilelock
+	sh.mu.Unlock()
+
+	if !s.global.mu.TryLock() {
+		s.contention.Inc()
+		sh.mu.Lock() // want profilelock: guard receiver is s.global.mu, not sh.mu
+	}
+}
+
+func allowed(s *store) {
+	sh := &s.shards[0]
+	if !sh.mu.TryLock() {
+		s.contention.Inc()
+		sh.mu.Lock()
+	}
+	sh.mu.Unlock()
+
+	// A bare local mutex is not a shard lock.
+	var mu locker
+	mu.Lock()
+	mu.Unlock()
+
+	// Cold path, suppressed:
+	//dplint:coldpath
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}

@@ -1,0 +1,176 @@
+// Package rta constructs call graphs by rapid-type-style on-the-fly
+// reachability, the precision refinement of class hierarchy analysis the
+// paper leans on for encoding-space scalability (Section 6: fewer spurious
+// edges mean smaller ICC products and fewer anchors).
+//
+// The classical RTA refinement — narrowing virtual dispatch to instantiated
+// types — is deliberately NOT applied: the minivm dispatches a virtual call
+// uniformly over every loaded subclass declaring the method, whether or not
+// the program ever instantiates it, so a type-narrowed graph would miss
+// edges the runtime takes. What IS sound here, and what cha.Build gives
+// away, is spawn-root precision: cha seeds reachability with every OpSpawn
+// target in the program, even spawns that occur only in methods no
+// execution can reach, and (under KeepUnreachable) retains every declared
+// method as a node. This builder grows the graph from the entry alone —
+// a method's calls and spawns contribute only once the method itself is
+// reachable — which is exactly the call-graph fixpoint of Bacon & Sweeney's
+// RTA with the type filter replaced by the VM's uniform-dispatch rule.
+//
+// The result is structurally a subset of cha.Build's graph on the same
+// program and options: every rta node/edge/spawn root is a cha
+// node/edge/spawn root, never the reverse. Methods the fixpoint never
+// reaches are not instrumented; should dynamically loaded code call into
+// one anyway, call path tracking bridges the gap the same way it bridges
+// excluded library methods (Section 4.2).
+package rta
+
+import (
+	"fmt"
+
+	"deltapath/internal/callgraph"
+	"deltapath/internal/cha"
+	"deltapath/internal/minivm"
+)
+
+// Build constructs the RTA call graph of prog's statically loaded classes.
+// It accepts cha.Options so analysis construction can switch builders
+// freely; KeepUnreachable is ignored — pruning methods the entry cannot
+// reach is the precision this builder exists for.
+func Build(prog *minivm.Program, opts cha.Options) (*cha.Result, error) {
+	h := cha.NewHierarchy(prog.Classes)
+	appOnly := opts.Setting == cha.EncodingApplication
+
+	if c := h.Class(prog.Entry.Class); c == nil || c.Method(prog.Entry.Method) == nil {
+		return nil, fmt.Errorf("rta: entry method %s not found among static classes", prog.Entry)
+	}
+	if opts.ExcludeMethods[prog.Entry] {
+		return nil, fmt.Errorf("rta: entry method %s cannot be excluded", prog.Entry)
+	}
+	if appOnly {
+		if ec := h.Class(prog.Entry.Class); ec != nil && ec.Library {
+			return nil, fmt.Errorf("rta: entry method %s is in a library class; it cannot be excluded", prog.Entry)
+		}
+	}
+
+	// Fixpoint: a method's body is scanned exactly once, when it first
+	// becomes reachable; its call targets (all CHA dispatch targets — the
+	// VM dispatches over every subclass) and spawn targets join the
+	// frontier. The reachable set is order-independent, so the worklist
+	// order doesn't matter; determinism of the final graph comes from the
+	// declaration-order assembly pass below.
+	reach := map[minivm.MethodRef]bool{prog.Entry: true}
+	work := []minivm.MethodRef{prog.Entry}
+	mark := func(ref minivm.MethodRef) {
+		if !reach[ref] {
+			reach[ref] = true
+			work = append(work, ref)
+		}
+	}
+	for len(work) > 0 {
+		ref := work[len(work)-1]
+		work = work[:len(work)-1]
+		cls := h.Class(ref.Class)
+		if cls == nil {
+			continue // dynamic or unknown class: no static body to scan
+		}
+		m := cls.Method(ref.Method)
+		if m == nil {
+			continue
+		}
+		cha.WalkCalls(m.Body, func(in *minivm.Instr) {
+			switch in.Op {
+			case minivm.OpCall:
+				mark(minivm.MethodRef{Class: in.Class, Method: in.Name})
+			case minivm.OpVCall:
+				for _, t := range h.Dispatch(in.Class, in.Name) {
+					mark(t)
+				}
+			case minivm.OpSpawn:
+				// The spawn-root precision: the task entry becomes a
+				// reachability root only because this spawning method is
+				// itself reachable.
+				mark(minivm.MethodRef{Class: in.Class, Method: in.Name})
+			}
+		})
+	}
+
+	include := func(ref minivm.MethodRef) bool {
+		cls := h.Class(ref.Class)
+		if cls == nil || cls.Method(ref.Method) == nil {
+			return false
+		}
+		if appOnly && cls.Library {
+			return false
+		}
+		if opts.ExcludeMethods[ref] {
+			return false
+		}
+		return reach[ref]
+	}
+
+	res := &cha.Result{
+		Graph:   callgraph.New(),
+		NodeOf:  make(map[minivm.MethodRef]callgraph.NodeID),
+		Setting: opts.Setting,
+	}
+	add := func(ref minivm.MethodRef) callgraph.NodeID {
+		if id, ok := res.NodeOf[ref]; ok {
+			return id
+		}
+		id := res.Graph.AddNode(ref.String(), h.Class(ref.Class).Library)
+		res.NodeOf[ref] = id
+		res.RefOf = append(res.RefOf, ref)
+		return id
+	}
+
+	// Assembly mirrors cha.Build: entry first, then declaration order, so
+	// the two builders' graphs differ only where precision differs.
+	add(prog.Entry)
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			ref := minivm.MethodRef{Class: c.Name, Method: m.Name}
+			if include(ref) {
+				add(ref)
+			}
+		}
+	}
+	spawnSeen := make(map[minivm.MethodRef]bool)
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			from := minivm.MethodRef{Class: c.Name, Method: m.Name}
+			if !reach[from] {
+				continue // edges and spawns count only from reachable code
+			}
+			cha.WalkCalls(m.Body, func(in *minivm.Instr) {
+				switch in.Op {
+				case minivm.OpCall:
+					to := minivm.MethodRef{Class: in.Class, Method: in.Name}
+					if include(from) && include(to) {
+						res.Graph.AddEdge(res.NodeOf[from], in.Site, res.NodeOf[to])
+					}
+				case minivm.OpVCall:
+					for _, to := range h.Dispatch(in.Class, in.Name) {
+						if include(from) && include(to) {
+							res.Graph.AddEdge(res.NodeOf[from], in.Site, res.NodeOf[to])
+						}
+					}
+				case minivm.OpSpawn:
+					ref := minivm.MethodRef{Class: in.Class, Method: in.Name}
+					if spawnSeen[ref] {
+						return
+					}
+					if n, ok := res.NodeOf[ref]; ok {
+						spawnSeen[ref] = true
+						res.SpawnEntries = append(res.SpawnEntries, ref)
+						res.Graph.MarkContextRoot(n)
+					}
+				}
+			})
+		}
+	}
+	res.Graph.SetEntry(res.NodeOf[prog.Entry])
+	if err := res.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,189 @@
+package rta
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deltapath/internal/callgraph"
+	"deltapath/internal/cha"
+	"deltapath/internal/core"
+	"deltapath/internal/lang"
+	"deltapath/internal/minivm"
+)
+
+func parseFile(t *testing.T, path string) *minivm.Program {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// edgeKey is a builder-independent edge identity: node IDs differ between
+// graphs, names and site labels do not.
+type edgeKey struct {
+	from  string
+	label int32
+	to    string
+}
+
+func edgeSet(g *callgraph.Graph) map[edgeKey]bool {
+	set := make(map[edgeKey]bool, g.NumEdges())
+	for _, n := range g.Nodes() {
+		for _, e := range g.Out(n) {
+			set[edgeKey{g.Name(e.Caller), e.Label, g.Name(e.Callee)}] = true
+		}
+	}
+	return set
+}
+
+func nameSet(g *callgraph.Graph) map[string]bool {
+	set := make(map[string]bool, g.NumNodes())
+	for _, n := range g.Nodes() {
+		set[g.Name(n)] = true
+	}
+	return set
+}
+
+// TestSubsetOfCHA pins the structural contract on the whole corpus and
+// both settings: every rta node and edge is a cha node and edge (against
+// the statically pruned cha graph, the one the paper reports sizes over).
+func TestSubsetOfCHA(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.mv"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	for _, path := range paths {
+		prog := parseFile(t, path)
+		for _, setting := range []cha.Setting{cha.EncodingAll, cha.EncodingApplication} {
+			opts := cha.Options{Setting: setting}
+			chaRes, err := cha.Build(prog, opts)
+			if err != nil {
+				t.Fatalf("%s: cha: %v", path, err)
+			}
+			rtaRes, err := Build(prog, opts)
+			if err != nil {
+				t.Fatalf("%s: rta: %v", path, err)
+			}
+			chaNodes, rtaNodes := nameSet(chaRes.Graph), nameSet(rtaRes.Graph)
+			for n := range rtaNodes {
+				if !chaNodes[n] {
+					t.Errorf("%s (%v): rta node %s not in cha graph", path, setting, n)
+				}
+			}
+			chaEdges, rtaEdges := edgeSet(chaRes.Graph), edgeSet(rtaRes.Graph)
+			for e := range rtaEdges {
+				if !chaEdges[e] {
+					t.Errorf("%s (%v): rta edge %v not in cha graph", path, setting, e)
+				}
+			}
+			if len(rtaEdges) > len(chaEdges) {
+				t.Errorf("%s (%v): rta has more edges (%d) than cha (%d)",
+					path, setting, len(rtaEdges), len(chaEdges))
+			}
+		}
+	}
+}
+
+// deadSpawnSrc has a spawn reachable only from dead code: rapid.orphan is
+// never called, so cha seeds app.Task.run as a reachability root (it
+// collects spawns from every method body) while rta does not.
+const deadSpawnSrc = `
+entry app.Main.main
+class app.Main {
+  method main {
+    call app.Work.step
+    emit here
+  }
+}
+class app.Work {
+  method step { work 1 }
+  method orphan { spawn app.Task.run }
+}
+class app.Task {
+  method run { call app.Work.step }
+}
+`
+
+// TestPrunesDeadSpawn is the precision witness: the spawn inside the
+// unreachable method must not inflate the rta graph.
+func TestPrunesDeadSpawn(t *testing.T) {
+	prog := lang.MustParse(deadSpawnSrc)
+	chaRes, err := cha.Build(prog, cha.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtaRes, err := Build(prog, cha.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nameSet(chaRes.Graph)["app.Task.run"] {
+		t.Fatal("cha should keep the dead-spawned task (that is its imprecision)")
+	}
+	if nameSet(rtaRes.Graph)["app.Task.run"] {
+		t.Fatal("rta kept a task spawned only from unreachable code")
+	}
+	if nameSet(rtaRes.Graph)["app.Work.orphan"] {
+		t.Fatal("rta kept an unreachable method")
+	}
+	if rtaRes.Graph.NumEdges() >= chaRes.Graph.NumEdges() {
+		t.Fatalf("expected strictly fewer rta edges, got rta=%d cha=%d",
+			rtaRes.Graph.NumEdges(), chaRes.Graph.NumEdges())
+	}
+	if len(rtaRes.SpawnEntries) != 0 {
+		t.Fatalf("unexpected rta spawn entries: %v", rtaRes.SpawnEntries)
+	}
+}
+
+// TestAgreesWhenFullyReachable: on a program with no dead code the two
+// builders must produce identical node and edge sets — rta's gain is
+// precision, never a different semantics.
+func TestAgreesWhenFullyReachable(t *testing.T) {
+	prog := parseFile(t, filepath.Join("..", "..", "testdata", "shapes.mv"))
+	chaRes, err := cha.Build(prog, cha.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtaRes, err := Build(prog, cha.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, re := edgeSet(chaRes.Graph), edgeSet(rtaRes.Graph)
+	if len(ce) != len(re) {
+		t.Fatalf("edge sets differ: cha=%d rta=%d", len(ce), len(re))
+	}
+	for e := range ce {
+		if !re[e] {
+			t.Errorf("cha edge %v missing from rta", e)
+		}
+	}
+}
+
+// TestEncodable: the rta graph feeds the encoder like any cha graph —
+// entry set, deterministic node order, Validate clean.
+func TestEncodable(t *testing.T) {
+	for _, name := range []string{"tasks.mv", "dynload.mv", "recursion.mv"} {
+		prog := parseFile(t, filepath.Join("..", "..", "testdata", name))
+		res, err := Build(prog, cha.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := core.Encode(res.Graph, core.Options{}); err != nil {
+			t.Fatalf("%s: encode over rta graph: %v", name, err)
+		}
+	}
+}
+
+// TestErrors pins the constructor's refusal cases.
+func TestErrors(t *testing.T) {
+	prog := lang.MustParse(deadSpawnSrc)
+	if _, err := Build(prog, cha.Options{ExcludeMethods: map[minivm.MethodRef]bool{prog.Entry: true}}); err == nil {
+		t.Fatal("excluding the entry should fail")
+	}
+}

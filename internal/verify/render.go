@@ -1,0 +1,52 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Text renders the report for terminals: one line per finding, or a
+// one-line certificate with the verified-surface statistics when clean.
+// Output is deterministic (findings are generated in sorted order).
+func (r *Report) Text() string {
+	src := r.Source
+	if src == "" {
+		src = "<memory>"
+	}
+	var b strings.Builder
+	if r.Clean() {
+		fmt.Fprintf(&b, "%s: clean — %d nodes, %d edges, %d sites (%d virtual), %d piece starts, %d push edges, capacity %d",
+			src, r.Stats.Nodes, r.Stats.Edges, r.Stats.Sites, r.Stats.VirtualSites,
+			r.Stats.PieceStarts, r.Stats.PushEdges, r.Stats.MaxCapacity)
+		if r.Stats.CPTSets > 0 {
+			fmt.Fprintf(&b, ", %d cpt sets", r.Stats.CPTSets)
+		}
+		if r.Stats.CoverageHoles > 0 {
+			fmt.Fprintf(&b, " (%d ids unused by dispatch inflation)", r.Stats.CoverageHoles)
+		}
+		b.WriteString("\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%s: %d finding(s)\n", src, len(r.Findings))
+	for _, d := range r.Findings {
+		fmt.Fprintf(&b, "  %s\n", d.String())
+	}
+	return b.String()
+}
+
+// JSON renders the report as an indented JSON document with a trailing
+// newline. Findings marshal as an empty array, never null, so consumers
+// can index unconditionally.
+func (r *Report) JSON() string {
+	shadow := *r
+	if shadow.Findings == nil {
+		shadow.Findings = []Diagnostic{}
+	}
+	out, err := json.MarshalIndent(&shadow, "", "  ")
+	if err != nil {
+		// Report is a plain data struct; this cannot happen.
+		return fmt.Sprintf(`{"error":%q}`, err.Error())
+	}
+	return string(out) + "\n"
+}

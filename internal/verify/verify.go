@@ -1,0 +1,706 @@
+// Package verify statically certifies that an encoding analysis is sound:
+// that every runtime encoding the spec can produce decodes to exactly one
+// calling context. The dynamic test suites observe this property on the
+// executions they happen to run; the verifier proves it for all executions,
+// by re-deriving the interval structure of Algorithms 1 and 2 from the
+// spec's addition values and checking every invariant the decoder relies
+// on.
+//
+// The checks, each guarding a part of the paper:
+//
+//   - structure: the spec's maps reference only nodes, edges, and call sites
+//     that exist in its graph (a corrupted or mismatched .dpa violates this
+//     first).
+//   - push-kind / recursion-anchored: piece-starting edges carry a
+//     recursion/pruned kind, and every recursive edge's target is an anchor
+//     (Section 2 via Algorithm 2: each cyclic step starts a piece with
+//     reserved width 1).
+//   - forward-acyclic: the graph minus push edges is acyclic — every
+//     recursive cycle crosses a push edge, so bottom-up decoding terminates.
+//   - coverage: every node lies in at least one piece start's territory
+//     (Section 3.2; orphan roots under selective encoding must themselves be
+//     anchors).
+//   - intervals: per piece start, the incoming-addition intervals
+//     [AV, AV+ICC) of every territory node are pairwise disjoint, with the
+//     node's ICC the tight upper bound — the injectivity core of
+//     Algorithm 1. Note that the intervals need not cover [0, ICC) exactly:
+//     a virtual site's single addition value is the maximum over its
+//     dispatch targets and anchors, which deliberately inflates ICC and
+//     leaves unused gaps (the paper's ICC vs NC distinction); the verifier
+//     reports the gap total as a statistic, not a finding.
+//   - capacity: no piece's ICC exceeds the configured integer limit, so
+//     runtime additions cannot overflow (Algorithm 2's guarantee).
+//   - virtual-site-av: one addition value per call site even under dynamic
+//     dispatch — per-edge values, when present (PCCE mode), must agree at
+//     every virtual site.
+//   - cpt-*: the call-path-tracking plan is closed under the hazard rules of
+//     Section 4.1: one SID per node, every call site carries the expectation
+//     its dispatch targets share.
+//
+// Findings are deterministic: same input, same findings, same order.
+package verify
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"deltapath/internal/analysisio"
+	"deltapath/internal/callgraph"
+	"deltapath/internal/cpt"
+	"deltapath/internal/encoding"
+)
+
+// Options configures a verification run.
+type Options struct {
+	// MaxID is the inclusive encoding-integer limit pieces must fit in.
+	// Zero means 2^63-1, matching core.Encode's default.
+	MaxID uint64
+}
+
+// Diagnostic is one finding: a violated invariant, located as precisely as
+// the check allows.
+type Diagnostic struct {
+	// Check names the violated invariant (e.g. "intervals", "coverage").
+	Check string `json:"check"`
+	// Node is the node the finding is anchored to, when node-scoped.
+	Node string `json:"node,omitempty"`
+	// Site is the call site ("Class.method@label"), when site-scoped.
+	Site string `json:"site,omitempty"`
+	// Detail is the human-readable explanation.
+	Detail string `json:"detail"`
+}
+
+func (d Diagnostic) String() string {
+	s := "[" + d.Check + "]"
+	if d.Node != "" {
+		s += " node=" + d.Node
+	}
+	if d.Site != "" {
+		s += " site=" + d.Site
+	}
+	return s + " " + d.Detail
+}
+
+// Stats summarizes what was verified. CoverageHoles counts encoding IDs
+// reserved by ICC inflation that no path produces (see the package comment:
+// gaps are expected under virtual dispatch, and are a measure of how much
+// space the single-addition-value design trades for dispatch-free sites).
+type Stats struct {
+	Nodes            int    `json:"nodes"`
+	Edges            int    `json:"edges"`
+	Sites            int    `json:"sites"`
+	VirtualSites     int    `json:"virtual_sites"`
+	PieceStarts      int    `json:"piece_starts"`
+	PushEdges        int    `json:"push_edges"`
+	CPTSets          int    `json:"cpt_sets"`
+	IntervalsChecked int    `json:"intervals_checked"`
+	MaxCapacity      uint64 `json:"max_capacity"`
+	CoverageHoles    uint64 `json:"coverage_holes"`
+}
+
+// Report is the outcome of one verification.
+type Report struct {
+	// Source identifies the verified artifact (file path or program name).
+	Source string `json:"source"`
+	Stats  Stats  `json:"stats"`
+	// Findings is empty iff the analysis is certified sound.
+	Findings []Diagnostic `json:"findings"`
+}
+
+// Clean reports whether no invariant was violated.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+func (r *Report) add(check, node, site, format string, args ...any) {
+	r.Findings = append(r.Findings, Diagnostic{
+		Check:  check,
+		Node:   node,
+		Site:   site,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// CheckFile loads a .dpa analysis file and verifies it. An unloadable file
+// yields a report with a single "load" finding rather than an error: a
+// corrupt artifact is a verification outcome, not a tool failure.
+func CheckFile(path string, opts Options) *Report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return &Report{Source: path, Findings: []Diagnostic{{Check: "load", Detail: err.Error()}}}
+	}
+	rep := CheckBytes(data, opts)
+	rep.Source = path
+	return rep
+}
+
+// CheckBytes verifies a .dpa analysis held in memory. It never panics and
+// always terminates, whatever the bytes — the contract the fuzz target
+// pins.
+func CheckBytes(data []byte, opts Options) *Report {
+	bundle, err := analysisio.Load(bytes.NewReader(data))
+	if err != nil {
+		return &Report{Findings: []Diagnostic{{Check: "load", Detail: err.Error()}}}
+	}
+	return CheckBundle(bundle, opts)
+}
+
+// CheckBundle verifies a restored analysis bundle.
+func CheckBundle(b *analysisio.Bundle, opts Options) *Report {
+	return Check(b.Spec, b.CPT, opts)
+}
+
+// Check verifies an encoding spec (and its CPT plan, which may be nil) in
+// memory.
+func Check(spec *encoding.Spec, plan *cpt.Plan, opts Options) *Report {
+	// Findings starts non-nil so a clean report marshals as [], never null.
+	rep := &Report{Findings: []Diagnostic{}}
+	maxID := opts.MaxID
+	if maxID == 0 {
+		maxID = math.MaxInt64
+	}
+	if spec == nil || spec.Graph == nil {
+		rep.add("structure", "", "", "no spec/graph to verify")
+		return rep
+	}
+	g := spec.Graph
+	rep.Stats = Stats{
+		Nodes:        g.NumNodes(),
+		Edges:        g.NumEdges(),
+		Sites:        g.NumSites(),
+		VirtualSites: g.NumVirtualSites(),
+		PushEdges:    len(spec.Push),
+	}
+	if err := g.Validate(); err != nil {
+		rep.add("structure", "", "", "%v", err)
+		return rep
+	}
+
+	checkStructure(rep, spec)
+	pushOK := checkPushEdges(rep, spec)
+	checkVirtualAV(rep, spec)
+
+	starts := pieceStarts(spec)
+	rep.Stats.PieceStarts = len(starts)
+
+	// Interval verification needs a topological order of the forward
+	// (non-push) graph; its existence is itself the recursion invariant.
+	topo, err := g.TopoOrder(pushEdgeSet(spec))
+	if err != nil {
+		reportForwardCycle(rep, spec)
+	} else if pushOK {
+		checkCoverage(rep, spec, starts)
+		checkIntervals(rep, spec, starts, topo, maxID)
+	}
+
+	checkCPT(rep, spec, plan)
+	if plan != nil {
+		rep.Stats.CPTSets = plan.NumSets
+	}
+	return rep
+}
+
+// checkStructure verifies that every spec map key references an entity of
+// the graph. analysisio.Load guarantees this for well-formed files; an
+// in-memory spec (or a tampered artifact) may not.
+func checkStructure(rep *Report, spec *encoding.Spec) {
+	g := spec.Graph
+	for _, s := range sortedSites(spec.SiteAV) {
+		if len(g.SiteTargets(s)) == 0 {
+			rep.add("structure", "", siteName(g, s),
+				"addition value %d assigned to a call site that does not exist", spec.SiteAV[s])
+		}
+	}
+	for _, e := range sortedEdges(spec.EdgeAV) {
+		if !g.HasEdge(e) {
+			rep.add("structure", "", siteName(g, e.Site()),
+				"per-edge addition value assigned to nonexistent edge to %s", nameOf(g, e.Callee))
+		}
+	}
+	for _, n := range sortedNodes(spec.Anchors) {
+		if n < 0 || int(n) >= g.NumNodes() {
+			rep.add("structure", fmt.Sprintf("node#%d", n), "", "anchor is not a node of the graph")
+		}
+	}
+}
+
+// checkPushEdges verifies the piece-starting edges: they must exist, carry
+// a call-edge piece kind, and — for recursive edges — target an anchor, so
+// that every cyclic step starts a piece with its own reserved width
+// (Algorithm 2's handling of PCCE recursion). It reports whether the push
+// set is trustworthy enough for the interval checks to proceed.
+func checkPushEdges(rep *Report, spec *encoding.Spec) bool {
+	g := spec.Graph
+	ok := true
+	for _, e := range sortedPushEdges(spec.Push) {
+		kind := spec.Push[e]
+		if !g.HasEdge(e) {
+			rep.add("structure", "", siteName(g, e.Site()),
+				"push edge to %s does not exist in the graph", nameOf(g, e.Callee))
+			ok = false
+			continue
+		}
+		switch kind {
+		case encoding.PieceRecursion:
+			if !spec.Anchors[e.Callee] {
+				rep.add("recursion-anchored", nameOf(g, e.Callee), siteName(g, e.Site()),
+					"recursive edge target is not an anchor: the cycle through this edge has no piece boundary")
+			}
+		case encoding.PiecePruned:
+			// Pruned edges may target any node; decoding from an arbitrary
+			// start is sound whenever the anchor-rooted intervals are.
+		default:
+			rep.add("push-kind", "", siteName(g, e.Site()),
+				"push edge to %s has kind %v; only recursion/pruned edges start pieces",
+				nameOf(g, e.Callee), kind)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// reportForwardCycle names one cycle of the forward graph: a strongly
+// connected component not broken by any push edge.
+func reportForwardCycle(rep *Report, spec *encoding.Spec) {
+	g := spec.Graph
+	push := pushEdgeSet(spec)
+	// SCC over the forward graph: collapse using only non-push edges by
+	// checking components of the full graph won't do (push edges may link
+	// them), so run a small Tarjan-equivalent via Kosaraju on filtered
+	// edges. Graphs here are small; simplicity over speed.
+	comp := forwardSCC(g, push)
+	bySize := map[int][]callgraph.NodeID{}
+	for n, c := range comp {
+		bySize[c] = append(bySize[c], callgraph.NodeID(n))
+	}
+	keys := make([]int, 0, len(bySize))
+	for c := range bySize {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	for _, c := range keys {
+		members := bySize[c]
+		if len(members) < 2 && !hasForwardSelfLoop(g, push, members[0]) {
+			continue
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		names := make([]string, 0, 5)
+		for i, m := range members {
+			if i == 5 {
+				names = append(names, "...")
+				break
+			}
+			names = append(names, nameOf(g, m))
+		}
+		rep.add("forward-acyclic", names[0], "",
+			"cycle not broken by any recursion push edge: {%s} — decoding cannot terminate",
+			joinNames(names))
+		return // one witness cycle is enough; the finding is structural
+	}
+	rep.add("forward-acyclic", "", "", "forward graph is cyclic")
+}
+
+func hasForwardSelfLoop(g *callgraph.Graph, push map[callgraph.Edge]bool, n callgraph.NodeID) bool {
+	for _, e := range g.Out(n) {
+		if e.Callee == n && !push[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCoverage verifies that every node lies in at least one piece start's
+// territory: a node outside every territory has no anchor-relative encoding
+// space, so no piece ending there could ever decode (core.addOrphanAnchors
+// exists precisely to prevent this).
+func checkCoverage(rep *Report, spec *encoding.Spec, starts []callgraph.NodeID) {
+	g := spec.Graph
+	covered := make([]bool, g.NumNodes())
+	for _, s := range starts {
+		for _, n := range territoryNodes(spec, s) {
+			covered[n] = true
+		}
+	}
+	for _, n := range g.Nodes() {
+		if !covered[n] {
+			rep.add("coverage", nameOf(g, n), "",
+				"node is outside every piece start's territory: contexts ending here are undecodable")
+		}
+	}
+}
+
+// interval is one in-edge's claim on a node's encoding space: [av, av+width).
+type interval struct {
+	e     callgraph.Edge
+	av    uint64
+	width uint64
+}
+
+// checkIntervals is the injectivity core: per piece start, recompute every
+// territory node's inflated calling-context count (ICC) bottom-up from the
+// spec's addition values, and require the incoming intervals to be pairwise
+// disjoint with ICC their tight bound. Disjoint intervals make the
+// decoder's greedy rule — largest addition value not exceeding the
+// remaining ID — invert every path sum uniquely (Section 3.1); recomputing
+// ICC rather than trusting a stored one means a tampered addition value
+// cannot hide.
+func checkIntervals(rep *Report, spec *encoding.Spec, starts []callgraph.NodeID,
+	topo []callgraph.NodeID, maxID uint64) {
+
+	g := spec.Graph
+	for _, start := range starts {
+		nodes, edges := territory(spec, start)
+		icc := make(map[callgraph.NodeID]uint64, len(nodes))
+		icc[start] = 1
+		if rep.Stats.MaxCapacity < 1 {
+			rep.Stats.MaxCapacity = 1
+		}
+		for _, n := range topo {
+			if n == start || !nodes[n] {
+				continue
+			}
+			var in []interval
+			for _, e := range g.In(n) {
+				if !edges[e] {
+					continue
+				}
+				w, ok := icc[e.Caller]
+				if !ok {
+					// Caller is a boundary anchor of this territory: paths
+					// within the piece do not continue through it, so the
+					// edge contributes no range here.
+					continue
+				}
+				in = append(in, interval{e: e, av: spec.AV(e), width: w})
+			}
+			if len(in) == 0 {
+				continue // territory-boundary anchor: in-territory in-edges all retreat
+			}
+			sort.Slice(in, func(i, j int) bool {
+				if in[i].av != in[j].av {
+					return in[i].av < in[j].av
+				}
+				return less(in[i].e, in[j].e)
+			})
+			rep.Stats.IntervalsChecked += len(in)
+			nodeOK := true
+			var iccN uint64
+			for i, iv := range in {
+				if iv.av > maxID-iv.width {
+					rep.add("capacity", nameOf(g, n), siteName(g, iv.e.Site()),
+						"piece capacity overflows the integer limit: addition value %d + width %d > %d (territory of %s)",
+						iv.av, iv.width, maxID, nameOf(g, start))
+					nodeOK = false
+					iccN = maxID // clamp so downstream arithmetic stays defined
+					continue
+				}
+				if end := iv.av + iv.width; end > iccN {
+					iccN = end
+				}
+				if i+1 < len(in) {
+					next := in[i+1]
+					if gap := next.av - iv.av; gap < iv.width {
+						rep.add("intervals", nameOf(g, n), siteName(g, iv.e.Site()),
+							"in-edge ranges overlap in territory of %s: [%d,%d) from %s collides with [%d,...) from %s — two paths share an encoding",
+							nameOf(g, start), iv.av, iv.av+iv.width, nameOf(g, iv.e.Caller),
+							next.av, nameOf(g, next.e.Caller))
+						nodeOK = false
+					}
+				}
+			}
+			icc[n] = iccN
+			if iccN > rep.Stats.MaxCapacity {
+				rep.Stats.MaxCapacity = iccN
+			}
+			if nodeOK {
+				// Unused IDs below the bound: the price of one addition
+				// value per virtual site (ICC inflation), reported as a
+				// statistic. Disjointness makes the subtraction safe.
+				used := uint64(0)
+				for _, iv := range in {
+					used += iv.width
+				}
+				rep.Stats.CoverageHoles += iccN - used
+			}
+		}
+	}
+}
+
+// checkVirtualAV verifies the single-addition-value property at virtual
+// sites. With SiteAV it holds by construction; a per-edge spec (PCCE mode)
+// must assign every dispatch target of a site the same value, or the
+// runtime's single addition at the site is wrong for some target — exactly
+// the dispatch conflict DeltaPath's CAV/ICC machinery eliminates.
+func checkVirtualAV(rep *Report, spec *encoding.Spec) {
+	g := spec.Graph
+	if !spec.PerEdge {
+		if len(spec.EdgeAV) > 0 {
+			rep.add("virtual-site-av", "", "",
+				"spec carries %d per-edge addition values but is not per-edge: values would be silently ignored",
+				len(spec.EdgeAV))
+		}
+		return
+	}
+	for _, s := range g.Sites() {
+		targets := g.SiteTargets(s)
+		if len(targets) < 2 {
+			continue
+		}
+		want := spec.EdgeAV[targets[0]]
+		for _, e := range targets[1:] {
+			if got := spec.EdgeAV[e]; got != want {
+				rep.add("virtual-site-av", "", siteName(g, s),
+					"dispatch targets disagree on the addition value: %s gets %d, %s gets %d",
+					nameOf(g, targets[0].Callee), want, nameOf(g, e.Callee), got)
+			}
+		}
+	}
+}
+
+// checkCPT verifies the call-path-tracking plan is closed under the hazard
+// rules: one dense SID per node, and every call site carries the one SID
+// all of its dispatch targets share — the comparison the runtime makes at
+// every function entry (Section 4.1).
+func checkCPT(rep *Report, spec *encoding.Spec, plan *cpt.Plan) {
+	if plan == nil {
+		return
+	}
+	g := spec.Graph
+	if len(plan.SID) != g.NumNodes() {
+		rep.add("cpt-sids", "", "", "SID table has %d entries for %d nodes", len(plan.SID), g.NumNodes())
+		return
+	}
+	for _, n := range g.Nodes() {
+		if sid := plan.SID[n]; sid < 0 || int(sid) >= plan.NumSets {
+			rep.add("cpt-sids", nameOf(g, n), "", "SID %d outside [0,%d)", sid, plan.NumSets)
+		}
+	}
+	for _, s := range sortedSites(plan.Expected) {
+		if len(g.SiteTargets(s)) == 0 {
+			rep.add("cpt-closure", "", siteName(g, s), "expectation recorded for a call site that does not exist")
+		}
+	}
+	for _, s := range g.Sites() {
+		targets := g.SiteTargets(s)
+		if len(targets) == 0 {
+			continue
+		}
+		want, ok := plan.Expected[s]
+		if !ok {
+			rep.add("cpt-closure", "", siteName(g, s),
+				"call site has no saved SID expectation: hazardous unexpected call paths through it are undetectable")
+			continue
+		}
+		for _, e := range targets {
+			if plan.SID[e.Callee] != want {
+				rep.add("cpt-closure", nameOf(g, e.Callee), siteName(g, s),
+					"dispatch target carries SID %d but the site expects %d: the sets are not merged",
+					plan.SID[e.Callee], want)
+			}
+		}
+	}
+}
+
+// --- helpers ---
+
+// pieceStarts returns the nodes at which pieces begin — the entry plus
+// every anchor — in increasing node order.
+func pieceStarts(spec *encoding.Spec) []callgraph.NodeID {
+	seen := make(map[callgraph.NodeID]bool, len(spec.Anchors)+1)
+	if entry, ok := spec.Graph.Entry(); ok {
+		seen[entry] = true
+	}
+	for n := range spec.Anchors {
+		if n >= 0 && int(n) < spec.Graph.NumNodes() {
+			seen[n] = true
+		}
+	}
+	return sortedNodes(seen)
+}
+
+func pushEdgeSet(spec *encoding.Spec) map[callgraph.Edge]bool {
+	set := make(map[callgraph.Edge]bool, len(spec.Push))
+	for e := range spec.Push {
+		set[e] = true
+	}
+	return set
+}
+
+// territory computes the nodes and edges reachable from start by the
+// bounded DFS of Section 3.2: traversal retreats at other anchors (which
+// still belong to the territory as its boundary) and never crosses push
+// edges — the same walk the decoder and core.identifyTerritories use.
+func territory(spec *encoding.Spec, start callgraph.NodeID) (map[callgraph.NodeID]bool, map[callgraph.Edge]bool) {
+	g := spec.Graph
+	nodes := map[callgraph.NodeID]bool{start: true}
+	edges := make(map[callgraph.Edge]bool)
+	work := []callgraph.NodeID{start}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		if v != start && spec.Anchors[v] {
+			continue // boundary anchor: belongs to the territory, not traversed
+		}
+		for _, e := range g.Out(v) {
+			if _, pushed := spec.Push[e]; pushed {
+				continue
+			}
+			edges[e] = true
+			if !nodes[e.Callee] {
+				nodes[e.Callee] = true
+				work = append(work, e.Callee)
+			}
+		}
+	}
+	return nodes, edges
+}
+
+func territoryNodes(spec *encoding.Spec, start callgraph.NodeID) []callgraph.NodeID {
+	nodes, _ := territory(spec, start)
+	return sortedNodes(nodes)
+}
+
+// forwardSCC returns component numbers over the graph restricted to
+// non-push edges (iterative Kosaraju; graphs are analysis-sized).
+func forwardSCC(g *callgraph.Graph, push map[callgraph.Edge]bool) []int {
+	n := g.NumNodes()
+	order := make([]callgraph.NodeID, 0, n)
+	seen := make([]bool, n)
+	type frame struct {
+		v  callgraph.NodeID
+		ei int
+	}
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack := []frame{{v: callgraph.NodeID(s)}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			out := g.Out(f.v)
+			for f.ei < len(out) {
+				e := out[f.ei]
+				f.ei++
+				if push[e] || seen[e.Callee] {
+					continue
+				}
+				seen[e.Callee] = true
+				stack = append(stack, frame{v: e.Callee})
+				advanced = true
+				break
+			}
+			if !advanced {
+				order = append(order, f.v)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	// Transpose pass in reverse finishing order.
+	rin := make([][]callgraph.NodeID, n)
+	for _, id := range g.Nodes() {
+		for _, e := range g.Out(id) {
+			if !push[e] {
+				rin[e.Callee] = append(rin[e.Callee], e.Caller)
+			}
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	c := 0
+	for i := len(order) - 1; i >= 0; i-- {
+		root := order[i]
+		if comp[root] != -1 {
+			continue
+		}
+		work := []callgraph.NodeID{root}
+		comp[root] = c
+		for len(work) > 0 {
+			v := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, u := range rin[v] {
+				if comp[u] == -1 {
+					comp[u] = c
+					work = append(work, u)
+				}
+			}
+		}
+		c++
+	}
+	return comp
+}
+
+// nameOf is a bounds-checked g.Name: spec maps in a tampered in-memory
+// spec may reference node IDs the graph does not have, and diagnostics
+// must never panic.
+func nameOf(g *callgraph.Graph, id callgraph.NodeID) string {
+	if id < 0 || int(id) >= g.NumNodes() {
+		return fmt.Sprintf("node#%d", id)
+	}
+	return g.Name(id)
+}
+
+func siteName(g *callgraph.Graph, s callgraph.Site) string {
+	return fmt.Sprintf("%s@%d", nameOf(g, s.Caller), s.Label)
+}
+
+func less(a, b callgraph.Edge) bool {
+	if a.Caller != b.Caller {
+		return a.Caller < b.Caller
+	}
+	if a.Label != b.Label {
+		return a.Label < b.Label
+	}
+	return a.Callee < b.Callee
+}
+
+func sortedNodes[V any](m map[callgraph.NodeID]V) []callgraph.NodeID {
+	out := make([]callgraph.NodeID, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedSites[V any](m map[callgraph.Site]V) []callgraph.Site {
+	out := make([]callgraph.Site, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Caller != out[j].Caller {
+			return out[i].Caller < out[j].Caller
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+func sortedEdges[V any](m map[callgraph.Edge]V) []callgraph.Edge {
+	out := make([]callgraph.Edge, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+func sortedPushEdges(m map[callgraph.Edge]encoding.PieceKind) []callgraph.Edge {
+	return sortedEdges(m)
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

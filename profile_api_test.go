@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -126,8 +127,16 @@ func TestDecodeProfileRefusesDigestMismatch(t *testing.T) {
 	if err := prof.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := anB.DecodeProfile(&buf, 2); err == nil {
+	_, err = anB.DecodeProfile(&buf, 2)
+	if err == nil {
 		t.Fatal("profile decoded against the wrong analysis")
+	}
+	// The refusal must name both digests — the profile's (expected) and
+	// the analysis's (actual) — exactly as dpdecode surfaces it.
+	for _, want := range []string{anA.GraphDigest(), anB.GraphDigest()} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("mismatch error does not name digest %s: %v", want, err)
+		}
 	}
 }
 
