@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: all build test test-short race bench chaos eval profile-baseline fuzz examples clean \
-	lint lint-invariants verify-encodings bench-smoke bench-baseline golden-freshness ci-local
+	lint lint-invariants verify-encodings bench-smoke bench-baseline decode-baseline \
+	golden-freshness ci-local
 
 all: build test
 
@@ -51,6 +52,7 @@ profile-baseline:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalContext -fuzztime 10s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/encoding
+	$(GO) test -run '^$$' -fuzz FuzzCompiledDecode -fuzztime 10s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzProfileReader -fuzztime 10s ./internal/profile
 	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime 10s ./internal/verify
 
@@ -91,7 +93,14 @@ bench-baseline:
 	mkdir -p results
 	$(GO) run ./cmd/dpbench -experiment encode,profile,decode \
 		-bench compress,sunflow,mpegaudio -scale 0.4 -repeats 5 -json \
-		> results/BENCH_0003.json
+		> results/BENCH_0005.json
+
+# Regenerate the decode-throughput table over the full suite (legacy map
+# decoder vs compiled flat tables; results/decode.txt) — the human-readable
+# companion of the gated speedup rows in the bench-smoke baseline.
+decode-baseline:
+	mkdir -p results
+	$(GO) run ./cmd/dpbench -experiment decode -scale 0.3 -repeats 3 | tee results/decode.txt
 
 # Golden freshness: regenerate the golden decodes with -update and fail if
 # the committed files drift (a stale golden means an unreviewed behavior
@@ -106,6 +115,7 @@ golden-freshness:
 ci-local: lint lint-invariants build test race verify-encodings golden-freshness bench-smoke
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalContext -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 5s ./internal/encoding
+	$(GO) test -run '^$$' -fuzz FuzzCompiledDecode -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzProfileReader -fuzztime 5s ./internal/profile
 	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime 5s ./internal/verify
 

@@ -30,6 +30,12 @@
 // (default examples/*.mv — the generated suite has no dead code, so the
 // curated programs carry the precision witnesses).
 //
+// The decode experiment measures offline decode throughput through both
+// data paths — the legacy map-based reference decoder and the compiled
+// flat tables (encoding.Compile) — reporting ns/context for each, the
+// legacy/compiled speedup, compiled-path frames/s, and compiled
+// steady-state allocations per decode (expected 0).
+//
 // The encode experiment measures the observability layer's hot-path cost:
 // whole-run ns per probe event with metrics off (the nil-sink default) and
 // on. -compare is the bench-smoke regression gate built on that output: it
@@ -79,7 +85,7 @@ func loadPrograms(glob string) ([]eval.NamedProgram, error) {
 func main() {
 	experiment := flag.String("experiment", "all", "comma-separated subset of table1, fig8, table2, decode, profile, encode, graph; or all")
 	scale := flag.Float64("scale", 0.2, "workload scale factor (1.0 = full runs)")
-	repeats := flag.Int("repeats", 3, "throughput repetitions per configuration (fig8, encode, -compare)")
+	repeats := flag.Int("repeats", 3, "throughput repetitions per configuration (fig8, decode, encode, -compare)")
 	workers := flag.Int("workers", 1, "concurrent benchmark worker threads (fig8)")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
 	asJSON := flag.Bool("json", false, "emit JSON rows instead of formatted tables")
@@ -155,7 +161,7 @@ func main() {
 		return emit("table2", rows, eval.RenderTable2(rows))
 	})
 	run("decode", func() error {
-		rows, err := eval.DecodeLatency(suite, *scale, 2048)
+		rows, err := eval.DecodeLatency(suite, *scale, 2048, *repeats)
 		if err != nil {
 			return err
 		}

@@ -18,11 +18,15 @@
 // whose digest does not match its own payload (torn write, version skew).
 //
 // With -profile, the input is a .dpp profile (dprun -profile) instead of a
-// record log: the records are decoded by a -workers pool (per-worker
-// memoization) and printed as a hot-context report — count-descending,
-// deterministic regardless of worker count — optionally trimmed to the top
-// -top rows. A profile recorded over a different program is refused by the
-// graph digest embedded in the .dpp header.
+// record log: the records are decoded by a -workers pool and printed as a
+// hot-context report — count-descending, deterministic regardless of worker
+// count — optionally trimmed to the top -top rows. A profile recorded over
+// a different program is refused by the graph digest embedded in the .dpp
+// header.
+//
+// All decoding runs through the compiled flat-table decoder
+// (encoding.Compile): precomputed CSR in-edge rows and territory bitsets,
+// shared lock-free across workers, with per-worker reusable frame buffers.
 //
 // A corrupt record fails with a distinct exit code per corruption class, so
 // pipelines can triage without parsing messages:

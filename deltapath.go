@@ -143,11 +143,13 @@ func (b GraphBuilder) String() string {
 // Analysis is the static-analysis product: everything needed to run a
 // program with encoding probes and to decode the results.
 type Analysis struct {
-	prog    *Program
-	build   *cha.Result
-	result  *core.Result
-	plan    *instrument.Plan
-	decoder *encoding.Decoder
+	prog   *Program
+	build  *cha.Result
+	result *core.Result
+	plan   *instrument.Plan
+	// decoder is the compiled flat-table decoder (read-only after
+	// construction, safe for concurrent use without locks).
+	decoder *encoding.CompiledDecoder
 
 	digestOnce sync.Once
 	digest     analysisio.GraphDigest
@@ -246,7 +248,7 @@ func Analyze(prog *Program, opts Options) (*Analysis, error) {
 		build:   build,
 		result:  res,
 		plan:    plan,
-		decoder: encoding.NewDecoder(res.Spec),
+		decoder: encoding.Compile(res.Spec),
 	}, nil
 }
 
@@ -520,7 +522,7 @@ func (a *Analysis) VerifyEncoding() error {
 // OfflineDecoder decodes context records against a persisted analysis.
 type OfflineDecoder struct {
 	bundle  *analysisio.Bundle
-	decoder *encoding.Decoder
+	decoder *encoding.CompiledDecoder
 }
 
 // LoadDecoder restores a persisted analysis for offline decoding.
@@ -529,7 +531,7 @@ func LoadDecoder(r io.Reader) (*OfflineDecoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &OfflineDecoder{bundle: bundle, decoder: encoding.NewDecoder(bundle.Spec)}, nil
+	return &OfflineDecoder{bundle: bundle, decoder: encoding.Compile(bundle.Spec)}, nil
 }
 
 // DecodeBytes decodes a context record produced under the persisted
@@ -696,10 +698,20 @@ func (a *Analysis) RunParallel(seeds []uint64, onEmit func(Context)) (*Profile, 
 	return p, nil
 }
 
+// ctxBuf is the per-worker scratch of the profile decode pipeline: a frame
+// buffer DecodeInto reuses and a string builder for the rendered context.
+// Pooled so steady-state record decoding allocates only the output string.
+type ctxBuf struct {
+	frames []encoding.Frame
+	sb     strings.Builder
+}
+
+var ctxBufPool = sync.Pool{New: func() any { return new(ctxBuf) }}
+
 // decodeProfileStream is the shared implementation of DecodeProfile: check
 // the profile's digest against the analysis in hand, then fan the records
-// over a worker pool.
-func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, dec *encoding.Decoder, reg *obs.Registry) (*ProfileReport, error) {
+// over a worker pool decoding through the compiled flat tables.
+func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, dec *encoding.CompiledDecoder, reg *obs.Registry) (*ProfileReport, error) {
 	pr, err := profile.NewReader(r)
 	if err != nil {
 		return nil, err
@@ -708,16 +720,30 @@ func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, 
 		return nil, fmt.Errorf("deltapath: profile mismatch: profile was recorded over %s, analysis graph is %s (stale analysis or wrong program?)",
 			pr.Digest(), want)
 	}
+	g := dec.Spec().Graph
 	return profile.DecodeObserved(pr, workers, func(rec []byte) (string, error) {
 		st, end, err := encoding.UnmarshalContext(rec)
 		if err != nil {
 			return "", err
 		}
-		names, err := dec.DecodeNames(st, end)
+		b := ctxBufPool.Get().(*ctxBuf)
+		defer ctxBufPool.Put(b)
+		b.frames, err = dec.DecodeInto(b.frames[:0], st, end)
 		if err != nil {
 			return "", err
 		}
-		return strings.Join(names, " > "), nil
+		b.sb.Reset()
+		for i, f := range b.frames {
+			if i > 0 {
+				b.sb.WriteString(" > ")
+			}
+			if f.Gap {
+				b.sb.WriteString("...")
+			} else {
+				b.sb.WriteString(g.Name(f.Node))
+			}
+		}
+		return b.sb.String(), nil
 	}, reg)
 }
 

@@ -1,8 +1,10 @@
 package encoding
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"strings"
 	"sync"
 
@@ -264,7 +266,9 @@ func (d *Decoder) pickEdge(n callgraph.NodeID, id uint64, terr map[callgraph.Edg
 	return avEdge{}, false
 }
 
-// sortedIn returns n's non-push in-edges sorted by descending AV.
+// sortedIn returns n's non-push in-edges sorted by descending AV. One memo
+// hit or miss is counted per lookup — the same accounting the compiled
+// decoder applies to its precomputed tables.
 func (d *Decoder) sortedIn(n callgraph.NodeID) []avEdge {
 	d.mu.RLock()
 	cached, ok := d.inEdges[n]
@@ -274,26 +278,28 @@ func (d *Decoder) sortedIn(n callgraph.NodeID) []avEdge {
 		return cached
 	}
 	d.memoMisses.Inc()
-	var list []avEdge
-	for _, e := range d.spec.Graph.In(n) {
-		if _, pushed := d.spec.Push[e]; pushed {
-			continue
-		}
-		list = append(list, avEdge{e: e, av: d.spec.AV(e)})
-	}
-	// Insertion sort by descending av: in-edge lists are short and mostly
-	// already ordered ascending, so reverse then fix up.
-	for i, j := 0, len(list)-1; i < j; i, j = i+1, j-1 {
-		list[i], list[j] = list[j], list[i]
-	}
-	for i := 1; i < len(list); i++ {
-		for j := i; j > 0 && list[j-1].av < list[j].av; j-- {
-			list[j-1], list[j] = list[j], list[j-1]
-		}
-	}
+	list := sortedInEdges(d.spec, n)
 	d.mu.Lock()
 	d.inEdges[n] = list
 	d.mu.Unlock()
+	return list
+}
+
+// sortedInEdges builds n's non-push in-edges sorted by descending AV, ties
+// in reverse insertion order. Within one territory the order of ties never
+// matters (AV ranges are disjoint), but on corrupt inputs the chosen edge
+// depends on it, so the legacy cache and the compiled CSR rows both use
+// this one builder and stay slot-for-slot identical.
+func sortedInEdges(spec *Spec, n callgraph.NodeID) []avEdge {
+	var list []avEdge
+	for _, e := range spec.Graph.In(n) {
+		if _, pushed := spec.Push[e]; pushed {
+			continue
+		}
+		list = append(list, avEdge{e: e, av: spec.AV(e)})
+	}
+	slices.Reverse(list)
+	slices.SortStableFunc(list, func(a, b avEdge) int { return cmp.Compare(b.av, a.av) })
 	return list
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package encoding
+
+const raceEnabled = false

@@ -13,7 +13,7 @@ package eval
 import (
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
 	"time"
 
 	"deltapath/internal/callgraph"
@@ -373,23 +373,33 @@ func Table2(suite []workload.Params, scale float64) ([]Table2Row, error) {
 	return rows, nil
 }
 
-// DecodeRow reports decoding latency for one benchmark: the quantitative
+// DecodeRow reports decode throughput for one benchmark: the quantitative
 // backing for the paper's "deterministic and instant decoding" claim
-// (contrast Breadcrumbs' 5-second-per-context offline search).
+// (contrast Breadcrumbs' 5-second-per-context offline search), measured
+// through both data paths — the legacy map-based reference decoder and the
+// compiled flat tables (encoding.Compile). Speedup is the machine-independent
+// metric the bench-smoke gate compares; absolute ns/context is recorded for
+// the record but never gated (1-CPU container noise).
 type DecodeRow struct {
-	Program    string
-	Contexts   int     // distinct contexts timed
-	MeanMicros float64 // mean decode latency
-	P99Micros  float64
-	MaxMicros  float64
-	MaxDepth   int // deepest decoded context
+	Program      string
+	Contexts     int     // distinct contexts timed
+	LegacyNs     float64 // best-of-repeats mean ns/context, legacy map decoder
+	CompiledNs   float64 // same contexts through the compiled flat tables
+	Speedup      float64 // LegacyNs / CompiledNs
+	FramesPerSec float64 // compiled-path frame throughput at CompiledNs
+	AllocsPerOp  float64 // compiled steady-state heap allocations per decode
+	MaxDepth     int     // deepest decoded context
 }
 
 // DecodeLatency collects up to sample distinct contexts per benchmark and
-// times their decoding.
-func DecodeLatency(suite []workload.Params, scale float64, sample int) ([]DecodeRow, error) {
+// times their decoding through both decoders, keeping the best of repeats
+// timed batches per side.
+func DecodeLatency(suite []workload.Params, scale float64, sample, repeats int) ([]DecodeRow, error) {
 	if sample <= 0 {
 		sample = 2048
+	}
+	if repeats < 1 {
+		repeats = 1
 	}
 	rows := make([]DecodeRow, 0, len(suite))
 	for _, p := range suite {
@@ -443,35 +453,63 @@ func DecodeLatency(suite []workload.Params, scale float64, sample int) ([]Decode
 		if len(samples) == 0 {
 			return nil, fmt.Errorf("%s: no contexts sampled", p.Name)
 		}
-		dec := encoding.NewDecoder(res.Spec)
-		// Warm the decoder caches once, then time each decode.
-		for _, s := range samples {
-			if _, err := dec.Decode(s.st, s.node); err != nil {
-				return nil, fmt.Errorf("%s: decode: %w", p.Name, err)
-			}
-		}
-		lat := make([]float64, len(samples))
+		legacy := encoding.NewDecoder(res.Spec)
+		compiled := encoding.Compile(res.Spec)
 		row := DecodeRow{Program: p.Name, Contexts: len(samples)}
-		var sum float64
-		for i, s := range samples {
-			start := time.Now()
-			frames, err := dec.Decode(s.st, s.node)
-			d := float64(time.Since(start).Nanoseconds()) / 1e3
+		// Warm both paths once (legacy memo caches, compiled scratch pool
+		// and frame buffer), collecting depth and frame totals from the
+		// warm pass so the timed batches are measurement only.
+		var buf []encoding.Frame
+		totalFrames := 0
+		for _, s := range samples {
+			frames, err := legacy.Decode(s.st, s.node)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%s: decode: %w", p.Name, err)
 			}
 			if len(frames) > row.MaxDepth {
 				row.MaxDepth = len(frames)
 			}
-			lat[i] = d
-			sum += d
-			if d > row.MaxMicros {
-				row.MaxMicros = d
+			totalFrames += len(frames)
+			if buf, err = compiled.DecodeInto(buf[:0], s.st, s.node); err != nil {
+				return nil, fmt.Errorf("%s: compiled decode: %w", p.Name, err)
+			}
+			if len(buf) != len(frames) {
+				return nil, fmt.Errorf("%s: decoder disagreement: legacy %d frames, compiled %d",
+					p.Name, len(frames), len(buf))
 			}
 		}
-		sort.Float64s(lat)
-		row.MeanMicros = sum / float64(len(lat))
-		row.P99Micros = lat[len(lat)*99/100]
+		n := float64(len(samples))
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			for _, s := range samples {
+				if _, err := legacy.Decode(s.st, s.node); err != nil {
+					return nil, err
+				}
+			}
+			if ns := float64(time.Since(start).Nanoseconds()) / n; row.LegacyNs == 0 || ns < row.LegacyNs {
+				row.LegacyNs = ns
+			}
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start = time.Now()
+			for _, s := range samples {
+				if buf, err = compiled.DecodeInto(buf[:0], s.st, s.node); err != nil {
+					return nil, err
+				}
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if ns := float64(elapsed.Nanoseconds()) / n; row.CompiledNs == 0 || ns < row.CompiledNs {
+				row.CompiledNs = ns
+			}
+			if allocs := float64(after.Mallocs-before.Mallocs) / n; r == 0 || allocs < row.AllocsPerOp {
+				row.AllocsPerOp = allocs
+			}
+		}
+		if row.CompiledNs > 0 {
+			row.Speedup = row.LegacyNs / row.CompiledNs
+			row.FramesPerSec = float64(totalFrames) / n / row.CompiledNs * 1e9
+		}
 		rows = append(rows, row)
 	}
 	return rows, nil

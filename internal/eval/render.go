@@ -103,15 +103,17 @@ func RenderEncode(rows []EncodeRow) string {
 	return b.String()
 }
 
-// RenderDecodeLatency prints the decode-latency table.
+// RenderDecodeLatency prints the decode-throughput table: legacy map
+// decoder vs compiled flat tables on the same sampled contexts.
 func RenderDecodeLatency(rows []DecodeRow) string {
 	var b strings.Builder
-	b.WriteString("Decode latency (microseconds per context; deterministic, no search)\n")
-	fmt.Fprintf(&b, "%-22s %9s %10s %10s %10s %7s\n",
-		"program", "contexts", "mean µs", "p99 µs", "max µs", "max.d")
+	b.WriteString("Decode throughput (ns per context; legacy map decoder vs compiled flat tables)\n")
+	fmt.Fprintf(&b, "%-22s %9s %11s %12s %8s %13s %10s %7s\n",
+		"program", "contexts", "legacy ns", "compiled ns", "speedup", "frames/s", "allocs/op", "max.d")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-22s %9d %10.2f %10.2f %10.2f %7d\n",
-			r.Program, r.Contexts, r.MeanMicros, r.P99Micros, r.MaxMicros, r.MaxDepth)
+		fmt.Fprintf(&b, "%-22s %9d %11.1f %12.1f %7.2fx %13.0f %10.2f %7d\n",
+			r.Program, r.Contexts, r.LegacyNs, r.CompiledNs, r.Speedup,
+			r.FramesPerSec, r.AllocsPerOp, r.MaxDepth)
 	}
 	return b.String()
 }

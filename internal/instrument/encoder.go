@@ -67,12 +67,15 @@ type Encoder struct {
 	// trusted and the next VerifyAndResync repairs it unconditionally.
 	suspect bool
 
-	// dec decodes the live state for the invariant checker; lazily built,
-	// or shared across encoders of one spec via SetDecoder.
-	dec *encoding.Decoder
+	// dec decodes the live state for the invariant checker; lazily built
+	// (a compiled flat-table decoder), or shared across encoders of one
+	// spec via SetDecoder.
+	dec encoding.ContextDecoder
 	// walker captures ground-truth stacks for the checker and for resync;
 	// built on first use (its filter is the instrumented-method set).
-	walker *stackwalk.Walker
+	// nodeBuf is its reused capture buffer.
+	walker  *stackwalk.Walker
+	nodeBuf []callgraph.NodeID
 }
 
 // Token bits returned by BeforeCall/Enter and consumed by AfterCall/Exit.
@@ -125,39 +128,51 @@ func (e *Encoder) Reset() {
 	e.seedEntry()
 }
 
-// BeforeCall implements minivm.Probes.
+// BeforeCall implements minivm.Probes: the ref-keyed spelling of
+// FastBeforeCall, for probe wrappers (internal/chaos) and VMs that have not
+// resolved dense ids. The plan's maps stay the source of truth for the
+// ref→id translation; all encoding logic lives in the Fast path.
 func (e *Encoder) BeforeCall(site minivm.SiteRef, target minivm.MethodRef) uint8 {
-	pay := e.plan.sites[site]
-	if pay == nil {
-		// A call site the static analysis never modelled (its only
-		// targets are dynamic classes): no payload was inserted.
+	return e.FastBeforeCall(e.plan.SiteID(site), e.plan.MethodID(target))
+}
+
+// FastBeforeCall implements minivm.FastProbes: one dense slice index
+// instead of two map lookups. site < 0 marks a call site the static
+// analysis never modelled (its only targets are dynamic classes) — no
+// payload was inserted there. target < 0 marks a dynamically loaded callee.
+func (e *Encoder) FastBeforeCall(site, target int32) uint8 {
+	if site < 0 {
 		return 0
 	}
+	pay := &e.plan.fastSites[site]
 	if e.cptOn {
 		e.expectedValid = true
 		e.expectedSID = pay.expectedSID
 		e.expectedSite = pay.site
 		e.obs.sidSaves.Inc()
 	}
-	node, known := e.plan.Build.NodeOf[target]
-	if known {
-		if kind, pushed := pay.push[node]; pushed {
-			e.st.PushCallEdge(kind, pay.site, node)
-			e.pendingRecTarget = node
-			e.noteDepth()
-			e.obs.edgePushes.Inc()
-			if e.obs.tracer != nil {
-				e.obs.tracer.Record(obs.EvEdgePush, uint64(pay.site.Label), e.st.ID)
+	av := pay.av
+	if (pay.hasPush || pay.perEdge) && target >= 0 {
+		// Polymorphic site: resolve the dispatched target's override.
+		if t := pay.lookup(callgraph.NodeID(target)); t != nil {
+			if t.push {
+				e.st.PushCallEdge(t.kind, pay.site, t.node)
+				e.pendingRecTarget = t.node
+				e.noteDepth()
+				e.obs.edgePushes.Inc()
+				if e.obs.tracer != nil {
+					e.obs.tracer.Record(obs.EvEdgePush, uint64(pay.site.Label), e.st.ID)
+				}
+				return tokPushedEdge
 			}
-			return tokPushedEdge
+			av = t.av
+		} else if pay.perEdge {
+			av = 0 // per-edge mode: a target without an edge AV adds nothing
 		}
 	}
-	// Dynamically loaded targets take the site's ordinary addition value;
-	// call path tracking repairs the encoding at the next static entry.
-	av := pay.av
-	if pay.perTarget != nil && known {
-		av = pay.perTarget[node]
-	}
+	// Monomorphic fast path and dynamically loaded targets land here: one
+	// unconditional add of the site's value; call path tracking repairs
+	// the encoding at the next static entry if the target was dynamic.
 	e.st.Add(av)
 	if e.st.ID > e.MaxID {
 		e.MaxID = e.st.ID
@@ -166,21 +181,31 @@ func (e *Encoder) BeforeCall(site minivm.SiteRef, target minivm.MethodRef) uint8
 	return tokAdded
 }
 
-// AfterCall implements minivm.Probes.
+// AfterCall implements minivm.Probes (see BeforeCall).
 func (e *Encoder) AfterCall(site minivm.SiteRef, target minivm.MethodRef, token uint8) {
 	if token == 0 {
 		return
 	}
-	pay := e.plan.sites[site]
+	e.FastAfterCall(e.plan.SiteID(site), e.plan.MethodID(target), token)
+}
+
+// FastAfterCall implements minivm.FastProbes.
+func (e *Encoder) FastAfterCall(site, target int32, token uint8) {
+	if token == 0 || site < 0 {
+		return
+	}
+	pay := &e.plan.fastSites[site]
 	if token&tokPushedEdge != 0 {
 		if _, ok := e.st.TryPop(); !ok {
 			e.noteUnderflow()
 		}
 	} else if token&tokAdded != 0 {
 		av := pay.av
-		if pay.perTarget != nil {
-			if node, known := e.plan.Build.NodeOf[target]; known {
-				av = pay.perTarget[node]
+		if pay.perEdge && target >= 0 {
+			if t := pay.lookup(callgraph.NodeID(target)); t != nil && !t.push {
+				av = t.av
+			} else {
+				av = 0
 			}
 		}
 		e.st.Sub(av)
@@ -193,12 +218,19 @@ func (e *Encoder) AfterCall(site minivm.SiteRef, target minivm.MethodRef, token 
 	}
 }
 
-// Enter implements minivm.Probes.
+// Enter implements minivm.Probes (see BeforeCall).
 func (e *Encoder) Enter(m minivm.MethodRef) uint8 {
-	pay := e.plan.entries[m]
-	if pay == nil {
+	return e.FastEnter(e.plan.MethodID(m))
+}
+
+// FastEnter implements minivm.FastProbes. m is the method's graph node id;
+// m < 0 marks a method outside the analysed graph.
+func (e *Encoder) FastEnter(m int32) uint8 {
+	if m < 0 {
 		return 0
 	}
+	node := callgraph.NodeID(m)
+	pay := &e.plan.fastNodes[m]
 	pendingRec := e.pendingRecTarget
 	e.pendingRecTarget = callgraph.InvalidNode
 	var tok uint8
@@ -218,36 +250,41 @@ func (e *Encoder) Enter(m minivm.MethodRef) uint8 {
 			// analysis never saw (Section 4.1). Push the suspended
 			// piece — it ends at the last live instrumented frame —
 			// and restart the encoding here.
-			e.st.PushUCP(e.expectedSite, e.lastID, e.lastNode, pay.node)
+			e.st.PushUCP(e.expectedSite, e.lastID, e.lastNode, node)
 			e.Hazards++
 			e.noteDepth()
 			e.obs.ucpPushes.Inc()
 			if e.obs.tracer != nil {
-				e.obs.tracer.Record(obs.EvUCPPush, uint64(pay.node), e.st.ID)
+				e.obs.tracer.Record(obs.EvUCPPush, uint64(node), e.st.ID)
 			}
 			tok |= tokPushedUCP
 		}
 	}
-	if pay.anchor && pendingRec != pay.node {
-		e.st.PushAnchor(pay.node)
+	if pay.anchor && pendingRec != node {
+		e.st.PushAnchor(node)
 		e.noteDepth()
 		e.obs.anchorPushes.Inc()
 		if e.obs.tracer != nil {
-			e.obs.tracer.Record(obs.EvAnchorPush, uint64(pay.node), e.st.ID)
+			e.obs.tracer.Record(obs.EvAnchorPush, uint64(node), e.st.ID)
 		}
 		tok |= tokPushedAnchor
 	}
 	if e.cptOn {
 		// This method is now the innermost live instrumented frame;
 		// the (possibly just reset) ID encodes the context ending here.
-		e.lastNode = pay.node
+		e.lastNode = node
 		e.lastID = e.st.ID
 	}
 	return tok
 }
 
-// Exit implements minivm.Probes.
+// Exit implements minivm.Probes (see BeforeCall).
 func (e *Encoder) Exit(m minivm.MethodRef, token uint8) {
+	e.FastExit(e.plan.MethodID(m), token)
+}
+
+// FastExit implements minivm.FastProbes.
+func (e *Encoder) FastExit(m int32, token uint8) {
 	var popped *encoding.Element
 	if token&tokPushedAnchor != 0 {
 		if el, ok := e.st.TryPop(); ok {
@@ -276,16 +313,23 @@ func (e *Encoder) Exit(m minivm.MethodRef, token uint8) {
 			// invocation led here; DecodeID excludes it.)
 			e.lastNode = popped.OuterEnd
 			e.lastID = popped.DecodeID
-		} else if pay := e.plan.entries[m]; pay != nil {
+		} else if m >= 0 {
 			// After this method's exit instrumentation the ID again
 			// encodes a context ending at this method, whoever the
 			// caller is — including an unanalysed one that will never
 			// run AfterCall.
-			e.lastNode = pay.node
+			e.lastNode = callgraph.NodeID(m)
 			e.lastID = e.st.ID
 		}
 	}
 }
+
+// ResolveMethod implements minivm.FastProbes: the dense id FastEnter/
+// FastExit expect, resolved once per loaded method by the VM.
+func (e *Encoder) ResolveMethod(m minivm.MethodRef) int32 { return e.plan.MethodID(m) }
+
+// ResolveSite implements minivm.FastProbes.
+func (e *Encoder) ResolveSite(s minivm.SiteRef) int32 { return e.plan.SiteID(s) }
 
 // noteUnderflow records a pop with no matching push: the piece stack has
 // been corrupted (dropped events, injected truncation). Before graceful
@@ -331,3 +375,4 @@ func (e *Encoder) BeginTask(entry minivm.MethodRef) {
 
 var _ minivm.Probes = (*Encoder)(nil)
 var _ minivm.TaskProbes = (*Encoder)(nil)
+var _ minivm.FastProbes = (*Encoder)(nil)

@@ -7,7 +7,9 @@
 package instrument
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"deltapath/internal/callgraph"
 	"deltapath/internal/cha"
@@ -37,6 +39,55 @@ type nodePayload struct {
 	anchor bool
 }
 
+// fastSite is the dense-indexed compilation of one sitePayload: the runtime
+// payload the encoder hot path reads by slice index instead of map lookup.
+// The common monomorphic case (no pushes, no per-target values) is just the
+// single av — one unconditional add, no target resolution at all.
+type fastSite struct {
+	// av is the site's single addition value.
+	av          uint64
+	site        callgraph.Site
+	expectedSID int32
+	// perEdge marks per-edge mode (PCCE): known targets read their
+	// override from targets (0 when absent, like the legacy map miss).
+	perEdge bool
+	// hasPush marks a site with at least one push target.
+	hasPush bool
+	// targets holds the per-target overrides (push edges and per-edge
+	// AVs), ascending by node for a short early-exit scan. Empty for
+	// monomorphic sites.
+	targets []fastTarget
+}
+
+// fastTarget is one dispatch-target override of a polymorphic site.
+type fastTarget struct {
+	node callgraph.NodeID
+	av   uint64
+	kind encoding.PieceKind
+	push bool
+}
+
+// lookup returns the override for node, or nil. Target lists are short
+// (a handful of dispatch candidates), so a bounded scan beats hashing.
+func (f *fastSite) lookup(node callgraph.NodeID) *fastTarget {
+	for i := range f.targets {
+		if f.targets[i].node == node {
+			return &f.targets[i]
+		}
+		if f.targets[i].node > node {
+			break
+		}
+	}
+	return nil
+}
+
+// fastNode is the dense-indexed entry/exit payload of the method whose
+// graph node id is the slice index.
+type fastNode struct {
+	sid    int32
+	anchor bool
+}
+
 // Plan is a fully resolved instrumentation plan for one program.
 type Plan struct {
 	Build *cha.Result
@@ -46,6 +97,22 @@ type Plan struct {
 	sites   map[minivm.SiteRef]*sitePayload
 	entries map[minivm.MethodRef]*nodePayload
 	entry   callgraph.NodeID
+
+	// Dense runtime tables, compiled once by NewPlan from the maps above
+	// (which stay the build-time source of truth and the resolver the VM
+	// consults once per loaded method): fastSites is indexed by the dense
+	// site id siteID assigns, fastNodes by callgraph.NodeID.
+	siteID    map[minivm.SiteRef]int32
+	fastSites []fastSite
+	fastNodes []fastNode
+
+	// Cached query results (previously rebuilt on every call): the
+	// instrumented-method and active-site sets are fixed at plan build, so
+	// compute them once. Callers must treat the returned maps as
+	// read-only — the VM and the stack walker only ever read them.
+	instrumented map[minivm.MethodRef]bool
+	active       map[minivm.SiteRef]bool
+	freeSites    int
 }
 
 // NewPlan resolves spec (and cptPlan, which may be nil) against the program
@@ -66,48 +133,88 @@ func NewPlan(build *cha.Result, spec *encoding.Spec, cptPlan *cpt.Plan) (*Plan, 
 		sites:   make(map[minivm.SiteRef]*sitePayload),
 		entries: make(map[minivm.MethodRef]*nodePayload),
 		entry:   entry,
+		siteID:  make(map[minivm.SiteRef]int32),
 	}
 	g := build.Graph
+	// Dense site ids follow g.Sites() order (deterministic: caller, label),
+	// compiling each payload into its flat fastSites slot as we go.
 	for _, s := range g.Sites() {
 		pay := &sitePayload{site: s, av: spec.SiteAV[s]}
 		if spec.PerEdge {
 			pay.perTarget = make(map[callgraph.NodeID]uint64)
 		}
+		fast := fastSite{av: pay.av, site: s, perEdge: spec.PerEdge}
 		for _, e := range g.SiteTargets(s) {
 			if kind, pushed := spec.Push[e]; pushed {
 				if pay.push == nil {
 					pay.push = make(map[callgraph.NodeID]encoding.PieceKind)
 				}
 				pay.push[e.Callee] = kind
+				fast.hasPush = true
+				fast.targets = append(fast.targets, fastTarget{node: e.Callee, kind: kind, push: true})
 			} else if spec.PerEdge {
 				pay.perTarget[e.Callee] = spec.EdgeAV[e]
+				fast.targets = append(fast.targets, fastTarget{node: e.Callee, av: spec.EdgeAV[e]})
 			}
 		}
+		slices.SortFunc(fast.targets, func(a, b fastTarget) int { return cmp.Compare(a.node, b.node) })
 		if cptPlan != nil {
 			pay.expectedSID = cptPlan.Expected[s]
+			fast.expectedSID = pay.expectedSID
 		}
-		ref := build.RefOf[s.Caller]
-		p.sites[minivm.SiteRef{In: ref, Site: s.Label}] = pay
+		ref := minivm.SiteRef{In: build.RefOf[s.Caller], Site: s.Label}
+		p.sites[ref] = pay
+		p.siteID[ref] = int32(len(p.fastSites))
+		p.fastSites = append(p.fastSites, fast)
 	}
+	// Dense method ids are the graph node ids themselves (already 0..N-1).
+	p.fastNodes = make([]fastNode, g.NumNodes())
 	for ref, node := range build.NodeOf {
 		pay := &nodePayload{node: node, anchor: spec.Anchors[node]}
 		if cptPlan != nil {
 			pay.sid = cptPlan.SID[node]
 		}
 		p.entries[ref] = pay
+		p.fastNodes[node] = fastNode{sid: pay.sid, anchor: pay.anchor}
 	}
+	// Cache the fixed query results the accessors used to rebuild per call.
+	p.instrumented = make(map[minivm.MethodRef]bool, len(p.entries))
+	for ref := range p.entries {
+		p.instrumented[ref] = true
+	}
+	p.active = make(map[minivm.SiteRef]bool, len(p.sites))
+	for ref, pay := range p.sites {
+		if p.CPT != nil || pay.av != 0 || len(pay.push) > 0 || pay.perTarget != nil {
+			p.active[ref] = true
+		}
+	}
+	p.freeSites = len(p.sites) - len(p.active)
 	return p, nil
+}
+
+// SiteID returns the dense id of a call site, or -1 when the static
+// analysis never modelled it. The VM resolves each site once per loaded
+// method; the encoder hot path then indexes fastSites directly.
+func (p *Plan) SiteID(s minivm.SiteRef) int32 {
+	if id, ok := p.siteID[s]; ok {
+		return id
+	}
+	return -1
+}
+
+// MethodID returns the dense id of a method — its call-graph node id — or
+// -1 when the method is outside the analysed graph (dynamic classes).
+func (p *Plan) MethodID(m minivm.MethodRef) int32 {
+	if n, ok := p.Build.NodeOf[m]; ok {
+		return int32(n)
+	}
+	return -1
 }
 
 // InstrumentedMethods returns the set of methods that carry instrumentation,
 // for VM.SetInstrumented: exactly the nodes of the analysed call graph.
-func (p *Plan) InstrumentedMethods() map[minivm.MethodRef]bool {
-	out := make(map[minivm.MethodRef]bool, len(p.entries))
-	for ref := range p.entries {
-		out[ref] = true
-	}
-	return out
-}
+// The set is fixed at plan build and cached — treat it as read-only.
+func (p *Plan) InstrumentedMethods() map[minivm.MethodRef]bool { return p.instrumented }
 
 // Entry returns the graph entry node.
 func (p *Plan) Entry() callgraph.NodeID { return p.entry }
@@ -121,15 +228,8 @@ func (p *Plan) NumInstrumentedSites() int { return len(p.sites) }
 // site whose addition value is zero and whose edges never push is
 // "encoding free" (Section 8) — the rewriter can skip it entirely. Pass the
 // result to VM.SetInstrumentedSites.
-func (p *Plan) ActiveSites() map[minivm.SiteRef]bool {
-	out := make(map[minivm.SiteRef]bool, len(p.sites))
-	for ref, pay := range p.sites {
-		if p.CPT != nil || pay.av != 0 || len(pay.push) > 0 || pay.perTarget != nil {
-			out[ref] = true
-		}
-	}
-	return out
-}
+// The set is fixed at plan build and cached — treat it as read-only.
+func (p *Plan) ActiveSites() map[minivm.SiteRef]bool { return p.active }
 
-// NumFreeSites reports how many sites ActiveSites excludes.
-func (p *Plan) NumFreeSites() int { return len(p.sites) - len(p.ActiveSites()) }
+// NumFreeSites reports how many sites ActiveSites excludes (cached).
+func (p *Plan) NumFreeSites() int { return p.freeSites }

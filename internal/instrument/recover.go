@@ -39,33 +39,28 @@ type Health struct {
 }
 
 // SetDecoder shares a decoder (built over this plan's spec) with the
-// invariant checker, so many encoders reuse one set of decode caches.
-// Without it the checker lazily builds its own.
-func (e *Encoder) SetDecoder(d *encoding.Decoder) { e.dec = d }
+// invariant checker, so many encoders reuse one set of decode tables.
+// Either decoder works; without it the checker lazily compiles its own.
+func (e *Encoder) SetDecoder(d encoding.ContextDecoder) { e.dec = d }
 
-func (e *Encoder) decoder() *encoding.Decoder {
+func (e *Encoder) decoder() encoding.ContextDecoder {
 	if e.dec == nil {
-		e.dec = encoding.NewDecoder(e.plan.Spec)
+		e.dec = encoding.Compile(e.plan.Spec)
 	}
 	return e.dec
 }
 
 // walkNodes captures the VM's ground-truth stack, filtered to instrumented
 // methods and mapped to graph nodes — the reference the checker compares
-// against and the path the resync replays.
+// against and the path the resync replays. The node buffer is reused
+// across walks (one encoder serves one VM, so walks never overlap).
 func (e *Encoder) walkNodes(vm *minivm.VM) []callgraph.NodeID {
 	if e.walker == nil {
 		e.walker = &stackwalk.Walker{Filter: e.plan.InstrumentedMethods()}
 		e.walker.Observe(e.obsReg)
 	}
-	refs := e.walker.Capture(vm)
-	nodes := make([]callgraph.NodeID, 0, len(refs))
-	for _, f := range refs {
-		if n, ok := e.plan.Build.NodeOf[f]; ok {
-			nodes = append(nodes, n)
-		}
-	}
-	return nodes
+	e.nodeBuf = e.walker.CaptureNodes(vm, e.plan.Build.NodeOf, e.nodeBuf[:0])
+	return e.nodeBuf
 }
 
 // VerifyState runs the shadow-stack invariant check: decode the live state

@@ -36,6 +36,37 @@ type Probes interface {
 	Exit(m MethodRef, token uint8)
 }
 
+// FastProbes is an optional extension of Probes for probe implementations
+// that can be driven by dense integer ids instead of structured refs. When
+// the installed probes implement it, the VM resolves every call site and
+// method to an id once per loaded method (via ResolveMethod/ResolveSite) and
+// the interpreter hot path fires the Fast variants — two slice indexes
+// instead of a map lookup per event, the minivm analog of an agent baking
+// constant operands into rewritten bytecode.
+//
+// Ids are probe-defined. A negative id means "no payload here"; the VM
+// passes it through unchanged and the probe implementation ignores it.
+type FastProbes interface {
+	Probes
+	// ResolveMethod returns the dense id FastEnter/FastExit expect for m,
+	// or a negative id if m carries no entry payload.
+	ResolveMethod(m MethodRef) int32
+	// ResolveSite returns the dense id FastBeforeCall/FastAfterCall expect
+	// for s, or a negative id if s carries no payload.
+	ResolveSite(s SiteRef) int32
+	FastBeforeCall(site, target int32) (token uint8)
+	FastAfterCall(site, target int32, token uint8)
+	FastEnter(m int32) (token uint8)
+	FastExit(m int32, token uint8)
+}
+
+// Sentinel site ids the VM stores in a loaded method's siteIDs table.
+// fastSiteSkip marks an encoding-free site (excluded by SetInstrumentedSites):
+// the VM skips the probe calls entirely, exactly as the ref path's set check
+// does. Unmodelled sites keep the probe's own negative id (the probe fires
+// and ignores it, matching the ref path's nil-payload behaviour).
+const fastSiteSkip int32 = -2
+
 // EmitFunc receives emit events: the method containing the OpEmit, its tag,
 // and the VM (whose Stack method gives the ground-truth calling context).
 type EmitFunc func(vm *VM, m MethodRef, tag string)
@@ -54,6 +85,12 @@ type loadedMethod struct {
 	body    []Instr
 	library bool
 	dynamic bool // belongs to a dynamically loaded class
+
+	// Dense probe ids, resolved once per method when FastProbes are
+	// installed: methodID for Enter/Exit, siteIDs indexed by site label
+	// (labels are dense per method after Normalize) for call probes.
+	methodID int32
+	siteIDs  []int32
 }
 
 // dispatchKey identifies a virtual dispatch set: all loaded declarations of
@@ -75,6 +112,9 @@ type VM struct {
 	dtables map[dispatchKey][]*loadedMethod
 
 	probes Probes
+	// fast is probes when it implements FastProbes, else nil. Non-nil
+	// switches the interpreter's call/enter/exit hot path to dense ids.
+	fast FastProbes
 	// instrumented, when non-nil, restricts probes to the listed methods:
 	// only their entries/exits and the call sites inside them fire. This
 	// models selective bytecode rewriting (Section 4.2): a method the
@@ -197,7 +237,13 @@ func NewVM(prog *Program, seed uint64) (*VM, error) {
 }
 
 // SetProbes installs (or clears, with nil) the instrumentation probes.
-func (vm *VM) SetProbes(p Probes) { vm.probes = p }
+// Probes that implement FastProbes get the dense-id hot path: the VM
+// resolves ids for every loaded method now and for each later dynamic load.
+func (vm *VM) SetProbes(p Probes) {
+	vm.probes = p
+	vm.fast, _ = p.(FastProbes)
+	vm.resolveFast()
+}
 
 // SetInstrumented restricts probes to the given methods; nil means every
 // statically loaded method is instrumented.
@@ -208,8 +254,81 @@ func (vm *VM) SetInstrumented(set map[MethodRef]bool) { vm.instrumented = set }
 func (vm *VM) SetProbeDynamic(on bool) { vm.probeDynamic = on }
 
 // SetInstrumentedSites restricts call-site probes to the given sites; nil
-// means every site within instrumented methods fires.
-func (vm *VM) SetInstrumentedSites(set map[SiteRef]bool) { vm.instrumentedSites = set }
+// means every site within instrumented methods fires. The fast-path site
+// tables bake the exclusion in, so the set must be installed before Run.
+func (vm *VM) SetInstrumentedSites(set map[SiteRef]bool) {
+	vm.instrumentedSites = set
+	vm.resolveFast()
+}
+
+// resolveFast (re)builds every loaded method's dense probe-id tables.
+func (vm *VM) resolveFast() {
+	if vm.fast == nil {
+		return
+	}
+	for _, lm := range vm.methods {
+		vm.resolveMethodFast(lm)
+	}
+}
+
+// resolveMethodFast resolves one method's dense ids against vm.fast.
+func (vm *VM) resolveMethodFast(lm *loadedMethod) {
+	lm.methodID = vm.fast.ResolveMethod(lm.ref)
+	n := countSites(lm.body)
+	if n == 0 {
+		lm.siteIDs = nil
+		return
+	}
+	lm.siteIDs = make([]int32, n)
+	vm.fillSiteIDs(lm, lm.body)
+}
+
+// countSites returns one past the largest site label in body, mirroring
+// numberSites's recursion into loop and try blocks.
+func countSites(body []Instr) int32 {
+	var n int32
+	for i := range body {
+		in := &body[i]
+		switch in.Op {
+		case OpCall, OpVCall:
+			if in.Site+1 > n {
+				n = in.Site + 1
+			}
+		case OpLoop:
+			if k := countSites(in.Body); k > n {
+				n = k
+			}
+		case OpTry:
+			if k := countSites(in.Body); k > n {
+				n = k
+			}
+			if k := countSites(in.Handler); k > n {
+				n = k
+			}
+		}
+	}
+	return n
+}
+
+func (vm *VM) fillSiteIDs(lm *loadedMethod, body []Instr) {
+	for i := range body {
+		in := &body[i]
+		switch in.Op {
+		case OpCall, OpVCall:
+			s := SiteRef{In: lm.ref, Site: in.Site}
+			if vm.instrumentedSites != nil && !vm.instrumentedSites[s] {
+				lm.siteIDs[in.Site] = fastSiteSkip
+			} else {
+				lm.siteIDs[in.Site] = vm.fast.ResolveSite(s)
+			}
+		case OpLoop:
+			vm.fillSiteIDs(lm, in.Body)
+		case OpTry:
+			vm.fillSiteIDs(lm, in.Body)
+			vm.fillSiteIDs(lm, in.Handler)
+		}
+	}
+}
 
 // hasProbes reports whether method m carries entry/exit instrumentation.
 func (vm *VM) hasProbes(m *loadedMethod) bool {
@@ -260,6 +379,9 @@ func (vm *VM) load(name string) error {
 			dynamic: dynamic,
 		}
 		vm.methods[ref] = lm
+		if vm.fast != nil {
+			vm.resolveMethodFast(lm)
+		}
 		// Register in the dispatch table of every ancestor (and self):
 		// a vcall on any ancestor type can now dispatch here.
 		for cls := name; cls != ""; cls = vm.supers[cls] {
@@ -283,6 +405,10 @@ func (vm *VM) Stack() []MethodRef {
 
 // Depth returns the current call depth.
 func (vm *VM) Depth() int { return len(vm.stack) }
+
+// Frame returns the i-th active method, outermost first (0 ≤ i < Depth).
+// With Depth it lets a walker visit the stack without copying it.
+func (vm *VM) Frame(i int) MethodRef { return vm.stack[i] }
 
 // nextRand is a splitmix64 step: deterministic, fast, well mixed.
 func (vm *VM) nextRand() uint64 {
@@ -346,11 +472,16 @@ func (vm *VM) invoke(m *loadedMethod) error {
 	}
 	var tok uint8
 	probed := vm.hasProbes(m)
-	if probed {
+	fast := probed && vm.fast != nil
+	if fast {
+		tok = vm.fast.FastEnter(m.methodID)
+	} else if probed {
 		tok = vm.probes.Enter(m.ref)
 	}
 	err := vm.exec(m, m.body)
-	if probed {
+	if fast {
+		vm.fast.FastExit(m.methodID, tok)
+	} else if probed {
 		vm.probes.Exit(m.ref, tok)
 	}
 	vm.obs.returns.Inc()
@@ -440,6 +571,16 @@ func (vm *VM) exec(m *loadedMethod, body []Instr) error {
 func (vm *VM) call(caller *loadedMethod, site int32, target *loadedMethod) error {
 	if !vm.hasCallProbes(caller) {
 		return vm.invoke(target)
+	}
+	if vm.fast != nil && int(site) < len(caller.siteIDs) {
+		sid := caller.siteIDs[site]
+		if sid == fastSiteSkip {
+			return vm.invoke(target) // encoding-free site: nothing inserted
+		}
+		tok := vm.fast.FastBeforeCall(sid, target.methodID)
+		err := vm.invoke(target)
+		vm.fast.FastAfterCall(sid, target.methodID, tok)
+		return err
 	}
 	s := SiteRef{In: caller.ref, Site: site}
 	if vm.instrumentedSites != nil && !vm.instrumentedSites[s] {

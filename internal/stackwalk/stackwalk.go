@@ -12,6 +12,7 @@ package stackwalk
 import (
 	"strings"
 
+	"deltapath/internal/callgraph"
 	"deltapath/internal/minivm"
 	"deltapath/internal/obs"
 )
@@ -50,6 +51,27 @@ func (w *Walker) Capture(vm *minivm.VM) []minivm.MethodRef {
 		}
 	}
 	return out
+}
+
+// CaptureNodes captures the current calling context directly as graph
+// nodes, in one pass: filter, map through nodeOf, and append to buf
+// (which the caller may reuse across walks to avoid allocation). Frames
+// outside the filter or unknown to nodeOf are dropped, matching
+// Capture followed by a nodeOf lookup per frame.
+func (w *Walker) CaptureNodes(vm *minivm.VM, nodeOf map[minivm.MethodRef]callgraph.NodeID, buf []callgraph.NodeID) []callgraph.NodeID {
+	depth := vm.Depth()
+	w.walks.Inc()
+	w.frames.Add(uint64(depth))
+	for i := 0; i < depth; i++ {
+		f := vm.Frame(i)
+		if w.Filter != nil && !w.Filter[f] {
+			continue
+		}
+		if n, ok := nodeOf[f]; ok {
+			buf = append(buf, n)
+		}
+	}
+	return buf
 }
 
 // Key canonicalizes a context for uniqueness accounting.
