@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build test test-short race bench chaos eval profile-baseline fuzz examples clean \
 	lint lint-invariants verify-encodings bench-smoke bench-baseline decode-baseline \
-	golden-freshness ci-local
+	golden-freshness ci-local serve-smoke ingest-stress
 
 all: build test
 
@@ -24,10 +24,24 @@ race:
 	$(GO) test -race -short ./...
 
 # Full fault-injection suite: ≥1000 seeded runs over the workload corpus,
-# every injected fault detected and healed (see internal/chaos).
+# every injected fault detected and healed (see internal/chaos). Includes
+# the dprofiled SIGKILL soak (soak_test.go): ≥10 kill -9 cycles against a
+# live ingest stream with an exact acked-vs-recovered record ledger.
 chaos:
 	$(GO) test ./internal/chaos -count=1 -v
 	$(GO) run ./cmd/dprun -chaos -chaos-rate 0.05 -seed 13 -unique testdata/recursion.mv
+
+# End-to-end ingestion-service smoke through the real binaries: dprun
+# -push into dprofiled, every query endpoint, then SIGTERM and SIGKILL
+# restarts with exact record preservation (scripts/serve_smoke.sh).
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Concurrent-ingest stress under the race detector: 8 agents hammering a
+# deliberately tiny queue with a retry storm; exactly-once delivery and
+# visible backpressure sheds are asserted (internal/server).
+ingest-stress:
+	$(GO) test -race -count=1 -run TestServerIngestStress ./internal/server -v
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -112,7 +126,7 @@ golden-freshness:
 		{ echo "golden files drifted: review and commit the regenerated files"; exit 1; }
 
 # Everything CI runs, in CI's order — reproduce a red workflow offline.
-ci-local: lint lint-invariants build test race verify-encodings golden-freshness bench-smoke
+ci-local: lint lint-invariants build test race verify-encodings serve-smoke ingest-stress golden-freshness bench-smoke
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalContext -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzCompiledDecode -fuzztime 5s ./internal/encoding

@@ -1,0 +1,81 @@
+package deltapath_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"deltapath"
+)
+
+// analyzeTestProgram loads a small corpus program for the cancellation
+// tests.
+func analyzeTestProgram(t *testing.T) *deltapath.Analysis {
+	t.Helper()
+	src, err := os.ReadFile("testdata/recursion.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := deltapath.ParseProgram(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := deltapath.Analyze(prog, deltapath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+// TestRunParallelContextCancelled: a pre-cancelled context starts no
+// sessions and reports context.Canceled.
+func TestRunParallelContextCancelled(t *testing.T) {
+	an := analyzeTestProgram(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	emitted := 0
+	_, err := an.RunParallelContext(ctx, []uint64{1, 2, 3, 4}, func(deltapath.Context) { emitted++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted != 0 {
+		t.Fatalf("pre-cancelled RunParallelContext emitted %d contexts", emitted)
+	}
+}
+
+// TestDecodeProfileContextCancelled: cancellation aborts a profile decode
+// with ctx.Err(); a background context decodes identically to
+// DecodeProfile.
+func TestDecodeProfileContextCancelled(t *testing.T) {
+	an := analyzeTestProgram(t)
+	prof, err := an.RunParallel([]uint64{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dpp := buf.Bytes()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := an.DecodeProfileContext(ctx, bytes.NewReader(dpp), 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled decode: err = %v, want context.Canceled", err)
+	}
+
+	want, err := an.DecodeProfile(bytes.NewReader(dpp), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := an.DecodeProfileContext(context.Background(), bytes.NewReader(dpp), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != want.Total || len(got.Rows) != len(want.Rows) {
+		t.Fatalf("background-context decode drifted: %d/%d rows, %d/%d total",
+			len(got.Rows), len(want.Rows), got.Total, want.Total)
+	}
+}

@@ -19,6 +19,13 @@
 // "dpdecode -profile". Combined with -chaos, every run injects faults and
 // self-heals, and the counts of all runs merge into one profile.
 //
+// With -push URL, the aggregated profile is pushed to a dprofiled server
+// instead of (or in addition to) being written to a file: records are
+// chunked into idempotent batches of -push-batch and delivered with
+// retry/backoff, surviving server restarts and backpressure sheds. The
+// server routes the push by the profile's graph digest, so the matching
+// analysis must be registered there (dprofiled -analysis).
+//
 // With -chaos, the run injects seeded probe faults (dropped events, bit
 // flips, stack truncation, unknown call sites; -seed drives the fault
 // stream) and heals via the stack-walk resync protocol; the health counters
@@ -35,6 +42,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -44,6 +53,7 @@ import (
 	"sync"
 
 	"deltapath"
+	"deltapath/internal/server/agentclient"
 )
 
 func main() {
@@ -53,6 +63,8 @@ func main() {
 	record := flag.String("record", "", "write binary context records to this file instead of decoding")
 	save := flag.String("save", "", "persist the analysis to this file (pairs with -record; decode later via dpdecode -analysis)")
 	profileOut := flag.String("profile", "", "aggregate contexts into a sharded store and stream the profile to this .dpp file")
+	push := flag.String("push", "", "push the aggregated profile to a dprofiled server at this base URL (implies profile collection; pairs with -profile to also keep the file)")
+	pushBatch := flag.Int("push-batch", 512, "with -push: records per ingest batch")
 	runs := flag.Int("runs", 1, "with -profile: number of concurrent runs to merge (seeds seed..seed+runs-1)")
 	chaosOn := flag.Bool("chaos", false, "inject seeded probe faults and heal via stack-walk resync")
 	chaosRate := flag.Float64("chaos-rate", 0.002, "per-probe-event fault probability under -chaos")
@@ -129,8 +141,8 @@ func main() {
 
 	defer dumpObs()
 
-	if *profileOut != "" {
-		runProfile(an, *profileOut, *seed, *runs, *chaosOn, *chaosRate)
+	if *profileOut != "" || *push != "" {
+		runProfile(an, *profileOut, *push, *pushBatch, *seed, *runs, *chaosOn, *chaosRate)
 		return
 	}
 
@@ -219,9 +231,10 @@ func main() {
 	}
 }
 
-// runProfile is the -profile path: runs concurrent sessions aggregating
-// into one sharded store, then streams the .dpp profile to out.
-func runProfile(an *deltapath.Analysis, out string, seed uint64, runs int, chaosOn bool, chaosRate float64) {
+// runProfile is the -profile/-push path: runs concurrent sessions
+// aggregating into one sharded store, then streams the .dpp profile to
+// out and/or pushes it to a dprofiled server.
+func runProfile(an *deltapath.Analysis, out, push string, pushBatch int, seed uint64, runs int, chaosOn bool, chaosRate float64) {
 	seeds := make([]uint64, runs)
 	for i := range seeds {
 		seeds[i] = seed + uint64(i)
@@ -257,18 +270,42 @@ func runProfile(an *deltapath.Analysis, out string, seed uint64, runs int, chaos
 		fmt.Printf("health: %d corruptions detected, %d resyncs, %d partial decodes\n",
 			h.CorruptionsDetected, h.Resyncs, h.PartialDecodes)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		fatal(err)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := prof.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile: %d unique contexts, %d samples over %d runs (%d unanalysed emits skipped) -> %s\n",
+			prof.Unique(), prof.Total(), runs, prof.Skipped(), out)
 	}
-	if err := prof.Save(f); err != nil {
-		fatal(err)
+	if push != "" {
+		var buf bytes.Buffer
+		if err := prof.Save(&buf); err != nil {
+			fatal(err)
+		}
+		client, err := agentclient.New(agentclient.Config{
+			URL:          push,
+			BatchRecords: pushBatch,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "dprun: push: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		stats, err := client.Push(context.Background(), buf.Bytes())
+		if err != nil {
+			fatal(fmt.Errorf("push: %w (after %d acked batches)", err, stats.Batches))
+		}
+		fmt.Printf("push: %d batches acked (%d records, %d duplicates) to %s, %d retries (%d sheds)\n",
+			stats.Batches, stats.Records, stats.Duplicates, push, stats.Retries, stats.Shed429)
 	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("profile: %d unique contexts, %d samples over %d runs (%d unanalysed emits skipped) -> %s\n",
-		prof.Unique(), prof.Total(), runs, prof.Skipped(), out)
 }
 
 func total(m map[string]int) int {

@@ -40,6 +40,7 @@
 package deltapath
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -656,12 +657,24 @@ func (p *Profile) Save(w io.Writer) error {
 // invoked for every recorded context, concurrently from multiple sessions.
 // The first session error is returned after every session has finished.
 func (p *Profile) Collect(seeds []uint64, configure func(seed uint64, s *Session), onEmit func(Context)) error {
+	return p.CollectContext(context.Background(), seeds, configure, onEmit)
+}
+
+// CollectContext is Collect with cancellation: sessions whose run has not
+// started when ctx is cancelled are skipped, and the call returns ctx.Err()
+// once the in-flight sessions finish. (A session already executing runs to
+// completion — the VM has no preemption point — so cancellation bounds new
+// work, not the longest single run.)
+func (p *Profile) CollectContext(ctx context.Context, seeds []uint64, configure func(seed uint64, s *Session), onEmit func(Context)) error {
 	var wg sync.WaitGroup
 	errs := make(chan error, len(seeds))
 	for _, seed := range seeds {
 		wg.Add(1)
 		go func(seed uint64) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return // cancelled before this session started
+			}
 			s, err := p.an.NewSession(seed)
 			if err != nil {
 				errs <- fmt.Errorf("seed %d: %w", seed, err)
@@ -669,6 +682,9 @@ func (p *Profile) Collect(seeds []uint64, configure func(seed uint64, s *Session
 			}
 			if configure != nil {
 				configure(seed, s)
+			}
+			if ctx.Err() != nil {
+				return
 			}
 			if _, err := s.Run(func(c Context) {
 				p.Add(c)
@@ -682,7 +698,10 @@ func (p *Profile) Collect(seeds []uint64, configure func(seed uint64, s *Session
 	}
 	wg.Wait()
 	close(errs)
-	return <-errs
+	if err := <-errs; err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // RunParallel executes the program once per seed, concurrently — the
@@ -691,8 +710,15 @@ func (p *Profile) Collect(seeds []uint64, configure func(seed uint64, s *Session
 // every emitted context into one Profile. onEmit (may be nil) observes
 // recorded contexts as they arrive, concurrently.
 func (a *Analysis) RunParallel(seeds []uint64, onEmit func(Context)) (*Profile, error) {
+	return a.RunParallelContext(context.Background(), seeds, onEmit)
+}
+
+// RunParallelContext is RunParallel with cancellation (see CollectContext
+// for the exact semantics): a server shutting down cancels ctx and the
+// worker pool stops starting new sessions.
+func (a *Analysis) RunParallelContext(ctx context.Context, seeds []uint64, onEmit func(Context)) (*Profile, error) {
 	p := a.NewProfile(0)
-	if err := p.Collect(seeds, nil, onEmit); err != nil {
+	if err := p.CollectContext(ctx, seeds, nil, onEmit); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -711,7 +737,7 @@ var ctxBufPool = sync.Pool{New: func() any { return new(ctxBuf) }}
 // decodeProfileStream is the shared implementation of DecodeProfile: check
 // the profile's digest against the analysis in hand, then fan the records
 // over a worker pool decoding through the compiled flat tables.
-func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, dec *encoding.CompiledDecoder, reg *obs.Registry) (*ProfileReport, error) {
+func decodeProfileStream(ctx context.Context, r io.Reader, workers int, want analysisio.GraphDigest, dec *encoding.CompiledDecoder, reg *obs.Registry) (*ProfileReport, error) {
 	pr, err := profile.NewReader(r)
 	if err != nil {
 		return nil, err
@@ -721,7 +747,7 @@ func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, 
 			pr.Digest(), want)
 	}
 	g := dec.Spec().Graph
-	return profile.DecodeObserved(pr, workers, func(rec []byte) (string, error) {
+	return profile.DecodeContext(ctx, pr, workers, func(rec []byte) (string, error) {
 		st, end, err := encoding.UnmarshalContext(rec)
 		if err != nil {
 			return "", err
@@ -753,12 +779,26 @@ func decodeProfileStream(r io.Reader, workers int, want analysisio.GraphDigest, 
 // worker count. A profile whose graph digest does not match this analysis
 // is refused.
 func (a *Analysis) DecodeProfile(r io.Reader, workers int) (*ProfileReport, error) {
+	return a.DecodeProfileContext(context.Background(), r, workers)
+}
+
+// DecodeProfileContext is DecodeProfile with cancellation: when ctx is
+// cancelled the worker pool stops between records and the call returns
+// ctx.Err() — the hook a serving process uses to abort in-flight batch
+// decodes on shutdown.
+func (a *Analysis) DecodeProfileContext(ctx context.Context, r io.Reader, workers int) (*ProfileReport, error) {
 	reg, _ := a.observability()
-	return decodeProfileStream(r, workers, a.graphDigest(), a.decoder, reg)
+	return decodeProfileStream(ctx, r, workers, a.graphDigest(), a.decoder, reg)
 }
 
 // DecodeProfile decodes a .dpp profile against the persisted analysis (see
 // Analysis.DecodeProfile).
 func (d *OfflineDecoder) DecodeProfile(r io.Reader, workers int) (*ProfileReport, error) {
-	return decodeProfileStream(r, workers, d.bundle.Digest, d.decoder, nil)
+	return d.DecodeProfileContext(context.Background(), r, workers)
+}
+
+// DecodeProfileContext is DecodeProfile with cancellation (see
+// Analysis.DecodeProfileContext).
+func (d *OfflineDecoder) DecodeProfileContext(ctx context.Context, r io.Reader, workers int) (*ProfileReport, error) {
+	return decodeProfileStream(ctx, r, workers, d.bundle.Digest, d.decoder, nil)
 }

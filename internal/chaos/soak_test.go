@@ -1,0 +1,384 @@
+// Crash-safety soak for dprofiled: a real server process is SIGKILLed
+// mid-ingest, over and over, while a retrying agent keeps pushing. The
+// invariant under test is the daemon's durability contract end to end —
+// through the real binary, the real WAL, and the real HTTP protocol:
+//
+//	every batch the client saw acknowledged is present in the recovered
+//	store exactly once, regardless of when the process died.
+//
+// The test is in package chaos_test because it drives the public
+// deltapath API to build its fixture (chaos_test → deltapath → chaos
+// would be a cycle in-package).
+package chaos_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deltapath"
+	"deltapath/internal/analysisio"
+	"deltapath/internal/profile"
+	"deltapath/internal/server/agentclient"
+)
+
+// soakServer manages one dprofiled process that the test repeatedly
+// murders and resurrects on a fixed address over a fixed data directory.
+type soakServer struct {
+	t    *testing.T
+	bin  string
+	data string
+	dpa  string
+	addr string
+	cmd  *exec.Cmd
+}
+
+// start launches the daemon and blocks until it reports listening. A
+// just-killed predecessor may still hold the port for an instant, so a
+// failed launch retries briefly.
+func (s *soakServer) start() {
+	s.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cmd := exec.Command(s.bin, "-data", s.data, "-analysis", "app="+s.dpa, "-addr", s.addr)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			s.t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			s.t.Fatal(err)
+		}
+		sc := bufio.NewScanner(stdout)
+		listening := false
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "listening on") {
+				listening = true
+				break
+			}
+		}
+		if listening {
+			// Keep draining so the child never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			s.cmd = cmd
+			return
+		}
+		cmd.Wait() // exited before listening (port not yet released)
+		if time.Now().After(deadline) {
+			s.t.Fatalf("dprofiled would not start on %s", s.addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the daemon — no warning, no drain, no fsync beyond what
+// already happened. Exactly the crash the WAL exists for.
+func (s *soakServer) kill() {
+	s.t.Helper()
+	if err := s.cmd.Process.Kill(); err != nil {
+		s.t.Fatal(err)
+	}
+	s.cmd.Wait()
+}
+
+// freePort reserves an ephemeral port and releases it for the daemon to
+// bind. The client needs one stable URL across every restart, so the
+// usual listen-on-:0 trick is not enough.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+type soakHealth struct {
+	Tenants []struct {
+		Records        uint64 `json:"records"`
+		Batches        uint64 `json:"batches_applied"`
+		DupBatches     uint64 `json:"duplicate_batches"`
+		TruncatedTails uint64 `json:"wal_truncated_tails"`
+		Quarantined    uint64 `json:"quarantined_unparseable"`
+	} `json:"tenants"`
+}
+
+func getHealth(t *testing.T, url string) soakHealth {
+	t.Helper()
+	var h soakHealth
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if err == nil && len(h.Tenants) == 1 {
+				return h
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never answered: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSoakKillRecovery is the headline crash-safety run: ≥10 SIGKILL
+// cycles against a live ingest stream, then an exact ledger comparison —
+// client-acked records vs recovered store. Zero acked-record loss, zero
+// double-application.
+func TestSoakKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Log("-short: trimming to 3 kill cycles")
+	}
+	cycles := 10
+	if testing.Short() {
+		cycles = 3
+	}
+
+	// Build the real daemon binary out of this module.
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dprofiled")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/dprofiled")
+	build.Dir = filepath.Join("..", "..")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building dprofiled: %v\n%s", err, out)
+	}
+
+	// Fixture: a real analysis and real emitted context records.
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "recursion.mv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := deltapath.ParseProgram(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := deltapath.Analyze(prog, deltapath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpaPath := filepath.Join(dir, "app.dpa")
+	var dpa bytes.Buffer
+	if err := an.SaveAnalysis(&dpa); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dpaPath, dpa.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := analysisio.Load(bytes.NewReader(dpa.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs, err := an.Run(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []profile.Record
+	for _, c := range ctxs {
+		rec, err := c.MarshalBinary()
+		if err != nil {
+			continue
+		}
+		records = append(records, profile.Record{Key: rec, Count: 1})
+	}
+	if len(records) == 0 {
+		t.Fatal("fixture emitted no records")
+	}
+	var perBatch uint64
+	for _, r := range records {
+		perBatch += r.Count
+	}
+
+	srv := &soakServer{
+		t:    t,
+		bin:  bin,
+		data: filepath.Join(dir, "data"),
+		dpa:  dpaPath,
+		addr: freePort(t),
+	}
+	url := "http://" + srv.addr
+	srv.start()
+
+	// The pusher: one batch per PushRecords call so client-side
+	// acknowledgement accounting is per batch. MaxAttempts is effectively
+	// unbounded — a batch abandoned mid-retry could have been applied
+	// under a lost ack, which would corrupt the ledger this test audits.
+	client, err := agentclient.New(agentclient.Config{
+		URL:         url,
+		MaxAttempts: 10000,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		stop       atomic.Bool
+		acked      atomic.Uint64 // records in client-acked batches
+		ackedBatch atomic.Uint64
+		retries    atomic.Uint64
+		dups       atomic.Uint64
+		wg         sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			stats, err := client.PushRecords(context.Background(), bundle.Digest, records)
+			if err != nil {
+				t.Errorf("push: %v", err)
+				return
+			}
+			acked.Add(perBatch)
+			ackedBatch.Add(1)
+			retries.Add(uint64(stats.Retries))
+			dups.Add(uint64(stats.Duplicates))
+		}
+	}()
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Let ingest run hot, then murder the daemon mid-stream.
+		time.Sleep(120 * time.Millisecond)
+		srv.kill()
+		srv.start()
+	}
+	// Let the last retries settle against a live server, then stop the
+	// pusher BETWEEN pushes — never mid-batch, so the ledger stays exact.
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		srv.kill()
+		return
+	}
+
+	// One final death and resurrection, then audit the ledger.
+	srv.kill()
+	srv.start()
+	defer srv.kill()
+	h := getHealth(t, url)
+	tn := h.Tenants[0]
+	t.Logf("soak: %d cycles, %d batches acked (%d records), %d client retries, %d duplicate acks",
+		cycles, ackedBatch.Load(), acked.Load(), retries.Load(), dups.Load())
+	t.Logf("soak: server recovered %d records, %d batches applied, %d duplicate batches, %d truncated tails",
+		tn.Records, tn.Batches, tn.DupBatches, tn.TruncatedTails)
+	if tn.Records != acked.Load() {
+		t.Fatalf("LEDGER MISMATCH: client acked %d records, server recovered %d (lost %d)",
+			acked.Load(), tn.Records, int64(acked.Load())-int64(tn.Records))
+	}
+	if tn.Quarantined != 0 {
+		t.Fatalf("valid records were quarantined: %d", tn.Quarantined)
+	}
+	// The aggregate must still decode end to end after all that abuse.
+	resp, err := http.Get(url + "/top?tenant=app&n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		Rows []struct {
+			Context string `json:"context"`
+		} `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&top); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(top.Rows) == 0 {
+		t.Fatalf("/top after soak: status %d, %d rows", resp.StatusCode, len(top.Rows))
+	}
+	if !strings.Contains(top.Rows[0].Context, "fib") {
+		t.Fatalf("decoded context looks wrong: %q", top.Rows[0].Context)
+	}
+}
+
+// TestSoakDigestRefusalAfterCrash: state written by one analysis must be
+// refused by a daemon started with a different one, even after an unclean
+// death — the crash path must not bypass the digest certification.
+func TestSoakDigestRefusalAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dprofiled")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/dprofiled")
+	build.Dir = filepath.Join("..", "..")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building dprofiled: %v\n%s", err, out)
+	}
+
+	save := func(program string) (string, analysisio.GraphDigest, []profile.Record) {
+		src, err := os.ReadFile(filepath.Join("..", "..", "testdata", program))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := deltapath.ParseProgram(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := deltapath.Analyze(prog, deltapath.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dpa bytes.Buffer
+		if err := an.SaveAnalysis(&dpa); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, program+".dpa")
+		if err := os.WriteFile(path, dpa.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		bundle, err := analysisio.Load(bytes.NewReader(dpa.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxs, err := an.Run(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []profile.Record
+		for _, c := range ctxs {
+			if rec, err := c.MarshalBinary(); err == nil {
+				recs = append(recs, profile.Record{Key: rec, Count: 1})
+			}
+		}
+		return path, bundle.Digest, recs
+	}
+	dpaA, digestA, recsA := save("recursion.mv")
+	dpaB, _, _ := save("shapes.mv")
+
+	srv := &soakServer{t: t, bin: bin, data: filepath.Join(dir, "data"), dpa: dpaA, addr: freePort(t)}
+	srv.start()
+	client, err := agentclient.New(agentclient.Config{URL: "http://" + srv.addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.PushRecords(context.Background(), digestA, recsA); err != nil {
+		t.Fatal(err)
+	}
+	srv.kill() // unclean: the WAL holds the batch
+
+	// Same data dir, different analysis: the daemon must refuse to start
+	// this tenant rather than replay alien state.
+	cmd := exec.Command(bin, "-data", srv.data, "-analysis", "app="+dpaB, "-addr", srv.addr)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("daemon started over mismatched state:\n%s", out)
+	}
+	if !strings.Contains(string(out), "digest") {
+		t.Fatalf("refusal does not mention the digest:\n%s", out)
+	}
+}

@@ -18,8 +18,12 @@ func exportFixture() *Registry {
 	r.Counter(MetricEncoderAdditions).Add(1234)
 	r.Counter(MetricEncoderAnchorPushes).Add(56)
 	r.Counter(MetricEncoderUCPPushes).Add(3)
+	r.Counter(MetricServerBatches).Add(78)
+	r.Counter(MetricServerShed).Add(9)
+	r.Counter(MetricServerQuarantined).Add(2)
 	r.Gauge(MetricGraphNodes).Set(420)
 	r.Gauge(MetricMaxID).Set(987654)
+	r.Gauge(MetricServerQueueDepth).Set(11)
 	h := r.Histogram(MetricEncoderPieceDepth, []uint64{1, 2, 4, 8})
 	for _, v := range []uint64{1, 1, 2, 3, 5, 8, 13} {
 		h.Observe(v)

@@ -68,6 +68,26 @@ const (
 	MetricProfileDecodeMemoHits  = "dp_profile_decode_memo_hits_total"
 	MetricProfileDecodeMemoMiss  = "dp_profile_decode_memo_misses_total"
 
+	// Profile ingestion service (internal/server, cmd/dprofiled).
+	// Counters follow the ingest pipeline: batches accepted, duplicate
+	// batch IDs absorbed idempotently, records applied, batches shed
+	// under backpressure (429), records quarantined on decode errors,
+	// WAL appends and recovery replays, snapshots taken.
+	MetricServerBatches      = "dp_server_batches_total"
+	MetricServerBatchesDup   = "dp_server_duplicate_batches_total"
+	MetricServerRecords      = "dp_server_records_total"
+	MetricServerShed         = "dp_server_shed_total"
+	MetricServerQuarantined  = "dp_server_quarantined_total"
+	MetricServerWALAppends   = "dp_server_wal_appends_total"
+	MetricServerWALReplayed  = "dp_server_wal_replayed_records_total"
+	MetricServerWALTruncated = "dp_server_wal_truncated_tails_total"
+	MetricServerSnapshots    = "dp_server_snapshots_total"
+	// Gauges: live queue occupancy across tenants, WAL bytes on disk,
+	// registered tenants.
+	MetricServerQueueDepth = "dp_server_queue_depth"
+	MetricServerWALBytes   = "dp_server_wal_bytes"
+	MetricServerTenants    = "dp_server_tenants"
+
 	// Static analysis shape (gauges, set once per analysis).
 	MetricGraphNodes = "dp_graph_nodes"
 	MetricGraphEdges = "dp_graph_edges"

@@ -1,0 +1,112 @@
+package profile
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// buildProfileN returns a .dpp stream of n distinct records.
+func buildProfileN(t *testing.T, n int) *Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Add([]byte(fmt.Sprintf("record-%06d", i)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestDecodeContextCancelAborts: cancelling mid-decode returns ctx.Err()
+// promptly — the pool stops between records instead of grinding through the
+// whole profile.
+func TestDecodeContextCancelAborts(t *testing.T) {
+	r := buildProfileN(t, 10_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	var decoded atomic.Int64
+	start := time.Now()
+	_, err := DecodeContext(ctx, r, 4, func(rec []byte) (string, error) {
+		if decoded.Add(1) == 8 {
+			cancel() // cancel from inside the pool: the next records must not decode
+		}
+		time.Sleep(time.Millisecond)
+		return string(rec), nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 10k records × 1ms over 4 workers would be ~2.5s; an aborted run
+	// decodes only the records already in flight.
+	if n := decoded.Load(); n > 100 {
+		t.Fatalf("decoded %d records after cancellation (pool did not stop)", n)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestDecodeContextPreCancelled: an already-cancelled context decodes
+// nothing and reports ctx.Err().
+func TestDecodeContextPreCancelled(t *testing.T) {
+	r := buildProfileN(t, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var decoded atomic.Int64
+	_, err := DecodeContext(ctx, r, 2, func(rec []byte) (string, error) {
+		decoded.Add(1)
+		return string(rec), nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := decoded.Load(); n != 0 {
+		t.Fatalf("pre-cancelled context decoded %d records", n)
+	}
+}
+
+// TestDecodeContextErrorBeatsCancellation: a decode failure that happened
+// before cancellation is reported as itself, not masked by ctx.Err().
+func TestDecodeContextErrorBeatsCancellation(t *testing.T) {
+	r := buildProfileN(t, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	_, err := DecodeContext(ctx, r, 2, func(rec []byte) (string, error) {
+		cancel()
+		return "", boom
+	}, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the decode error", err)
+	}
+}
+
+// TestDecodeContextBackgroundUnchanged: with a background context the
+// behaviour is identical to Decode.
+func TestDecodeContextBackgroundUnchanged(t *testing.T) {
+	r := buildProfileN(t, 50)
+	rep, err := DecodeContext(context.Background(), r, 4, func(rec []byte) (string, error) {
+		return string(rec), nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 50 || rep.Total != 50 || len(rep.Rows) != 50 {
+		t.Fatalf("report = %d records, %d total, %d rows; want 50/50/50",
+			rep.Records, rep.Total, len(rep.Rows))
+	}
+}

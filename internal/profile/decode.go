@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"context"
 	"io"
 	"sort"
 	"sync"
@@ -56,13 +57,23 @@ type decodeJob struct {
 // The first error — a corrupt record, a failed decode — aborts the run;
 // remaining records are drained but not decoded.
 func Decode(r *Reader, workers int, decode func(record []byte) (string, error)) (*Report, error) {
-	return DecodeObserved(r, workers, decode, nil)
+	return DecodeContext(context.Background(), r, workers, decode, nil)
 }
 
 // DecodeObserved is Decode with an observability hook: reg (nil = no-op)
 // receives the per-worker memo's hit/miss counters, the measure of how much
 // decode work append-mode duplication saved.
 func DecodeObserved(r *Reader, workers int, decode func(record []byte) (string, error), reg *obs.Registry) (*Report, error) {
+	return DecodeContext(context.Background(), r, workers, decode, reg)
+}
+
+// DecodeContext is DecodeObserved with cancellation: when ctx is cancelled
+// the reader stops feeding the pool, workers drain the queue without
+// decoding, and the call returns ctx.Err() promptly — between records, not
+// mid-record, so an in-flight batch decode aborts within one record's
+// decode time. This is the hook a long-running server's shutdown path uses
+// to cut short /top and /decode work it no longer needs.
+func DecodeContext(ctx context.Context, r *Reader, workers int, decode func(record []byte) (string, error), reg *obs.Registry) (*Report, error) {
 	memoHits := reg.Counter(obs.MetricProfileDecodeMemoHits)
 	memoMisses := reg.Counter(obs.MetricProfileDecodeMemoMiss)
 	if workers < 1 {
@@ -80,11 +91,14 @@ func DecodeObserved(r *Reader, workers int, decode func(record []byte) (string, 
 		total   uint64
 	)
 
-	// Reader goroutine: stream records into the pool. On corrupt input it
-	// stops and records the error; workers drain whatever was queued.
+	// Reader goroutine: stream records into the pool. On corrupt input or
+	// cancellation it stops; workers drain whatever was queued.
 	go func() {
 		defer close(jobs)
 		for {
+			if ctx.Err() != nil {
+				return
+			}
 			rec, count, err := r.Next()
 			if err != nil {
 				if err != io.EOF {
@@ -92,7 +106,11 @@ func DecodeObserved(r *Reader, workers int, decode func(record []byte) (string, 
 				}
 				return
 			}
-			jobs <- decodeJob{record: string(rec), count: count}
+			select {
+			case jobs <- decodeJob{record: string(rec), count: count}:
+			case <-ctx.Done():
+				return
+			}
 		}
 	}()
 
@@ -107,7 +125,7 @@ func DecodeObserved(r *Reader, workers int, decode func(record []byte) (string, 
 				mu.Lock()
 				stop := failed
 				mu.Unlock()
-				if stop {
+				if stop || ctx.Err() != nil {
 					continue // drain without decoding
 				}
 				ctx, ok := memo[j.record]
@@ -141,11 +159,17 @@ func DecodeObserved(r *Reader, workers int, decode func(record []byte) (string, 
 	}
 	wg.Wait()
 
+	// Error precedence: a real decode failure names the broken record; a
+	// read error names the corrupt stream; cancellation is only the answer
+	// when nothing else went wrong first.
+	if failed {
+		return nil, firstEr
+	}
 	if readErr != nil {
 		return nil, readErr
 	}
-	if failed {
-		return nil, firstEr
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	rep := &Report{Records: r.Records(), Total: total}

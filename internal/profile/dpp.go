@@ -3,6 +3,7 @@ package profile
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -29,6 +30,15 @@ import (
 
 const dppMagic = "DPP1\n"
 
+// ErrTruncatedRecord marks a record cut short by end of input — a stream
+// that stopped mid-varint or mid-record-body, the signature of a crash
+// during an append (a half-written WAL tail, a copy that died mid-file).
+// It is distinct from structural corruption (implausible lengths, zero
+// counts): a replayer may safely drop the final truncated record of an
+// append-only log and keep everything before it, whereas structural
+// corruption poisons the stream. Match with errors.Is.
+var ErrTruncatedRecord = errors.New("truncated record at end of input")
+
 // MaxRecordBytes bounds a single record's length. Context records are tiny
 // (a handful of bytes per stack piece); anything near this limit is corrupt
 // input, and the bound keeps a hostile length prefix from forcing a huge
@@ -51,14 +61,38 @@ func NewWriter(w io.Writer, digest analysisio.GraphDigest) (*Writer, error) {
 	if _, err := bw.WriteString(dppMagic); err != nil {
 		return nil, err
 	}
+	if err := WriteDigest(bw, digest); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// WriteDigest writes a graph digest in the .dpp wire form (three uvarints:
+// nodes, edges, hash). Exported so other append-only formats carrying the
+// same compatibility key — e.g. the ingestion server's WAL — share one
+// encoding.
+func WriteDigest(w io.Writer, digest analysisio.GraphDigest) error {
 	var buf [binary.MaxVarintLen64]byte
 	for _, v := range []uint64{digest.Nodes, digest.Edges, digest.Hash} {
 		n := binary.PutUvarint(buf[:], v)
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return nil, err
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
 		}
 	}
-	return &Writer{bw: bw}, nil
+	return nil
+}
+
+// ReadDigest reads a graph digest written by WriteDigest.
+func ReadDigest(br io.ByteReader) (analysisio.GraphDigest, error) {
+	var dig [3]uint64
+	for i := range dig {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return analysisio.GraphDigest{}, fmt.Errorf("truncated digest: %w", err)
+		}
+		dig[i] = v
+	}
+	return analysisio.GraphDigest{Nodes: dig[0], Edges: dig[1], Hash: dig[2]}, nil
 }
 
 // Add appends one record with its count. Zero-length records and zero
@@ -118,6 +152,16 @@ func (w *Writer) WriteSnapshot(s *Store) error {
 	return nil
 }
 
+// AppendRecord appends one DPP1-framed record — uvarint length, record
+// bytes, uvarint count — to buf and returns the extended slice: the
+// write-side counterpart of ReadRecord for callers (the ingestion WAL)
+// that frame records into their own containers.
+func AppendRecord(buf []byte, record []byte, count uint64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(record)))
+	buf = append(buf, record...)
+	return binary.AppendUvarint(buf, count)
+}
+
 // Reader streams a .dpp profile. Create with NewReader (which validates the
 // header), check Digest against the analysis in hand, then call Next until
 // io.EOF.
@@ -139,18 +183,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(head) != dppMagic {
 		return nil, fmt.Errorf("profile: bad magic %q (not a .dpp profile, or unsupported version)", head)
 	}
-	var dig [3]uint64
-	for i := range dig {
-		v, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("profile: truncated digest: %w", err)
-		}
-		dig[i] = v
+	digest, err := ReadDigest(br)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
 	}
-	return &Reader{
-		br:     br,
-		digest: analysisio.GraphDigest{Nodes: dig[0], Edges: dig[1], Hash: dig[2]},
-	}, nil
+	return &Reader{br: br, digest: digest}, nil
 }
 
 // Digest returns the graph digest the profile was recorded under.
@@ -160,40 +197,65 @@ func (r *Reader) Digest() analysisio.GraphDigest { return r.digest }
 func (r *Reader) Records() uint64 { return r.n }
 
 // Next returns the next record and its count. It returns io.EOF at a clean
-// end of stream; any other error marks corrupt input (truncation mid-
-// record, a zero or implausible length, a zero count). The returned slice
-// is owned by the caller.
+// end of stream; any other error marks corrupt input. Truncation by end of
+// input — a stream that stops mid-varint or mid-record-body — matches
+// errors.Is(err, ErrTruncatedRecord), distinct from structural corruption
+// (a zero or implausible length, a zero count). The returned slice is owned
+// by the caller.
 func (r *Reader) Next() (record []byte, count uint64, err error) {
 	if r.err != nil {
 		return nil, 0, r.err
 	}
-	size, err := binary.ReadUvarint(r.br)
+	record, count, err = ReadRecord(r.br)
 	if err != nil {
 		if err == io.EOF {
 			r.err = io.EOF
 			return nil, 0, io.EOF
 		}
-		r.err = fmt.Errorf("profile: record %d: truncated length: %w", r.n, err)
-		return nil, 0, r.err
-	}
-	if size == 0 || size > MaxRecordBytes {
-		r.err = fmt.Errorf("profile: record %d: implausible length %d", r.n, size)
-		return nil, 0, r.err
-	}
-	record = make([]byte, size)
-	if _, err := io.ReadFull(r.br, record); err != nil {
-		r.err = fmt.Errorf("profile: record %d: truncated record: %w", r.n, err)
-		return nil, 0, r.err
-	}
-	count, err = binary.ReadUvarint(r.br)
-	if err != nil {
-		r.err = fmt.Errorf("profile: record %d: truncated count: %w", r.n, err)
-		return nil, 0, r.err
-	}
-	if count == 0 {
-		r.err = fmt.Errorf("profile: record %d: zero count", r.n)
+		r.err = fmt.Errorf("profile: record %d: %w", r.n, err)
 		return nil, 0, r.err
 	}
 	r.n++
+	return record, count, nil
+}
+
+// ReadRecord reads one DPP1-framed record — uvarint length, record bytes,
+// uvarint count — from br. It returns io.EOF when the input ends cleanly at
+// a record boundary and an error wrapping ErrTruncatedRecord when the input
+// ends anywhere inside a record. Exported so WAL replayers share the exact
+// framing (and its corruption contract) with the .dpp reader.
+func ReadRecord(br *bufio.Reader) (record []byte, count uint64, err error) {
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			// One or more length bytes arrived, then the stream ended:
+			// the classic half-written append.
+			return nil, 0, fmt.Errorf("%w (mid-varint length)", ErrTruncatedRecord)
+		}
+		return nil, 0, fmt.Errorf("reading length: %w", err)
+	}
+	if size == 0 || size > MaxRecordBytes {
+		return nil, 0, fmt.Errorf("implausible length %d", size)
+	}
+	record = make([]byte, size)
+	if _, err := io.ReadFull(br, record); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, 0, fmt.Errorf("%w (mid-record body, want %d bytes)", ErrTruncatedRecord, size)
+		}
+		return nil, 0, fmt.Errorf("reading body: %w", err)
+	}
+	count, err = binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, 0, fmt.Errorf("%w (mid-varint count)", ErrTruncatedRecord)
+		}
+		return nil, 0, fmt.Errorf("reading count: %w", err)
+	}
+	if count == 0 {
+		return nil, 0, fmt.Errorf("zero count")
+	}
 	return record, count, nil
 }

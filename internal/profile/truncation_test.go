@@ -1,0 +1,177 @@
+package profile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// buildTwoRecordProfile returns a valid two-record .dpp stream plus the
+// offsets of its structural boundaries: header end, end of record 0, end of
+// record 1 (== len).
+func buildTwoRecordProfile(t *testing.T) (data []byte, headerEnd, rec0End int) {
+	t.Helper()
+	var head bytes.Buffer
+	w, err := NewWriter(&head, testDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	headerEnd = head.Len()
+
+	var buf bytes.Buffer
+	w, err = NewWriter(&buf, testDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 0: multi-byte count (300 needs a 2-byte uvarint) so a cut can
+	// land mid-varint. Record 1: multi-byte body.
+	if err := w.Add([]byte{0xaa, 0xbb, 0xcc}, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec0End = buf.Len()
+	if err := w.Add([]byte("second-record-body"), 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), headerEnd, rec0End
+}
+
+// TestReaderTruncationOffsets cuts a valid profile at every byte offset and
+// asserts the truncation contract: a cut inside the header fails NewReader;
+// a cut exactly at a record boundary is a clean io.EOF; a cut anywhere
+// inside a record is ErrTruncatedRecord — never a clean EOF, never a
+// generic corruption error, so a WAL replayer can drop exactly the final
+// partial record and keep every complete one before it.
+func TestReaderTruncationOffsets(t *testing.T) {
+	data, headerEnd, rec0End := buildTwoRecordProfile(t)
+	for cut := 0; cut <= len(data); cut++ {
+		r, err := NewReader(bytes.NewReader(data[:cut]))
+		if cut < headerEnd {
+			if err == nil {
+				t.Errorf("cut %d (inside header): NewReader accepted", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("cut %d: NewReader failed on intact header: %v", cut, err)
+			continue
+		}
+		var complete int
+		var final error
+		for {
+			_, _, err := r.Next()
+			if err != nil {
+				final = err
+				break
+			}
+			complete++
+		}
+		wantComplete := 0
+		if cut >= rec0End {
+			wantComplete = 1
+		}
+		if cut == len(data) {
+			wantComplete = 2
+		}
+		if complete != wantComplete {
+			t.Errorf("cut %d: read %d complete records, want %d", cut, complete, wantComplete)
+		}
+		atBoundary := cut == headerEnd || cut == rec0End || cut == len(data)
+		if atBoundary {
+			if final != io.EOF {
+				t.Errorf("cut %d (record boundary): err = %v, want io.EOF", cut, final)
+			}
+		} else {
+			if !errors.Is(final, ErrTruncatedRecord) {
+				t.Errorf("cut %d (mid-record): err = %v, want ErrTruncatedRecord", cut, final)
+			}
+		}
+	}
+}
+
+// TestTruncatedRecordIsNotStructuralCorruption: structural damage (zero
+// length, implausible length, zero count) must NOT match ErrTruncatedRecord
+// — a replayer that dropped "the last record" on these would be masking
+// real corruption.
+func TestTruncatedRecordIsNotStructuralCorruption(t *testing.T) {
+	header := func() []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, testDigest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	cases := map[string][]byte{
+		"zero length":        append(append([]byte{}, header...), 0x00),
+		"implausible length": append(append([]byte{}, header...), 0xff, 0xff, 0xff, 0xff, 0x7f),
+		"zero count":         append(append([]byte{}, header...), 0x01, 0xaa, 0x00),
+	}
+	for name, data := range cases {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: header rejected: %v", name, err)
+		}
+		_, _, err = r.Next()
+		if err == nil || err == io.EOF {
+			t.Errorf("%s: structural corruption read cleanly (err=%v)", name, err)
+			continue
+		}
+		if errors.Is(err, ErrTruncatedRecord) {
+			t.Errorf("%s: structural corruption classified as truncation: %v", name, err)
+		}
+	}
+}
+
+// TestAppendRecordRoundTrips: AppendRecord's framing is byte-identical to
+// Writer.Add's, so WAL entries and .dpp records stay interchangeable.
+func TestAppendRecordRoundTrips(t *testing.T) {
+	var viaWriter bytes.Buffer
+	w, err := NewWriter(&viaWriter, testDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Key: []byte{0x01}, Count: 1},
+		{Key: []byte("a-longer-record"), Count: 1 << 40},
+	}
+	for _, r := range recs {
+		if err := w.Add(r.Key, r.Count); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var viaAppend bytes.Buffer
+	w2, err := NewWriter(&viaAppend, testDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	frame := []byte{}
+	for _, r := range recs {
+		frame = AppendRecord(frame, r.Key, r.Count)
+	}
+	viaAppend.Write(frame)
+
+	if !bytes.Equal(viaWriter.Bytes(), viaAppend.Bytes()) {
+		t.Fatalf("AppendRecord framing drifted from Writer.Add:\n% x\nvs\n% x",
+			viaWriter.Bytes(), viaAppend.Bytes())
+	}
+}

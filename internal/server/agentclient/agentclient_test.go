@@ -1,0 +1,328 @@
+package agentclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deltapath/internal/analysisio"
+	"deltapath/internal/profile"
+)
+
+func testDigest() analysisio.GraphDigest {
+	return analysisio.GraphDigest{Nodes: 5, Edges: 9, Hash: 0x1234}
+}
+
+func testDPP(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := profile.NewWriter(&buf, testDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Add([]byte{byte(i), byte(i >> 8)}, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fakeServer mimics dprofiled's ingest contract: per-ID dedup, scripted
+// failures, batch accounting.
+type fakeServer struct {
+	mu      sync.Mutex
+	applied map[string]bool
+	batches [][]profile.Record
+	// fail scripts the next responses: each entry is an HTTP status to
+	// return before finally accepting.
+	fail []int
+	// dropAck, when set, applies the next batch but returns 503 anyway —
+	// the lost-acknowledgement window.
+	dropAck bool
+}
+
+func (f *fakeServer) handler(t *testing.T) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if len(f.fail) > 0 {
+			code := f.fail[0]
+			f.fail = f.fail[1:]
+			if code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(map[string]string{"error": "scripted failure"})
+			return
+		}
+		id := r.Header.Get("X-Batch-ID")
+		if id == "" {
+			t.Error("ingest without X-Batch-ID")
+		}
+		body, _ := io.ReadAll(r.Body)
+		pr, err := profile.NewReader(bytes.NewReader(body))
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		if f.applied[id] {
+			json.NewEncoder(w).Encode(map[string]any{"duplicate": true})
+			return
+		}
+		var recs []profile.Record
+		for {
+			rec, count, err := pr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			recs = append(recs, profile.Record{Key: rec, Count: count})
+		}
+		f.applied[id] = true
+		f.batches = append(f.batches, recs)
+		if f.dropAck {
+			f.dropAck = false
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"applied": len(recs)})
+	})
+}
+
+func newFake(t *testing.T) (*fakeServer, *httptest.Server) {
+	f := &fakeServer{applied: map[string]bool{}}
+	ts := httptest.NewServer(f.handler(t))
+	t.Cleanup(ts.Close)
+	return f, ts
+}
+
+func fastClient(t *testing.T, url string) *Client {
+	t.Helper()
+	c, err := New(Config{
+		URL:          url,
+		BatchRecords: 10,
+		MaxAttempts:  6,
+		BaseBackoff:  time.Millisecond,
+		MaxBackoff:   5 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPushChunksAndDelivers: 25 records under BatchRecords=10 become 3
+// batches, all delivered in order with exact counts.
+func TestPushChunksAndDelivers(t *testing.T) {
+	f, ts := newFake(t)
+	c := fastClient(t, ts.URL)
+	stats, err := c.Push(context.Background(), testDPP(t, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches != 3 || stats.Records != 25 || stats.Retries != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if len(f.batches) != 3 {
+		t.Fatalf("server saw %d batches, want 3", len(f.batches))
+	}
+	total := 0
+	for _, b := range f.batches {
+		total += len(b)
+	}
+	if total != 25 {
+		t.Fatalf("server saw %d records, want 25", total)
+	}
+}
+
+// TestPushRetriesTransientFailures: scripted 429/503 responses are
+// retried until the batch lands; the retry counters discriminate sheds.
+func TestPushRetriesTransientFailures(t *testing.T) {
+	f, ts := newFake(t)
+	f.fail = []int{http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusTooManyRequests}
+	c := fastClient(t, ts.URL)
+	stats, err := c.Push(context.Background(), testDPP(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches != 1 || stats.Retries != 3 || stats.Shed429 != 2 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+// TestPushResendAfterLostAckIsIdempotent: the server applies a batch but
+// the acknowledgement is lost; the resend under the same batch ID comes
+// back duplicate — applied exactly once.
+func TestPushResendAfterLostAckIsIdempotent(t *testing.T) {
+	f, ts := newFake(t)
+	f.dropAck = true
+	c := fastClient(t, ts.URL)
+	stats, err := c.Push(context.Background(), testDPP(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches != 1 || stats.Duplicates != 1 || stats.Retries != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if len(f.batches) != 1 {
+		t.Fatalf("server applied %d batches, want exactly 1", len(f.batches))
+	}
+}
+
+// TestPushPermanentFailureStops: a 4xx other than 429 fails immediately
+// with the server's error, without burning retries.
+func TestPushPermanentFailureStops(t *testing.T) {
+	f, ts := newFake(t)
+	f.fail = []int{http.StatusPreconditionFailed}
+	c := fastClient(t, ts.URL)
+	_, err := c.Push(context.Background(), testDPP(t, 5))
+	if err == nil || !strings.Contains(err.Error(), "412") {
+		t.Fatalf("err = %v, want permanent 412 failure", err)
+	}
+	if len(f.batches) != 0 {
+		t.Fatal("server applied a permanently-refused batch")
+	}
+}
+
+// TestPushGivesUpAfterMaxAttempts: endless sheds exhaust MaxAttempts with
+// an error instead of retrying forever.
+func TestPushGivesUpAfterMaxAttempts(t *testing.T) {
+	f, ts := newFake(t)
+	for i := 0; i < 100; i++ {
+		f.fail = append(f.fail, http.StatusServiceUnavailable)
+	}
+	c := fastClient(t, ts.URL)
+	_, err := c.Push(context.Background(), testDPP(t, 5))
+	if err == nil || !strings.Contains(err.Error(), "gave up") {
+		t.Fatalf("err = %v, want gave-up failure", err)
+	}
+}
+
+// TestPushSurvivesServerRestart: connection errors (server down) retry
+// until the server returns; no records lost across its death.
+func TestPushSurvivesServerRestart(t *testing.T) {
+	f := &fakeServer{applied: map[string]bool{}}
+	ts := httptest.NewServer(f.handler(t))
+	addr := ts.Listener.Addr().String()
+	url := "http://" + addr
+	ts.Close() // server is down at push time
+
+	c := fastClient(t, url)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Push(context.Background(), testDPP(t, 5))
+		done <- err
+	}()
+	// Resurrect the server at the same address while the client retries.
+	time.Sleep(5 * time.Millisecond)
+	ts2 := resurrect(t, addr, f.handler(t))
+	defer ts2.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(f.batches) != 1 {
+		t.Fatalf("server applied %d batches, want 1", len(f.batches))
+	}
+}
+
+// resurrect binds a plain http.Server to addr, retrying briefly while the
+// old listener's socket is released.
+func resurrect(t *testing.T, addr string, h http.Handler) *httptest.Server {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l, err := net.Listen("tcp", addr)
+		if err == nil {
+			ts := &httptest.Server{Listener: l, Config: &http.Server{Handler: h}}
+			ts.Start()
+			return ts
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPushCancelledContext: cancellation aborts mid-backoff.
+func TestPushCancelledContext(t *testing.T) {
+	f, ts := newFake(t)
+	for i := 0; i < 100; i++ {
+		f.fail = append(f.fail, http.StatusServiceUnavailable)
+	}
+	c, err := New(Config{URL: ts.URL, BaseBackoff: time.Hour, MaxAttempts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Push(ctx, testDPP(t, 5)); err != context.Canceled {
+		if err == nil || !strings.Contains(err.Error(), "context canceled") {
+			t.Fatalf("err = %v, want context cancellation", err)
+		}
+	}
+}
+
+// TestBackoffGrowsAndJitters: the delay doubles per attempt, never
+// exceeds 1.5×MaxBackoff, and honors a larger Retry-After hint.
+func TestBackoffGrowsAndJitters(t *testing.T) {
+	c, err := New(Config{URL: "http://x", BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 1; attempt <= 10; attempt++ {
+		base := c.cfg.BaseBackoff << (attempt - 1)
+		if base > c.cfg.MaxBackoff || base <= 0 {
+			base = c.cfg.MaxBackoff
+		}
+		for i := 0; i < 50; i++ {
+			d := c.backoff(attempt, 0)
+			if d < base/2 || d > base*3/2 {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, base/2, base*3/2)
+			}
+		}
+	}
+	if d := c.backoff(1, time.Second); d < time.Second {
+		t.Fatalf("Retry-After floor ignored: %v", d)
+	}
+}
+
+// TestBatchIDsDistinctAcrossPushes: two pushes of identical content use
+// different batch IDs — accumulating the same profile twice is two
+// deliveries, not a spurious dedup.
+func TestBatchIDsDistinctAcrossPushes(t *testing.T) {
+	f, ts := newFake(t)
+	c := fastClient(t, ts.URL)
+	body := testDPP(t, 5)
+	for i := 0; i < 2; i++ {
+		stats, err := c.Push(context.Background(), body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Duplicates != 0 {
+			t.Fatalf("push %d flagged duplicate: %+v", i, stats)
+		}
+	}
+	if len(f.batches) != 2 {
+		t.Fatalf("server applied %d batches, want 2 (one per push)", len(f.batches))
+	}
+}

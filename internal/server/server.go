@@ -1,0 +1,565 @@
+// Package server is dprofiled's engine: a fault-tolerant, multi-tenant
+// profile ingestion service over the streaming .dpp pipeline.
+//
+// Robustness is the headline, delivered by four mechanisms:
+//
+//   - Backpressure: each tenant has a bounded ingest queue. A full queue
+//     sheds the batch with 429 + Retry-After instead of blocking the
+//     accept loop or buffering unboundedly; the agent client retries with
+//     jittered exponential backoff, and dp_server_shed_total counts every
+//     shed so overload is visible, not silent.
+//
+//   - Durability: a batch is acknowledged only after its records are
+//     fsynced to the tenant's write-ahead log. kill -9 at any instant
+//     loses no acknowledged batch; restart replays the WAL (dropping at
+//     most a half-written unacknowledged tail) after re-certifying the
+//     analysis digest, and periodic snapshots bound replay time.
+//
+//   - Graceful degradation: records that fail to decode (corrupt
+//     encoding, no matching edge, residual ID) are quarantined with
+//     per-class health counters; the rest of the batch lands. Shutdown
+//     stops intake, drains queues under a deadline, and flushes final
+//     snapshots.
+//
+//   - Idempotency: batches carry client-assigned IDs; a resend of an
+//     applied batch (a retry after a lost acknowledgement) is absorbed
+//     without double-counting.
+//
+// Endpoints: POST /ingest (a .dpp stream; routed to the tenant whose
+// analysis digest matches the profile header), GET /top, GET /decode,
+// GET /profile (the store streamed back as .dpp), GET /healthz,
+// GET /metrics (Prometheus).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"deltapath/internal/analysisio"
+	"deltapath/internal/obs"
+	"deltapath/internal/profile"
+)
+
+// Config configures a Server. Zero values select the defaults.
+type Config struct {
+	// DataDir is the root of per-tenant durable state (one subdirectory
+	// per tenant). Required.
+	DataDir string
+	// QueueDepth bounds each tenant's ingest queue in batches
+	// (default 64). A full queue sheds with 429.
+	QueueDepth int
+	// WALMaxBytes triggers a snapshot + WAL truncation once a tenant's
+	// WAL grows past it (default 1 MiB).
+	WALMaxBytes int64
+	// RetryAfterSeconds is advertised on 429/503 responses (default 1).
+	RetryAfterSeconds int
+	// MaxBodyBytes bounds one ingest request body (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxBatchRecords bounds the records in one batch (default 100000).
+	MaxBatchRecords int
+	// Registry receives the dp_server_* metrics (nil = metrics off).
+	Registry *obs.Registry
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.DataDir == "" {
+		return errors.New("server: Config.DataDir is required")
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.WALMaxBytes <= 0 {
+		c.WALMaxBytes = 1 << 20
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 1
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxBatchRecords <= 0 {
+		c.MaxBatchRecords = 100000
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// metrics is the once-resolved dp_server_* sink set (all nil-safe).
+type metrics struct {
+	batches     *obs.Counter
+	dupBatches  *obs.Counter
+	records     *obs.Counter
+	shed        *obs.Counter
+	quarantined *obs.Counter
+	walAppends  *obs.Counter
+	walReplayed *obs.Counter
+	walTrunc    *obs.Counter
+	snapshots   *obs.Counter
+	queueDepth  *obs.Gauge
+	walBytes    *obs.Gauge
+	tenants     *obs.Gauge
+	logf        func(string, ...any)
+}
+
+func newMetrics(reg *obs.Registry, logf func(string, ...any)) *metrics {
+	return &metrics{
+		batches:     reg.Counter(obs.MetricServerBatches),
+		dupBatches:  reg.Counter(obs.MetricServerBatchesDup),
+		records:     reg.Counter(obs.MetricServerRecords),
+		shed:        reg.Counter(obs.MetricServerShed),
+		quarantined: reg.Counter(obs.MetricServerQuarantined),
+		walAppends:  reg.Counter(obs.MetricServerWALAppends),
+		walReplayed: reg.Counter(obs.MetricServerWALReplayed),
+		walTrunc:    reg.Counter(obs.MetricServerWALTruncated),
+		snapshots:   reg.Counter(obs.MetricServerSnapshots),
+		queueDepth:  reg.Gauge(obs.MetricServerQueueDepth),
+		walBytes:    reg.Gauge(obs.MetricServerWALBytes),
+		tenants:     reg.Gauge(obs.MetricServerTenants),
+		logf:        logf,
+	}
+}
+
+// Server is the ingestion service. Create with New, register tenants with
+// AddTenant, serve Handler(), and Close on shutdown.
+type Server struct {
+	cfg Config
+	m   *metrics
+	reg *obs.Registry
+
+	mu       sync.RWMutex
+	byName   map[string]*tenant
+	byDigest map[analysisio.GraphDigest]*tenant
+
+	// draining flips once Close begins: ingest returns 503 from then on.
+	draining atomic.Bool
+	// queryCtx is cancelled first thing in Close, aborting in-flight /top
+	// decodes promptly (profile.DecodeContext stops between records).
+	queryCtx    context.Context
+	cancelQuery context.CancelFunc
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New validates cfg and returns an empty server; add tenants before
+// serving.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:         cfg,
+		m:           newMetrics(cfg.Registry, cfg.Logf),
+		reg:         cfg.Registry,
+		byName:      map[string]*tenant{},
+		byDigest:    map[analysisio.GraphDigest]*tenant{},
+		queryCtx:    ctx,
+		cancelQuery: cancel,
+	}, nil
+}
+
+// AddTenant registers a tenant named name for the persisted analysis read
+// from r (a .dpa stream), recovering any durable state under
+// DataDir/name and starting its worker. Ingested profiles are routed to
+// the tenant whose digest matches their header.
+func (s *Server) AddTenant(name string, r io.Reader) (TenantHealth, error) {
+	bundle, err := analysisio.Load(r)
+	if err != nil {
+		return TenantHealth{}, fmt.Errorf("server: tenant %s: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byName[name]; ok {
+		return TenantHealth{}, fmt.Errorf("server: tenant %s already registered", name)
+	}
+	if prev, ok := s.byDigest[bundle.Digest]; ok {
+		return TenantHealth{}, fmt.Errorf("server: tenant %s: digest %s already served by tenant %s",
+			name, bundle.Digest, prev.name)
+	}
+	t, err := newTenant(name, bundle, filepath.Join(s.cfg.DataDir, name),
+		s.cfg.QueueDepth, s.cfg.WALMaxBytes, s.reg)
+	if err != nil {
+		return TenantHealth{}, fmt.Errorf("server: %w", err)
+	}
+	s.m.walReplayed.Add(t.replayed.Load())
+	s.m.walTrunc.Add(t.truncatedTails.Load())
+	s.byName[name] = t
+	s.byDigest[t.digest] = t
+	s.m.tenants.Set(uint64(len(s.byName)))
+	t.wg.Add(1)
+	go t.run(s.queryCtx, s.m)
+	h := t.health()
+	s.cfg.Logf("tenant %s: recovered %d records (%d unique), %d replayed from WAL, truncated tails %d",
+		name, h.Records, h.Unique, h.Replayed, h.TruncatedTails)
+	return h, nil
+}
+
+// tenantByName resolves a query's tenant parameter.
+func (s *Server) tenantByName(name string) *tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byName[name]
+}
+
+func (s *Server) tenants() []*tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*tenant, 0, len(s.byName))
+	for _, t := range s.byName {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Close shuts the server down gracefully: queries are aborted, intake is
+// refused with 503, queued batches drain under ctx's deadline, and every
+// tenant flushes a final snapshot. Safe to call once; returns the first
+// error.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.cancelQuery()
+
+		// Replace the worker drain context: workers see the caller's
+		// deadline (queryCtx is already cancelled, which would make them
+		// refuse everything still queued). Instead, drain each queue by
+		// closing it and waiting, bounded by ctx.
+		tenants := s.tenants()
+		for _, t := range tenants {
+			close(t.queue)
+		}
+		done := make(chan struct{})
+		go func() {
+			for _, t := range tenants {
+				t.wg.Wait()
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.closeErr = fmt.Errorf("server: drain deadline passed: %w", ctx.Err())
+		}
+	})
+	return s.closeErr
+}
+
+// Handler returns the server's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /top", s.handleTop)
+	mux.HandleFunc("GET /decode", s.handleDecode)
+	mux.HandleFunc("GET /profile", s.handleProfile)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// httpError writes a JSON error payload.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) retryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+}
+
+// IngestResponse is the /ingest success payload.
+type IngestResponse struct {
+	Status      string `json:"status"`
+	Batch       string `json:"batch"`
+	Tenant      string `json:"tenant"`
+	Records     int    `json:"records"`
+	Applied     int    `json:"applied"`
+	Quarantined int    `json:"quarantined"`
+	Duplicate   bool   `json:"duplicate"`
+}
+
+// handleIngest accepts one batch: a .dpp stream whose header digest routes
+// it to a tenant. The X-Batch-ID header (or, absent that, a content hash)
+// keys idempotent resends. The handler never blocks on a full queue — it
+// sheds with 429 + Retry-After.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.retryAfter(w)
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	pr, err := profile.NewReader(bytes.NewReader(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	t := s.byDigest[pr.Digest()]
+	s.mu.RUnlock()
+	if t == nil {
+		httpError(w, http.StatusPreconditionFailed,
+			"no tenant serves analysis digest %s (stale analysis or unregistered program?)", pr.Digest())
+		return
+	}
+	var recs []profile.Record
+	for {
+		rec, count, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A truncated or corrupt *stream* is a transport-level
+			// failure: the batch is refused whole (the agent retries);
+			// per-record quarantine is for records that arrive intact
+			// but do not decode.
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if len(recs) == s.cfg.MaxBatchRecords {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"batch exceeds %d records", s.cfg.MaxBatchRecords)
+			return
+		}
+		recs = append(recs, profile.Record{Key: rec, Count: count})
+	}
+	if len(recs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	id := r.Header.Get("X-Batch-ID")
+	if id == "" {
+		// Content-addressed fallback: identical resends still dedupe.
+		id = fmt.Sprintf("sha-%016x", fnv64(body))
+	}
+	if len(id) > 1024 {
+		httpError(w, http.StatusBadRequest, "batch ID exceeds 1024 bytes")
+		return
+	}
+
+	b := &batch{id: id, recs: recs, done: make(chan batchResult, 1)}
+	if !t.enqueue(b) {
+		s.m.shed.Inc()
+		s.retryAfter(w)
+		httpError(w, http.StatusTooManyRequests,
+			"tenant %s ingest queue full (%d batches)", t.name, cap(t.queue))
+		return
+	}
+	s.m.queueDepth.Set(uint64(len(t.queue)))
+
+	// Wait for the worker's durable acknowledgement. If the client goes
+	// away the batch still applies — its retry will dedupe by ID.
+	select {
+	case res := <-b.done:
+		if res.err != nil {
+			s.retryAfter(w)
+			httpError(w, http.StatusServiceUnavailable, "%v", res.err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(IngestResponse{
+			Status:      "ok",
+			Batch:       id,
+			Tenant:      t.name,
+			Records:     len(recs),
+			Applied:     res.applied,
+			Quarantined: res.quarantined,
+			Duplicate:   res.duplicate,
+		})
+	case <-r.Context().Done():
+		// Client disconnected; nothing useful to write.
+	}
+}
+
+// TopRow is one /top row.
+type TopRow struct {
+	Context string `json:"context"`
+	Count   uint64 `json:"count"`
+}
+
+// TopResponse is the /top payload.
+type TopResponse struct {
+	Tenant  string   `json:"tenant"`
+	Total   uint64   `json:"total"`
+	Unique  uint64   `json:"unique_contexts"`
+	Records uint64   `json:"records"`
+	Rows    []TopRow `json:"rows"`
+}
+
+// handleTop renders the tenant's hottest contexts by streaming the store
+// snapshot through the parallel profile decoder. The decode runs under
+// both the request context and the server's query context, so a client
+// disconnect or a server shutdown aborts it between records.
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantByName(r.URL.Query().Get("tenant"))
+	if t == nil {
+		httpError(w, http.StatusNotFound, "unknown tenant %q", r.URL.Query().Get("tenant"))
+		return
+	}
+	n := 10
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			httpError(w, http.StatusBadRequest, "bad n %q", v)
+			return
+		}
+		n = parsed
+	}
+	workers := 4
+	if v := r.URL.Query().Get("workers"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 || parsed > 64 {
+			httpError(w, http.StatusBadRequest, "bad workers %q", v)
+			return
+		}
+		workers = parsed
+	}
+
+	var buf bytes.Buffer
+	pw, err := profile.NewWriter(&buf, t.digest)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err := pw.WriteSnapshot(t.store); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err := pw.Flush(); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	pr, err := profile.NewReader(&buf)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	ctx, cancel := mergeContexts(r.Context(), s.queryCtx)
+	defer cancel()
+	rep, err := profile.DecodeContext(ctx, pr, workers, t.decodeRecord, s.reg)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			s.retryAfter(w)
+			httpError(w, http.StatusServiceUnavailable, "decode aborted: %v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := TopResponse{Tenant: t.name, Total: rep.Total, Unique: uint64(len(rep.Rows)), Records: rep.Records}
+	for _, row := range rep.Top(n) {
+		resp.Rows = append(resp.Rows, TopRow{Context: row.Context, Count: row.Count})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleDecode decodes one hex-encoded context record.
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantByName(r.URL.Query().Get("tenant"))
+	if t == nil {
+		httpError(w, http.StatusNotFound, "unknown tenant %q", r.URL.Query().Get("tenant"))
+		return
+	}
+	rec, err := hex.DecodeString(r.URL.Query().Get("record"))
+	if err != nil || len(rec) == 0 {
+		httpError(w, http.StatusBadRequest, "record must be non-empty hex")
+		return
+	}
+	ctxStr, err := t.decodeRecord(rec)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"context": ctxStr})
+}
+
+// handleProfile streams the tenant's current aggregate back as a .dpp
+// profile — the server's store is itself a valid dpdecode input.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantByName(r.URL.Query().Get("tenant"))
+	if t == nil {
+		httpError(w, http.StatusNotFound, "unknown tenant %q", r.URL.Query().Get("tenant"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	pw, err := profile.NewWriter(w, t.digest)
+	if err != nil {
+		return
+	}
+	if err := pw.WriteSnapshot(t.store); err != nil {
+		return
+	}
+	pw.Flush()
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status  string         `json:"status"`
+	Tenants []TenantHealth `json:"tenants"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok"}
+	if s.draining.Load() {
+		resp.Status = "draining"
+	}
+	for _, t := range s.tenants() {
+		resp.Tenants = append(resp.Tenants, t.health())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		httpError(w, http.StatusNotFound, "metrics registry disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+// mergeContexts returns a context cancelled when either parent is.
+func mergeContexts(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// fnv64 is FNV-1a over b (the content-addressed batch ID fallback).
+func fnv64(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"deltapath/internal/analysisio"
+	"deltapath/internal/callgraph"
+	"deltapath/internal/encoding"
+	"deltapath/internal/obs"
+	"deltapath/internal/profile"
+)
+
+// maxAppliedIDs bounds the per-tenant idempotency window: the most recent
+// batch IDs kept for duplicate detection. An agent retry storm spans
+// seconds; 65536 batches is hours of headroom at any plausible push rate,
+// and the FIFO eviction keeps the set (and the snapshot that persists it)
+// bounded forever.
+const maxAppliedIDs = 65536
+
+// batchResult is what the worker reports back to the waiting ingest
+// handler.
+type batchResult struct {
+	err         error
+	duplicate   bool
+	quarantined int
+	applied     int
+}
+
+// batch is one ingest request queued for a tenant's worker.
+type batch struct {
+	id   string
+	recs []profile.Record
+	// done receives exactly one result; buffered so the worker never
+	// blocks on a handler whose client has gone away.
+	done chan batchResult
+}
+
+// TenantHealth is a tenant's health counters, as served by /healthz.
+type TenantHealth struct {
+	Name           string `json:"name"`
+	Digest         string `json:"digest"`
+	Records        uint64 `json:"records"`
+	Unique         uint64 `json:"unique_contexts"`
+	Batches        uint64 `json:"batches_applied"`
+	DupBatches     uint64 `json:"duplicate_batches"`
+	Shed           uint64 `json:"batches_shed"`
+	QueueLen       int    `json:"queue_len"`
+	QueueCap       int    `json:"queue_cap"`
+	WALBytes       int64  `json:"wal_bytes"`
+	Snapshots      uint64 `json:"snapshots"`
+	Replayed       uint64 `json:"wal_replayed_records"`
+	TruncatedTails uint64 `json:"wal_truncated_tails"`
+
+	// Quarantine counters, typed by decode-error class. Quarantined
+	// records are counted and skipped; the batch they arrived in still
+	// succeeds — graceful degradation, not batch failure.
+	QuarantinedCorrupt  uint64 `json:"quarantined_corrupt_encoding"`
+	QuarantinedNoEdge   uint64 `json:"quarantined_no_matching_edge"`
+	QuarantinedResidual uint64 `json:"quarantined_residual_id"`
+	QuarantinedMangled  uint64 `json:"quarantined_unparseable"`
+}
+
+// tenant is one analysis digest's ingestion state: a bounded queue feeding
+// a single worker that owns the WAL, the store, and the applied-batch set.
+type tenant struct {
+	name   string
+	digest analysisio.GraphDigest
+	dec    *encoding.CompiledDecoder
+	graph  *callgraph.Graph
+	dir    string
+
+	queue chan *batch
+	store *profile.Store
+	wal   *WAL // owned by the worker goroutine after start
+
+	walMaxBytes int64
+
+	// applied is the idempotency set; order is its FIFO eviction ring.
+	// Owned by the worker (reads from the handler go through appliedHas).
+	appliedMu sync.RWMutex
+	applied   map[string]struct{}
+	order     []string
+
+	// Health counters (atomics: written by worker, read by /healthz).
+	batches        atomic.Uint64
+	dupBatches     atomic.Uint64
+	shed           atomic.Uint64
+	snapshots      atomic.Uint64
+	replayed       atomic.Uint64
+	truncatedTails atomic.Uint64
+	qCorrupt       atomic.Uint64
+	qNoEdge        atomic.Uint64
+	qResidual      atomic.Uint64
+	qMangled       atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// newTenant opens (or creates) a tenant's durable state under dir and
+// recovers it: snapshot first, then committed WAL entries not already in
+// the applied set, then the WAL is reopened for appends past its committed
+// prefix. Both files are refused on a digest mismatch.
+func newTenant(name string, bundle *analysisio.Bundle, dir string, queueDepth int, walMaxBytes int64, reg *obs.Registry) (*tenant, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	t := &tenant{
+		name:        name,
+		digest:      bundle.Digest,
+		dec:         encoding.Compile(bundle.Spec),
+		graph:       bundle.Graph,
+		dir:         dir,
+		queue:       make(chan *batch, queueDepth),
+		store:       profile.NewStore(0),
+		walMaxBytes: walMaxBytes,
+		applied:     make(map[string]struct{}),
+	}
+	t.store.Observe(reg)
+
+	snap, err := ReadSnapshot(t.snapshotPath(), t.digest)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: %w", name, err)
+	}
+	for _, id := range snap.AppliedIDs {
+		t.applied[id] = struct{}{}
+		t.order = append(t.order, id)
+	}
+	for _, r := range snap.Records {
+		t.store.AddCount(r.Key, r.Count)
+	}
+
+	replay, err := ReplayWAL(t.walPath(), t.digest)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: %w", name, err)
+	}
+	if replay.TruncatedTail {
+		t.truncatedTails.Add(1)
+	}
+	for _, b := range replay.Batches {
+		if _, dup := t.applied[b.ID]; dup {
+			continue // already in the snapshot
+		}
+		applied, _ := t.applyRecords(b.Records)
+		t.replayed.Add(uint64(applied))
+		t.rememberApplied(b.ID)
+	}
+
+	if _, err := os.Stat(t.walPath()); os.IsNotExist(err) {
+		t.wal, err = CreateWAL(t.walPath(), t.digest)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: %w", name, err)
+		}
+	} else {
+		t.wal, err = openWALForAppend(t.walPath(), t.digest, replay.CommittedSize)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: %w", name, err)
+		}
+	}
+	return t, nil
+}
+
+func (t *tenant) walPath() string      { return filepath.Join(t.dir, "wal.log") }
+func (t *tenant) snapshotPath() string { return filepath.Join(t.dir, "snapshot.dps") }
+
+// decodeRecord renders one context record through the compiled decoder.
+func (t *tenant) decodeRecord(rec []byte) (string, error) {
+	st, end, err := encoding.UnmarshalContext(rec)
+	if err != nil {
+		return "", err
+	}
+	names, err := t.dec.DecodeNames(st, end)
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(names, " > "), nil
+}
+
+// applyRecords validates and interns a batch's records. Records that fail
+// to decode are quarantined — counted by error class and skipped — so one
+// corrupt agent cannot fail a batch or poison the store. Returns how many
+// records were applied and how many quarantined.
+func (t *tenant) applyRecords(recs []profile.Record) (applied, quarantined int) {
+	for _, r := range recs {
+		if _, err := t.decodeRecord(r.Key); err != nil {
+			switch {
+			case errors.Is(err, encoding.ErrNoMatchingEdge):
+				t.qNoEdge.Add(1)
+			case errors.Is(err, encoding.ErrResidualID):
+				t.qResidual.Add(1)
+			case errors.Is(err, encoding.ErrCorruptEncoding):
+				t.qCorrupt.Add(1)
+			default:
+				t.qMangled.Add(1)
+			}
+			quarantined++
+			continue
+		}
+		t.store.AddCount(r.Key, r.Count)
+		applied++
+	}
+	return applied, quarantined
+}
+
+// rememberApplied records a batch ID in the idempotency set, evicting the
+// oldest ID past the cap.
+func (t *tenant) rememberApplied(id string) {
+	t.appliedMu.Lock()
+	defer t.appliedMu.Unlock()
+	if _, ok := t.applied[id]; ok {
+		return
+	}
+	t.applied[id] = struct{}{}
+	t.order = append(t.order, id)
+	if len(t.order) > maxAppliedIDs {
+		delete(t.applied, t.order[0])
+		t.order = t.order[1:]
+	}
+}
+
+func (t *tenant) appliedHas(id string) bool {
+	t.appliedMu.RLock()
+	defer t.appliedMu.RUnlock()
+	_, ok := t.applied[id]
+	return ok
+}
+
+// enqueue attempts a non-blocking enqueue; false means the queue is full
+// and the caller must shed.
+func (t *tenant) enqueue(b *batch) bool {
+	select {
+	case t.queue <- b:
+		return true
+	default:
+		t.shed.Add(1)
+		return false
+	}
+}
+
+// run is the tenant's worker loop: apply queued batches until the queue is
+// closed, then drain what remains under drainCtx's deadline and write a
+// final snapshot. m carries the server-wide metric sinks.
+func (t *tenant) run(drainCtx context.Context, m *metrics) {
+	defer t.wg.Done()
+	for b := range t.queue {
+		if drainCtx.Err() != nil {
+			// Drain deadline passed: refuse the remainder. None of these
+			// batches were acknowledged, so the agent re-sends them.
+			b.done <- batchResult{err: fmt.Errorf("server draining: %w", drainCtx.Err())}
+			continue
+		}
+		b.done <- t.apply(b, m)
+		m.queueDepth.Set(uint64(len(t.queue)))
+		if t.wal.Size() >= t.walMaxBytes {
+			t.snapshot(m)
+		}
+	}
+	t.snapshot(m)
+	t.wal.Close()
+}
+
+// apply processes one batch end to end: idempotency check, durable WAL
+// append, validate + intern, remember the batch ID. The result is sent
+// only after the WAL fsync — the acknowledgement IS the durability
+// boundary.
+func (t *tenant) apply(b *batch, m *metrics) batchResult {
+	if t.appliedHas(b.id) {
+		t.dupBatches.Add(1)
+		m.dupBatches.Inc()
+		return batchResult{duplicate: true}
+	}
+	if err := t.wal.Append(b.id, b.recs); err != nil {
+		return batchResult{err: err}
+	}
+	m.walAppends.Inc()
+	m.walBytes.Set(uint64(t.wal.Size()))
+	applied, quarantined := t.applyRecords(b.recs)
+	t.rememberApplied(b.id)
+	t.batches.Add(1)
+	m.batches.Inc()
+	m.records.Add(uint64(applied))
+	if quarantined > 0 {
+		m.quarantined.Add(uint64(quarantined))
+	}
+	return batchResult{applied: applied, quarantined: quarantined}
+}
+
+// snapshot atomically persists the store and applied set, then truncates
+// the WAL whose entries it subsumes.
+func (t *tenant) snapshot(m *metrics) {
+	t.appliedMu.RLock()
+	ids := append([]string(nil), t.order...)
+	t.appliedMu.RUnlock()
+	snap := &Snapshot{AppliedIDs: ids, Records: t.store.Snapshot()}
+	if err := WriteSnapshot(t.snapshotPath(), t.digest, snap); err != nil {
+		// A failed snapshot is not fatal: the WAL still holds everything.
+		m.logf("tenant %s: snapshot failed: %v", t.name, err)
+		return
+	}
+	if err := t.wal.Reset(); err != nil {
+		m.logf("tenant %s: wal reset failed: %v", t.name, err)
+		return
+	}
+	t.snapshots.Add(1)
+	m.snapshots.Inc()
+	m.walBytes.Set(uint64(t.wal.Size()))
+}
+
+// health snapshots the tenant's counters.
+func (t *tenant) health() TenantHealth {
+	return TenantHealth{
+		Name:                t.name,
+		Digest:              t.digest.String(),
+		Records:             t.store.Total(),
+		Unique:              t.store.Unique(),
+		Batches:             t.batches.Load(),
+		DupBatches:          t.dupBatches.Load(),
+		Shed:                t.shed.Load(),
+		QueueLen:            len(t.queue),
+		QueueCap:            cap(t.queue),
+		WALBytes:            t.wal.Size(),
+		Snapshots:           t.snapshots.Load(),
+		Replayed:            t.replayed.Load(),
+		TruncatedTails:      t.truncatedTails.Load(),
+		QuarantinedCorrupt:  t.qCorrupt.Load(),
+		QuarantinedNoEdge:   t.qNoEdge.Load(),
+		QuarantinedResidual: t.qResidual.Load(),
+		QuarantinedMangled:  t.qMangled.Load(),
+	}
+}

@@ -1,0 +1,429 @@
+// WAL and snapshot persistence for one ingestion tenant.
+//
+// Durability contract: a batch is acknowledged to the agent only after its
+// WAL entry — batch ID, every record, and a commit marker — has been
+// fsynced. A SIGKILL at any instant therefore loses only unacknowledged
+// batches, which the agent client re-sends under the same batch ID; the
+// applied-batch set makes the resend idempotent. Recovery replays committed
+// entries in order, drops a half-written tail (the profile package's
+// ErrTruncatedRecord contract pins exactly which cuts are droppable), and
+// refuses to replay against an analysis whose graph digest differs from
+// the one the WAL was recorded under — the same stale/tampered-analysis
+// refusal .dpa and .dpp files enforce.
+//
+// On-disk layout per tenant directory:
+//
+//	wal.log       "DPW1\n" + digest, then batch entries:
+//	              'B' uvarint(len(id)) id uvarint(n)
+//	              n × DPP1 record framing (uvarint len, bytes, uvarint count)
+//	              'C'
+//	snapshot.dps  "DPS1\n" + digest,
+//	              uvarint(nIDs) + nIDs × (uvarint len, id bytes),
+//	              uvarint(nRecs) + nRecs × DPP1 record framing
+//
+// The snapshot is written to a temporary file, fsynced, and renamed into
+// place, so it is atomically either the old or the new state; the WAL is
+// truncated (recreated) only after the snapshot rename. A crash between
+// the two leaves snapshot + full WAL, and the applied-batch set in the
+// snapshot deduplicates the re-replay.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"deltapath/internal/analysisio"
+	"deltapath/internal/profile"
+)
+
+const (
+	walMagic      = "DPW1\n"
+	snapshotMagic = "DPS1\n"
+
+	walBatchBegin  = 'B'
+	walBatchCommit = 'C'
+)
+
+// ErrDigestMismatch marks a WAL or snapshot recorded under a different
+// analysis than the one the tenant is being opened with. Replaying it
+// would aggregate counts for contexts the analysis cannot decode — the
+// server refuses, exactly as .dpa/.dpp loading refuses. Match with
+// errors.Is.
+var ErrDigestMismatch = errors.New("graph digest mismatch")
+
+// WALBatch is one committed batch recovered from (or appended to) the WAL.
+type WALBatch struct {
+	ID      string
+	Records []profile.Record
+}
+
+// WAL is the append-only durability log of one tenant. Appends are owned
+// by the tenant's single worker goroutine; Size is safe to read from any
+// goroutine (the health endpoint polls it).
+type WAL struct {
+	path   string
+	digest analysisio.GraphDigest
+	f      *os.File
+	size   atomic.Int64
+	buf    []byte // entry scratch, reused across appends
+}
+
+// createWALFile writes a fresh header-only WAL file.
+func createWALFile(path string, digest analysisio.GraphDigest) (*os.File, int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	var hdr bytes.Buffer
+	hdr.WriteString(walMagic)
+	if err := profile.WriteDigest(&hdr, digest); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if _, err := f.Write(hdr.Bytes()); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, int64(hdr.Len()), nil
+}
+
+// CreateWAL creates (truncating) a WAL at path and writes its header.
+func CreateWAL(path string, digest analysisio.GraphDigest) (*WAL, error) {
+	f, n, err := createWALFile(path, digest)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{path: path, digest: digest, f: f}
+	w.size.Store(n)
+	return w, nil
+}
+
+// openWALForAppend opens an existing WAL whose committed prefix ends at
+// offset: any truncated tail beyond it is cut off before appending resumes.
+func openWALForAppend(path string, digest analysisio.GraphDigest, offset int64) (*WAL, error) {
+	if err := os.Truncate(path, offset); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{path: path, digest: digest, f: f}
+	w.size.Store(offset)
+	return w, nil
+}
+
+// Append durably writes one batch entry: begin marker, ID, records, commit
+// marker, then fsync. Only after Append returns nil may the batch be
+// acknowledged.
+func (w *WAL) Append(id string, recs []profile.Record) error {
+	buf := w.buf[:0]
+	buf = append(buf, walBatchBegin)
+	buf = binary.AppendUvarint(buf, uint64(len(id)))
+	buf = append(buf, id...)
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for _, r := range recs {
+		buf = profile.AppendRecord(buf, r.Key, r.Count)
+	}
+	buf = append(buf, walBatchCommit)
+	w.buf = buf
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal sync: %w", err)
+	}
+	w.size.Add(int64(len(buf)))
+	return nil
+}
+
+// Size reports the WAL's byte size (header + committed entries).
+func (w *WAL) Size() int64 { return w.size.Load() }
+
+// Close closes the underlying file.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// Reset truncates the WAL back to a bare header — called after a snapshot
+// has been atomically installed, so every entry it drops is already
+// persisted in the snapshot.
+func (w *WAL) Reset() error {
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	f, n, err := createWALFile(w.path, w.digest)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.size.Store(n)
+	return nil
+}
+
+// WALReplay is the result of reading a WAL back.
+type WALReplay struct {
+	Batches []WALBatch
+	// CommittedSize is the byte offset of the last committed entry's end —
+	// the offset appends must resume from.
+	CommittedSize int64
+	// TruncatedTail is true when the file ended inside an uncommitted
+	// entry (crash mid-append); the tail was dropped.
+	TruncatedTail bool
+}
+
+// ReplayWAL reads the WAL at path, verifying its digest against want, and
+// returns every committed batch in append order. A missing file returns an
+// empty replay. The tail is dropped (and flagged) if the file ends inside
+// an entry; structural corruption in the committed prefix is an error.
+func ReplayWAL(path string, want analysisio.GraphDigest) (*WALReplay, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &WALReplay{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	cr := &countingReader{r: f}
+	br := bufio.NewReader(cr)
+	head := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("wal %s: truncated header: %w", path, err)
+	}
+	if string(head) != walMagic {
+		return nil, fmt.Errorf("wal %s: bad magic %q", path, head)
+	}
+	digest, err := profile.ReadDigest(br)
+	if err != nil {
+		return nil, fmt.Errorf("wal %s: %w", path, err)
+	}
+	if digest != want {
+		return nil, fmt.Errorf("wal %s: recorded under %s, analysis graph is %s: %w",
+			path, digest, want, ErrDigestMismatch)
+	}
+
+	rep := &WALReplay{CommittedSize: offset(cr, br)}
+	for {
+		marker, err := br.ReadByte()
+		if err == io.EOF {
+			return rep, nil // clean end at an entry boundary
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wal %s: %w", path, err)
+		}
+		if marker != walBatchBegin {
+			return nil, fmt.Errorf("wal %s: entry %d: bad begin marker 0x%02x",
+				path, len(rep.Batches), marker)
+		}
+		batch, err := readWALEntry(br)
+		if err != nil {
+			if errors.Is(err, profile.ErrTruncatedRecord) || err == io.EOF || err == io.ErrUnexpectedEOF {
+				// Crash mid-append: drop exactly this tail entry.
+				rep.TruncatedTail = true
+				return rep, nil
+			}
+			return nil, fmt.Errorf("wal %s: entry %d: %w", path, len(rep.Batches), err)
+		}
+		rep.Batches = append(rep.Batches, batch)
+		rep.CommittedSize = offset(cr, br)
+	}
+}
+
+// readWALEntry parses one entry body (after the begin marker) through its
+// commit marker. Truncation errors pass through untouched so the caller
+// can classify the tail.
+func readWALEntry(br *bufio.Reader) (WALBatch, error) {
+	idLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return WALBatch{}, err
+	}
+	if idLen == 0 || idLen > 1024 {
+		return WALBatch{}, fmt.Errorf("implausible batch ID length %d", idLen)
+	}
+	id := make([]byte, idLen)
+	if _, err := io.ReadFull(br, id); err != nil {
+		return WALBatch{}, err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return WALBatch{}, err
+	}
+	if n > 1<<24 {
+		return WALBatch{}, fmt.Errorf("implausible record count %d", n)
+	}
+	batch := WALBatch{ID: string(id), Records: make([]profile.Record, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		rec, count, err := profile.ReadRecord(br)
+		if err != nil {
+			if err == io.EOF {
+				// The entry promised more records than the file holds:
+				// a truncated tail, not a boundary.
+				return WALBatch{}, io.ErrUnexpectedEOF
+			}
+			return WALBatch{}, err
+		}
+		batch.Records = append(batch.Records, profile.Record{Key: rec, Count: count})
+	}
+	commit, err := br.ReadByte()
+	if err != nil {
+		return WALBatch{}, err // EOF before commit: truncated tail
+	}
+	if commit != walBatchCommit {
+		return WALBatch{}, fmt.Errorf("bad commit marker 0x%02x", commit)
+	}
+	return batch, nil
+}
+
+// countingReader tracks how many bytes the bufio.Reader has consumed from
+// the file, so replay can report the committed offset precisely.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// offset is the file position of the next unread byte.
+func offset(cr *countingReader, br *bufio.Reader) int64 {
+	return cr.n - int64(br.Buffered())
+}
+
+// Snapshot is a tenant's durable state at one instant: the applied-batch
+// set plus every interned record with its count.
+type Snapshot struct {
+	AppliedIDs []string
+	Records    []profile.Record
+}
+
+// WriteSnapshot atomically installs snap at path: temp file, fsync,
+// rename, directory fsync.
+func WriteSnapshot(path string, digest analysisio.GraphDigest, snap *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	bw.WriteString(snapshotMagic)
+	if err := profile.WriteDigest(bw, digest); err != nil {
+		f.Close()
+		return err
+	}
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(snap.AppliedIDs)))
+	for _, id := range snap.AppliedIDs {
+		buf = binary.AppendUvarint(buf, uint64(len(id)))
+		buf = append(buf, id...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(snap.Records)))
+	for _, r := range snap.Records {
+		buf = profile.AppendRecord(buf, r.Key, r.Count)
+	}
+	if _, err := bw.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadSnapshot loads the snapshot at path, verifying its digest against
+// want. A missing file returns an empty snapshot.
+func ReadSnapshot(path string, want analysisio.GraphDigest) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Snapshot{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("snapshot %s: truncated header: %w", path, err)
+	}
+	if string(head) != snapshotMagic {
+		return nil, fmt.Errorf("snapshot %s: bad magic %q", path, head)
+	}
+	digest, err := profile.ReadDigest(br)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	if digest != want {
+		return nil, fmt.Errorf("snapshot %s: recorded under %s, analysis graph is %s: %w",
+			path, digest, want, ErrDigestMismatch)
+	}
+	snap := &Snapshot{}
+	nIDs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: applied-ID count: %w", path, err)
+	}
+	if nIDs > 1<<24 {
+		return nil, fmt.Errorf("snapshot %s: implausible applied-ID count %d", path, nIDs)
+	}
+	for i := uint64(0); i < nIDs; i++ {
+		idLen, err := binary.ReadUvarint(br)
+		if err != nil || idLen == 0 || idLen > 1024 {
+			return nil, fmt.Errorf("snapshot %s: applied ID %d: bad length (%v)", path, i, err)
+		}
+		id := make([]byte, idLen)
+		if _, err := io.ReadFull(br, id); err != nil {
+			return nil, fmt.Errorf("snapshot %s: applied ID %d: %w", path, i, err)
+		}
+		snap.AppliedIDs = append(snap.AppliedIDs, string(id))
+	}
+	nRecs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: record count: %w", path, err)
+	}
+	if nRecs > 1<<30 {
+		return nil, fmt.Errorf("snapshot %s: implausible record count %d", path, nRecs)
+	}
+	for i := uint64(0); i < nRecs; i++ {
+		rec, count, err := profile.ReadRecord(br)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %s: record %d: %w", path, i, err)
+		}
+		snap.Records = append(snap.Records, profile.Record{Key: rec, Count: count})
+	}
+	return snap, nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

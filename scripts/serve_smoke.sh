@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the dprofiled ingestion service
+# through the real binaries: save an analysis, start the daemon, push
+# profiles with dprun, query every endpoint, then prove both a graceful
+# restart (SIGTERM drain) and an unclean one (SIGKILL + WAL replay)
+# preserve the aggregate exactly. Run via `make serve-smoke`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP" ./cmd/dprofiled ./cmd/dprun
+"$TMP/dprun" -save "$TMP/app.dpa" -record /dev/null testdata/recursion.mv >/dev/null
+
+start_daemon() {
+  : >"$TMP/stdout"
+  "$TMP/dprofiled" -data "$TMP/data" -analysis "app=$TMP/app.dpa" \
+    -addr 127.0.0.1:0 -drain-timeout 5s >"$TMP/stdout" 2>"$TMP/stderr" &
+  PID=$!
+  disown "$PID" # keep bash job control from narrating the SIGKILL below
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR="$(awk '/listening on/ {print $NF}' "$TMP/stdout")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  if [ -z "$ADDR" ]; then
+    echo "serve-smoke: daemon did not start" >&2
+    cat "$TMP/stderr" >&2
+    exit 1
+  fi
+  URL="http://$ADDR"
+}
+
+records_now() {
+  curl -fsS "$URL/healthz" | sed -E 's/.*"records":([0-9]+).*/\1/'
+}
+
+wait_dead() {
+  for _ in $(seq 1 100); do
+    kill -0 "$1" 2>/dev/null || return 0
+    sleep 0.1
+  done
+  echo "serve-smoke: pid $1 would not die" >&2
+  exit 1
+}
+
+start_daemon
+
+# Two pushes from the agent side, different seeds so counts differ.
+"$TMP/dprun" -push "$URL" -runs 4 testdata/recursion.mv
+"$TMP/dprun" -push "$URL" -runs 2 -seed 7 testdata/recursion.mv
+
+# Every query endpoint answers with real content.
+curl -fsS "$URL/healthz" | grep -q '"name":"app"'
+curl -fsS "$URL/top?tenant=app&n=5" | grep -q '"context"'
+curl -fsS "$URL/metrics" | grep -q '^dp_server_batches_total'
+BATCHES="$(curl -fsS "$URL/metrics" | awk '/^dp_server_batches_total/ {print $2}')"
+[ "$BATCHES" -ge 2 ] || { echo "serve-smoke: expected >=2 ingested batches, got $BATCHES" >&2; exit 1; }
+BEFORE="$(records_now)"
+[ "$BEFORE" -gt 0 ] || { echo "serve-smoke: no records ingested" >&2; exit 1; }
+
+# Graceful restart: SIGTERM drains and snapshots; totals must survive.
+kill -TERM "$PID"
+wait_dead "$PID"
+grep -q "stopped" "$TMP/stderr" || { echo "serve-smoke: no clean-shutdown log" >&2; cat "$TMP/stderr" >&2; exit 1; }
+start_daemon
+AFTER_TERM="$(records_now)"
+[ "$AFTER_TERM" = "$BEFORE" ] || { echo "serve-smoke: graceful restart lost records: $BEFORE -> $AFTER_TERM" >&2; exit 1; }
+
+# Unclean restart: push more, SIGKILL mid-life, WAL replay must recover
+# every acked record.
+"$TMP/dprun" -push "$URL" -runs 3 -seed 42 testdata/recursion.mv
+BEFORE_KILL="$(records_now)"
+kill -9 "$PID"
+wait_dead "$PID"
+start_daemon
+AFTER_KILL="$(records_now)"
+[ "$AFTER_KILL" = "$BEFORE_KILL" ] || { echo "serve-smoke: SIGKILL lost records: $BEFORE_KILL -> $AFTER_KILL" >&2; exit 1; }
+
+kill -TERM "$PID"
+wait_dead "$PID"
+PID=""
+echo "serve-smoke: OK ($AFTER_KILL records survived SIGTERM and SIGKILL restarts)"
