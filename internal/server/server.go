@@ -34,6 +34,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -179,6 +180,9 @@ func New(cfg Config) (*Server, error) {
 // DataDir/name and starting its worker. Ingested profiles are routed to
 // the tenant whose digest matches their header.
 func (s *Server) AddTenant(name string, r io.Reader) (TenantHealth, error) {
+	if s.draining.Load() {
+		return TenantHealth{}, errors.New("server: draining, not accepting tenants")
+	}
 	bundle, err := analysisio.Load(r)
 	if err != nil {
 		return TenantHealth{}, fmt.Errorf("server: tenant %s: %w", name, err)
@@ -203,7 +207,7 @@ func (s *Server) AddTenant(name string, r io.Reader) (TenantHealth, error) {
 	s.byDigest[t.digest] = t
 	s.m.tenants.Set(uint64(len(s.byName)))
 	t.wg.Add(1)
-	go t.run(s.queryCtx, s.m)
+	go t.run(s.m)
 	h := t.health()
 	s.cfg.Logf("tenant %s: recovered %d records (%d unique), %d replayed from WAL, truncated tails %d",
 		name, h.Records, h.Unique, h.Replayed, h.TruncatedTails)
@@ -237,13 +241,14 @@ func (s *Server) Close(ctx context.Context) error {
 		s.draining.Store(true)
 		s.cancelQuery()
 
-		// Replace the worker drain context: workers see the caller's
-		// deadline (queryCtx is already cancelled, which would make them
-		// refuse everything still queued). Instead, drain each queue by
-		// closing it and waiting, bounded by ctx.
+		// Hand each tenant the caller's ctx as its drain budget (queryCtx
+		// is already cancelled — it aborts queries, not the drain) and cut
+		// producers off. The queue channel is never closed: in-flight
+		// ingest handlers may still be sending, and beginDrain makes those
+		// sends fail cleanly instead of panicking.
 		tenants := s.tenants()
 		for _, t := range tenants {
-			close(t.queue)
+			t.beginDrain(ctx)
 		}
 		done := make(chan struct{})
 		go func() {
@@ -351,7 +356,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	id := r.Header.Get("X-Batch-ID")
 	if id == "" {
 		// Content-addressed fallback: identical resends still dedupe.
-		id = fmt.Sprintf("sha-%016x", fnv64(body))
+		// SHA-256 (truncated to 128 bits) makes accidental collision
+		// between distinct payloads a non-concern; byte-identical
+		// unlabeled batches are deliberately treated as one batch.
+		sum := sha256.Sum256(body)
+		id = "sha256-" + hex.EncodeToString(sum[:16])
 	}
 	if len(id) > 1024 {
 		httpError(w, http.StatusBadRequest, "batch ID exceeds 1024 bytes")
@@ -359,7 +368,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	b := &batch{id: id, recs: recs, done: make(chan batchResult, 1)}
-	if !t.enqueue(b) {
+	ok, draining := t.enqueue(b)
+	if draining {
+		// Close began after the handler's draining check above — the
+		// tenant refuses cleanly rather than racing the shutdown.
+		s.retryAfter(w)
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	if !ok {
 		s.m.shed.Inc()
 		s.retryAfter(w)
 		httpError(w, http.StatusTooManyRequests,
@@ -524,13 +541,19 @@ type HealthResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{Status: "ok"}
+	code := http.StatusOK
 	if s.draining.Load() {
+		// A draining server 503s all ingest; report that at the HTTP
+		// layer too, so health-checked load balancers (and
+		// agentclient.Healthy) stop routing to it.
 		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
 	}
 	for _, t := range s.tenants() {
 		resp.Tenants = append(resp.Tenants, t.health())
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(resp)
 }
 
@@ -548,18 +571,4 @@ func mergeContexts(a, b context.Context) (context.Context, context.CancelFunc) {
 	ctx, cancel := context.WithCancel(a)
 	stop := context.AfterFunc(b, cancel)
 	return ctx, func() { stop(); cancel() }
-}
-
-// fnv64 is FNV-1a over b (the content-addressed batch ID fallback).
-func fnv64(b []byte) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime
-	}
-	return h
 }

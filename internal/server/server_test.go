@@ -513,7 +513,7 @@ func TestServerShedsWhenQueueFull(t *testing.T) {
 	// Start the worker; every parked batch must ack, and the shed counter
 	// must show exactly the one overflow.
 	tn.wg.Add(1)
-	go tn.run(context.Background(), s.m)
+	go tn.run(s.m)
 	wg.Wait()
 	close(oks)
 	for code := range oks {
@@ -527,8 +527,170 @@ func TestServerShedsWhenQueueFull(t *testing.T) {
 	if got := s.reg.Counter(obs.MetricServerShed).Value(); got != 1 {
 		t.Fatalf("%s = %d, want 1", obs.MetricServerShed, got)
 	}
-	close(tn.queue)
+	tn.beginDrain(context.Background())
 	tn.wg.Wait()
+}
+
+// TestServerDrainAppliesQueued: batches already queued when shutdown
+// begins are applied (and acknowledged) during the drain, not refused —
+// the drain context is the Close caller's budget, not the cancelled query
+// context.
+func TestServerDrainAppliesQueued(t *testing.T) {
+	fx := loadFixture(t)
+	const depth = 4
+	s := newTestServer(t, t.TempDir(), Config{QueueDepth: depth})
+	bundle, err := analysisio.Load(bytes.NewReader(fx.dpa))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant by hand, worker deliberately not started: the queue fills and
+	// stays full until the drain runs.
+	tn, err := newTenant("app", bundle, filepath.Join(s.cfg.DataDir, "app"),
+		s.cfg.QueueDepth, s.cfg.WALMaxBytes, s.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.byName["app"] = tn
+	s.byDigest[tn.digest] = tn
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	codes := make(chan int, depth)
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := dppBatch(t, fx.digest, fx.records[:1], uint64(i+1))
+			resp, _ := ingest(t, ts.URL, body, fmt.Sprintf("drain-%d", i))
+			codes <- resp.StatusCode
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(tn.queue) < depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %d/%d", len(tn.queue), depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Shutdown begins with a healthy drain budget; the worker starts and
+	// immediately drains. Every parked batch must come back acknowledged.
+	tn.beginDrain(context.Background())
+	tn.wg.Add(1)
+	go tn.run(s.m)
+	wg.Wait()
+	tn.wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("queued batch finished with %d during drain, want 200", code)
+		}
+	}
+	var want uint64
+	for i := 1; i <= depth; i++ {
+		want += uint64(i)
+	}
+	if got := tn.store.Total(); got != want {
+		t.Fatalf("drained store total %d, want %d", got, want)
+	}
+
+	// Post-drain, enqueue refuses with the draining signal, not a shed.
+	ok, draining := tn.enqueue(&batch{id: "late", done: make(chan batchResult, 1)})
+	if ok || !draining {
+		t.Fatalf("post-drain enqueue: ok=%v draining=%v, want refused as draining", ok, draining)
+	}
+}
+
+// TestServerDrainDeadlineRefuses: batches still queued once the drain
+// budget is spent are refused — they were never acknowledged, so refusal
+// loses nothing.
+func TestServerDrainDeadlineRefuses(t *testing.T) {
+	fx := loadFixture(t)
+	const depth = 3
+	s := newTestServer(t, t.TempDir(), Config{QueueDepth: depth})
+	bundle, err := analysisio.Load(bytes.NewReader(fx.dpa))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := newTenant("app", bundle, filepath.Join(s.cfg.DataDir, "app"),
+		s.cfg.QueueDepth, s.cfg.WALMaxBytes, s.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < depth; i++ {
+		b := &batch{id: fmt.Sprintf("late-%d", i), recs: []profile.Record{{Key: fx.records[0], Count: 1}},
+			done: make(chan batchResult, 1)}
+		if ok, _ := tn.enqueue(b); !ok {
+			t.Fatalf("enqueue %d refused", i)
+		}
+	}
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	tn.beginDrain(expired)
+	tn.wg.Add(1)
+	go tn.run(s.m)
+	tn.wg.Wait()
+	if got := tn.store.Total(); got != 0 {
+		t.Fatalf("expired drain applied %d records, want 0", got)
+	}
+}
+
+// TestServerCloseIngestRace: Close racing live ingest traffic must never
+// panic the handlers (the queue channel is not closed under producers) —
+// every request finishes with 200, 429, or 503. Run with -race in CI.
+func TestServerCloseIngestRace(t *testing.T) {
+	fx := loadFixture(t)
+	s := newTestServer(t, t.TempDir(), Config{QueueDepth: 2})
+	if _, err := s.AddTenant("app", bytes.NewReader(fx.dpa)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				body := dppBatch(t, fx.digest, fx.records[:1], 1)
+				resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					// A handler panic kills the connection mid-response;
+					// any transport error here is a failure.
+					errs <- fmt.Errorf("client %d req %d: %v", c, i, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusTooManyRequests:
+				case http.StatusServiceUnavailable:
+					return // draining reached this client; clean exit
+				default:
+					errs <- fmt.Errorf("client %d req %d: status %d", c, i, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	close(start)
+	time.Sleep(10 * time.Millisecond) // let traffic build before the close races it
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
 }
 
 // TestServerDrainRefusal: after Close begins, ingest answers 503 +
@@ -553,6 +715,17 @@ func TestServerDrainRefusal(t *testing.T) {
 	}
 	if h := healthz(t, ts.URL); h.Status != "draining" {
 		t.Fatalf("healthz status %q, want draining", h.Status)
+	}
+	// The drain must be visible at the HTTP layer too, so health-checked
+	// load balancers stop routing here.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", hresp.StatusCode)
 	}
 }
 

@@ -80,6 +80,21 @@ type tenant struct {
 	store *profile.Store
 	wal   *WAL // owned by the worker goroutine after start
 
+	// stop is closed by beginDrain. The queue channel itself is never
+	// closed — producers send on it concurrently with shutdown, and a
+	// send on a closed channel panics even inside a select.
+	stop chan struct{}
+	// drainCtx bounds the post-stop drain. Written by beginDrain before
+	// it closes stop; the worker reads it only after observing stop
+	// closed, so the channel close is the happens-before edge.
+	drainCtx context.Context
+
+	// prodMu serializes producers against shutdown: enqueue holds it
+	// shared, beginDrain exclusively. Once beginDrain returns, no
+	// producer can touch the queue, so the worker may drain it to empty.
+	prodMu  sync.RWMutex
+	stopped bool
+
 	walMaxBytes int64
 
 	// applied is the idempotency set; order is its FIFO eviction ring.
@@ -118,6 +133,8 @@ func newTenant(name string, bundle *analysisio.Bundle, dir string, queueDepth in
 		graph:       bundle.Graph,
 		dir:         dir,
 		queue:       make(chan *batch, queueDepth),
+		stop:        make(chan struct{}),
+		drainCtx:    context.Background(),
 		store:       profile.NewStore(0),
 		walMaxBytes: walMaxBytes,
 		applied:     make(map[string]struct{}),
@@ -231,38 +248,97 @@ func (t *tenant) appliedHas(id string) bool {
 	return ok
 }
 
-// enqueue attempts a non-blocking enqueue; false means the queue is full
-// and the caller must shed.
-func (t *tenant) enqueue(b *batch) bool {
+// enqueue attempts a non-blocking enqueue. ok=false with draining=true
+// means shutdown has begun and the caller must answer 503; draining=false
+// means the queue is full and the caller must shed with 429.
+func (t *tenant) enqueue(b *batch) (ok, draining bool) {
+	t.prodMu.RLock()
+	defer t.prodMu.RUnlock()
+	if t.stopped {
+		return false, true
+	}
 	select {
 	case t.queue <- b:
-		return true
+		return true, false
 	default:
 		t.shed.Add(1)
-		return false
+		return false, false
 	}
 }
 
-// run is the tenant's worker loop: apply queued batches until the queue is
-// closed, then drain what remains under drainCtx's deadline and write a
-// final snapshot. m carries the server-wide metric sinks.
-func (t *tenant) run(drainCtx context.Context, m *metrics) {
+// beginDrain transitions the tenant into shutdown: producers are cut off
+// (enqueue reports draining from here on), ctx becomes the drain budget,
+// and the worker is signalled. The exclusive lock waits out any producer
+// already inside enqueue, so when this returns the queue's content is
+// frozen and the worker alone touches it. Idempotent.
+func (t *tenant) beginDrain(ctx context.Context) {
+	t.prodMu.Lock()
+	already := t.stopped
+	t.stopped = true
+	t.prodMu.Unlock()
+	if already {
+		return
+	}
+	t.drainCtx = ctx
+	close(t.stop)
+}
+
+// run is the tenant's worker loop: apply queued batches until beginDrain
+// signals shutdown, then drain what remains under the drain context's
+// deadline and write a final snapshot. m carries the server-wide metric
+// sinks.
+func (t *tenant) run(m *metrics) {
 	defer t.wg.Done()
-	for b := range t.queue {
-		if drainCtx.Err() != nil {
-			// Drain deadline passed: refuse the remainder. None of these
-			// batches were acknowledged, so the agent re-sends them.
-			b.done <- batchResult{err: fmt.Errorf("server draining: %w", drainCtx.Err())}
-			continue
-		}
-		b.done <- t.apply(b, m)
-		m.queueDepth.Set(uint64(len(t.queue)))
-		if t.wal.Size() >= t.walMaxBytes {
+	for {
+		// Poll stop first: a two-way select picks randomly when both are
+		// ready, which would let the normal branch keep applying batches
+		// past an already-expired drain deadline.
+		select {
+		case <-t.stop:
+			t.drain(m)
 			t.snapshot(m)
+			t.wal.Close()
+			return
+		default:
+		}
+		select {
+		case b := <-t.queue:
+			t.serve(b, m)
+		case <-t.stop:
+			t.drain(m)
+			t.snapshot(m)
+			t.wal.Close()
+			return
 		}
 	}
-	t.snapshot(m)
-	t.wal.Close()
+}
+
+// serve applies one batch and handles the bookkeeping that follows it.
+func (t *tenant) serve(b *batch, m *metrics) {
+	b.done <- t.apply(b, m)
+	m.queueDepth.Set(uint64(len(t.queue)))
+	if t.wal.Size() >= t.walMaxBytes {
+		t.snapshot(m)
+	}
+}
+
+// drain empties the queue after shutdown began. beginDrain has already cut
+// producers off, so the queue only shrinks here. Batches still queued past
+// the drain deadline are refused — none of them were acknowledged, so the
+// agent re-sends them.
+func (t *tenant) drain(m *metrics) {
+	for {
+		select {
+		case b := <-t.queue:
+			if t.drainCtx.Err() != nil {
+				b.done <- batchResult{err: fmt.Errorf("server draining: %w", t.drainCtx.Err())}
+				continue
+			}
+			t.serve(b, m)
+		default:
+			return
+		}
+	}
 }
 
 // apply processes one batch end to end: idempotency check, durable WAL
@@ -276,6 +352,12 @@ func (t *tenant) apply(b *batch, m *metrics) batchResult {
 		return batchResult{duplicate: true}
 	}
 	if err := t.wal.Append(b.id, b.recs); err != nil {
+		if t.wal.Failed() {
+			// The log could not be cut back to a committed boundary and
+			// is refusing appends; a successful snapshot subsumes it and
+			// recreates it fresh.
+			t.snapshot(m)
+		}
 		return batchResult{err: err}
 	}
 	m.walAppends.Inc()

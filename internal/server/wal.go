@@ -64,6 +64,12 @@ type WALBatch struct {
 	Records []profile.Record
 }
 
+// ErrWALFailed marks a WAL whose partial entry could not be rolled back
+// after a failed append: the file may be structurally corrupt past its
+// committed prefix, so further appends (and therefore acknowledgements)
+// are refused until a snapshot Reset recreates it. Match with errors.Is.
+var ErrWALFailed = errors.New("wal failed, awaiting snapshot reset")
+
 // WAL is the append-only durability log of one tenant. Appends are owned
 // by the tenant's single worker goroutine; Size is safe to read from any
 // goroutine (the health endpoint polls it).
@@ -73,11 +79,16 @@ type WAL struct {
 	f      *os.File
 	size   atomic.Int64
 	buf    []byte // entry scratch, reused across appends
+	// failed is set when a failed append could not be rolled back; owned
+	// by the worker goroutine, like Append itself.
+	failed bool
 }
 
-// createWALFile writes a fresh header-only WAL file.
+// createWALFile writes a fresh header-only WAL file. O_APPEND matters:
+// every write lands at end-of-file, so rolling a failed append back with
+// Truncate leaves the next write at the committed boundary, not beyond it.
 func createWALFile(path string, digest analysisio.GraphDigest) (*os.File, int64, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -126,8 +137,15 @@ func openWALForAppend(path string, digest analysisio.GraphDigest, offset int64) 
 
 // Append durably writes one batch entry: begin marker, ID, records, commit
 // marker, then fsync. Only after Append returns nil may the batch be
-// acknowledged.
+// acknowledged. A failed write or sync rolls the file back to the last
+// committed boundary before returning, so a short write (ENOSPC, I/O
+// error) never strands a partial entry for later appends to bury — which
+// would corrupt the committed prefix and make every subsequently acked
+// batch unrecoverable on replay.
 func (w *WAL) Append(id string, recs []profile.Record) error {
+	if w.failed {
+		return fmt.Errorf("wal append: %w", ErrWALFailed)
+	}
 	buf := w.buf[:0]
 	buf = append(buf, walBatchBegin)
 	buf = binary.AppendUvarint(buf, uint64(len(id)))
@@ -139,14 +157,34 @@ func (w *WAL) Append(id string, recs []profile.Record) error {
 	buf = append(buf, walBatchCommit)
 	w.buf = buf
 	if _, err := w.f.Write(buf); err != nil {
+		w.rollback()
 		return fmt.Errorf("wal append: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
+		w.rollback()
 		return fmt.Errorf("wal sync: %w", err)
 	}
 	w.size.Add(int64(len(buf)))
 	return nil
 }
+
+// rollback cuts any partially written entry back to the last committed
+// boundary (the file is O_APPEND, so the next write lands exactly there).
+// If the cut cannot be made durable the WAL is marked failed and refuses
+// appends until Reset recreates it.
+func (w *WAL) rollback() {
+	if err := w.f.Truncate(w.size.Load()); err != nil {
+		w.failed = true
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		w.failed = true
+	}
+}
+
+// Failed reports whether the WAL has rejected an append rollback and is
+// refusing further appends until Reset.
+func (w *WAL) Failed() bool { return w.failed }
 
 // Size reports the WAL's byte size (header + committed entries).
 func (w *WAL) Size() int64 { return w.size.Load() }
@@ -158,7 +196,7 @@ func (w *WAL) Close() error { return w.f.Close() }
 // has been atomically installed, so every entry it drops is already
 // persisted in the snapshot.
 func (w *WAL) Reset() error {
-	if err := w.f.Close(); err != nil {
+	if err := w.f.Close(); err != nil && !w.failed {
 		return err
 	}
 	f, n, err := createWALFile(w.path, w.digest)
@@ -167,6 +205,7 @@ func (w *WAL) Reset() error {
 	}
 	w.f = f
 	w.size.Store(n)
+	w.failed = false
 	return nil
 }
 

@@ -281,6 +281,87 @@ func TestWALResetAndResume(t *testing.T) {
 	}
 }
 
+// TestWALAppendRollback: a partial entry left by a failed append is cut
+// back to the committed boundary, so later appends land cleanly and replay
+// never sees structural corruption mid-file.
+func TestWALAppendRollback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := CreateWAL(path, walDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []WALBatch{
+		{ID: "good", Records: []profile.Record{{Key: []byte{1}, Count: 1}}},
+		{ID: "after", Records: []profile.Record{{Key: []byte{2}, Count: 2}}},
+	}
+	if err := w.Append(good[0].ID, good[0].Records); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a short write: half an entry lands on disk, then the append
+	// machinery rolls it back — exactly what Append does internally when
+	// Write or Sync errors out.
+	if _, err := w.f.Write([]byte{walBatchBegin, 0x04, 'h', 'a'}); err != nil {
+		t.Fatal(err)
+	}
+	w.rollback()
+	if w.Failed() {
+		t.Fatal("successful rollback left the WAL failed")
+	}
+	if err := w.Append(good[1].ID, good[1].Records); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	rep, err := ReplayWAL(path, walDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBatches(t, rep.Batches, good)
+	if rep.TruncatedTail {
+		t.Fatal("rolled-back WAL still reports a truncated tail")
+	}
+}
+
+// TestWALFailedRefusesAppends: when the rollback itself cannot succeed the
+// WAL flips to failed and refuses appends (so no batch is acked against a
+// possibly-corrupt log) until Reset recreates the file.
+func TestWALFailedRefusesAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := CreateWAL(path, walDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("good", []profile.Record{{Key: []byte{1}, Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Yank the file out from under the WAL: the write fails and so does
+	// the rollback's truncate.
+	w.f.Close()
+	if err := w.Append("bad", []profile.Record{{Key: []byte{2}, Count: 2}}); err == nil {
+		t.Fatal("append on a closed file succeeded")
+	}
+	if !w.Failed() {
+		t.Fatal("irrecoverable append did not mark the WAL failed")
+	}
+	if err := w.Append("refused", nil); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("append on failed WAL: %v, want ErrWALFailed", err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Failed() {
+		t.Fatal("Reset did not clear the failed state")
+	}
+	if err := w.Append("new", []profile.Record{{Key: []byte{3}, Count: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	rep, err := ReplayWAL(path, walDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBatches(t, rep.Batches, []WALBatch{{ID: "new", Records: []profile.Record{{Key: []byte{3}, Count: 3}}}})
+}
+
 // TestSnapshotRoundTrip: write/read round-trips applied IDs and records in
 // order; a missing file is an empty snapshot; a digest mismatch refuses;
 // the temp file never survives a successful install.
