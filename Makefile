@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build test test-short race bench chaos eval profile-baseline fuzz examples clean \
 	lint lint-invariants verify-encodings bench-smoke bench-baseline decode-baseline \
-	golden-freshness ci-local serve-smoke ingest-stress
+	golden-freshness ci-local serve-smoke ingest-stress extend-soak
 
 all: build test
 
@@ -43,6 +43,12 @@ serve-smoke:
 ingest-stress:
 	$(GO) test -race -count=1 -run TestServerIngestStress ./internal/server -v
 
+# Incremental-encoding soak: ≥200 random interleavings of class loads,
+# calls, Extend publications, and mid-run Adopts, frame-exact against a
+# whole-program oracle, under the race detector (extend_test.go).
+extend-soak:
+	EXTEND_SOAK_TRIALS=200 $(GO) test -race -count=1 -run TestExtendSoak . -v
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -69,6 +75,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCompiledDecode -fuzztime 10s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzProfileReader -fuzztime 10s ./internal/profile
 	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime 10s ./internal/verify
+	$(GO) test -run '^$$' -fuzz FuzzExtend -fuzztime 10s .
 
 # Lint: gofmt and vet always; staticcheck/govulncheck when installed (CI
 # installs pinned versions — see .github/workflows/ci.yml; offline
@@ -126,12 +133,13 @@ golden-freshness:
 		{ echo "golden files drifted: review and commit the regenerated files"; exit 1; }
 
 # Everything CI runs, in CI's order — reproduce a red workflow offline.
-ci-local: lint lint-invariants build test race verify-encodings serve-smoke ingest-stress golden-freshness bench-smoke
+ci-local: lint lint-invariants build test race verify-encodings serve-smoke ingest-stress extend-soak golden-freshness bench-smoke
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalContext -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzCompiledDecode -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzProfileReader -fuzztime 5s ./internal/profile
 	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime 5s ./internal/verify
+	$(GO) test -run '^$$' -fuzz FuzzExtend -fuzztime 5s .
 
 examples:
 	$(GO) run ./examples/quickstart

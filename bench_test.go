@@ -33,7 +33,6 @@ import (
 	"deltapath/internal/core"
 	"deltapath/internal/cpt"
 	"deltapath/internal/encoding"
-	"deltapath/internal/eval"
 	"deltapath/internal/instrument"
 	"deltapath/internal/minivm"
 	"deltapath/internal/pcc"
@@ -57,25 +56,10 @@ func benchSubset(b *testing.B) []workload.Params {
 	return out
 }
 
-// BenchmarkTable1StaticAnalysis measures the full static pipeline per
-// benchmark program: generation, call-graph construction (both settings),
-// space estimation, and Algorithm 2 with anchor insertion.
-func BenchmarkTable1StaticAnalysis(b *testing.B) {
-	for _, p := range benchSubset(b) {
-		p := p
-		b.Run(p.Name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				rows, err := eval.Table1([]workload.Params{p})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if rows[0].All.Nodes == 0 {
-					b.Fatal("empty graph")
-				}
-			}
-		})
-	}
-}
+// BenchmarkTable1StaticAnalysis and BenchmarkTable2Collection live in
+// eval_bench_test.go (the external test package): internal/eval imports
+// the root package for the extend experiment, so in-package tests cannot
+// import it back.
 
 // BenchmarkFig8Throughput measures interpreter throughput per
 // configuration; the reported steps/op correspond to Figure 8's bars.
@@ -135,25 +119,6 @@ func BenchmarkFig8Throughput(b *testing.B) {
 				b.ReportMetric(float64(steps), "steps/op")
 			})
 		}
-	}
-}
-
-// BenchmarkTable2Collection measures the context-collection pass (DeltaPath
-// with CPT, statistics, decode audit) that generates Table 2 rows.
-func BenchmarkTable2Collection(b *testing.B) {
-	for _, p := range benchSubset(b) {
-		p := p
-		b.Run(p.Name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				rows, err := eval.Table2([]workload.Params{p}, 0.05)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if rows[0].DecodeErrors != 0 {
-					b.Fatalf("%d decode errors", rows[0].DecodeErrors)
-				}
-			}
-		})
 	}
 }
 

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	dpbench -experiment table1|fig8|table2|decode|profile|encode|graph|all
+//	dpbench -experiment table1|fig8|table2|decode|profile|encode|graph|extend|all
 //	        [-scale 0.2] [-repeats 3] [-workers 1]
 //	        [-bench compress,sunflow] [-json]
 //	dpbench -compare results/BENCH_0003.json [-tolerance 0.25] [-repeats 3]
@@ -35,6 +35,12 @@
 // flat tables (encoding.Compile) — reporting ns/context for each, the
 // legacy/compiled speedup, compiled-path frames/s, and compiled
 // steady-state allocations per decode (expected 0).
+//
+// The extend experiment measures incremental encoding (Analysis.Extend):
+// per absorbed dynamic class, the delta-analysis latency against the
+// whole-program re-analysis it replaces, how much of the graph the delta
+// dirtied, and fresh-session hazard pushes before and after the absorption
+// — the steady-state run-time rent an unanalysed class charges.
 //
 // The encode experiment measures the observability layer's hot-path cost:
 // whole-run ns per probe event with metrics off (the nil-sink default) and
@@ -83,7 +89,7 @@ func loadPrograms(glob string) ([]eval.NamedProgram, error) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "comma-separated subset of table1, fig8, table2, decode, profile, encode, graph; or all")
+	experiment := flag.String("experiment", "all", "comma-separated subset of table1, fig8, table2, decode, profile, encode, graph, extend; or all")
 	scale := flag.Float64("scale", 0.2, "workload scale factor (1.0 = full runs)")
 	repeats := flag.Int("repeats", 3, "throughput repetitions per configuration (fig8, decode, encode, -compare)")
 	workers := flag.Int("workers", 1, "concurrent benchmark worker threads (fig8)")
@@ -188,6 +194,19 @@ func main() {
 			return err
 		}
 		return emit("graph", rows, eval.RenderGraph(rows))
+	})
+	// The extend experiment needs programs with dynamic classes: the
+	// built-in corpus plus any -mv programs that declare them.
+	run("extend", func() error {
+		extra, err := loadPrograms(*mvGlob)
+		if err != nil {
+			return err
+		}
+		rows, err := eval.ExtendLatency(extra)
+		if err != nil {
+			return err
+		}
+		return emit("extend", rows, eval.RenderExtend(rows))
 	})
 	// The encode experiment's metrics-on runs aggregate into reg, which
 	// -json surfaces as meta.metrics — the observability layer observing

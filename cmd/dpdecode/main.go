@@ -84,6 +84,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if ep := dec.Epoch(); ep > 0 {
+			fmt.Fprintf(os.Stderr, "analysis epoch %d (extended snapshot)\n", ep)
+		}
 		decode = dec.DecodeBytes
 		decodePartial = dec.DecodeBytesBestEffort
 		decodeProfile = dec.DecodeProfile

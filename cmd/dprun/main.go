@@ -6,7 +6,8 @@
 // Usage:
 //
 //	dprun [-app] [-seed N] [-unique] [-record log.bin] [-save a.dpa]
-//	      [-profile out.dpp] [-runs N] [-chaos] [-chaos-rate P] program.mv
+//	      [-extend Cls,...] [-profile out.dpp] [-runs N]
+//	      [-chaos] [-chaos-rate P] program.mv
 //
 // With -unique, each distinct context is printed once with its occurrence
 // count (a minimal context-sensitive profile). With -record, binary context
@@ -25,6 +26,12 @@
 // retry/backoff, surviving server restarts and backpressure sheds. The
 // server routes the push by the profile's graph digest, so the matching
 // analysis must be registered there (dprofiled -analysis).
+//
+// With -extend, the named dynamic classes are absorbed into the analysis
+// before the run (Analysis.Extend — the incremental late-loading path):
+// each absorption publishes a new verified epoch, the run executes against
+// the final epoch hazard-free, and -save/-profile stamp their outputs with
+// it so offline decoding routes to the matching snapshot.
 //
 // With -chaos, the run injects seeded probe faults (dropped events, bit
 // flips, stack truncation, unknown call sites; -seed drives the fault
@@ -62,6 +69,7 @@ func main() {
 	unique := flag.Bool("unique", false, "aggregate identical contexts with counts")
 	record := flag.String("record", "", "write binary context records to this file instead of decoding")
 	save := flag.String("save", "", "persist the analysis to this file (pairs with -record; decode later via dpdecode -analysis)")
+	extend := flag.String("extend", "", "comma-separated dynamic classes to absorb (Analysis.Extend) before running; each publishes a new epoch")
 	profileOut := flag.String("profile", "", "aggregate contexts into a sharded store and stream the profile to this .dpp file")
 	push := flag.String("push", "", "push the aggregated profile to a dprofiled server at this base URL (implies profile collection; pairs with -profile to also keep the file)")
 	pushBatch := flag.Int("push-batch", 512, "with -push: records per ingest batch")
@@ -101,6 +109,18 @@ func main() {
 	}
 	if *metricsOn {
 		an.EnableMetrics()
+	}
+	if *extend != "" {
+		for _, class := range strings.Split(*extend, ",") {
+			class = strings.TrimSpace(class)
+			stats, err := an.Extend(class)
+			if err != nil {
+				fatal(fmt.Errorf("-extend %s: %w", class, err))
+			}
+			fmt.Fprintf(os.Stderr, "extended: epoch %d absorbs %s (%d/%d nodes dirty, %d anchors recomputed)\n",
+				stats.Epoch, strings.Join(stats.NewClasses, ","),
+				stats.Core.DirtyNodes, stats.Core.TotalNodes, stats.Core.RecomputedAnchors)
+		}
 	}
 	if *traceOn {
 		an.EnableTracing(*traceCap)

@@ -62,8 +62,8 @@ func TestCompiledDecoderCorpusDifferential(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				legacy := encoding.NewDecoder(an.result.Spec)
-				compiled := an.decoder
+				legacy := encoding.NewDecoder(an.epoch().result.Spec)
+				compiled := an.epoch().decoder
 				var buf []encoding.Frame // exercises the DecodeInto reuse path
 				checked, mutated := 0, 0
 				for seed := uint64(0); seed < 3; seed++ {

@@ -61,7 +61,7 @@ func collectDecodeContexts(b *testing.B, file string) (*Analysis, []benchContext
 // iteration decodes every collected context; ns/context divides it out.
 func BenchmarkDecodeLegacy(b *testing.B) {
 	an, ctxs := collectDecodeContexts(b, "testdata/recursion.mv")
-	dec := encoding.NewDecoder(an.result.Spec)
+	dec := encoding.NewDecoder(an.epoch().result.Spec)
 	for _, c := range ctxs { // warm the memo caches
 		if _, err := dec.Decode(c.st, c.end); err != nil {
 			b.Fatal(err)
@@ -84,7 +84,7 @@ func BenchmarkDecodeLegacy(b *testing.B) {
 // same contexts, through the allocation-free DecodeInto batch loop.
 func BenchmarkDecodeCompiled(b *testing.B) {
 	an, ctxs := collectDecodeContexts(b, "testdata/recursion.mv")
-	dec := an.decoder
+	dec := an.epoch().decoder
 	var buf []encoding.Frame
 	var err error
 	for _, c := range ctxs { // warm the scratch pool and buffer

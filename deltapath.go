@@ -143,17 +143,27 @@ func (b GraphBuilder) String() string {
 
 // Analysis is the static-analysis product: everything needed to run a
 // program with encoding probes and to decode the results.
+//
+// An Analysis is versioned in epochs. Epoch 0 is the whole-program analysis
+// Analyze produces; each successful Extend — absorbing dynamically loaded
+// classes into the analysed world — publishes the next epoch as a new
+// immutable snapshot behind an atomic pointer. Readers (sessions, decoders,
+// profile pipelines) pin the epoch current when they start and never see a
+// torn or half-updated analysis; contexts and profiles decode against the
+// epoch they were captured under, forever.
 type Analysis struct {
-	prog   *Program
-	build  *cha.Result
-	result *core.Result
-	plan   *instrument.Plan
-	// decoder is the compiled flat-table decoder (read-only after
-	// construction, safe for concurrent use without locks).
-	decoder *encoding.CompiledDecoder
+	prog *Program
+	opts Options
 
-	digestOnce sync.Once
-	digest     analysisio.GraphDigest
+	// cur is the current epoch; Extend swaps it atomically. Immutable once
+	// published — all epoch fields are read-only after construction, safe
+	// for concurrent use without locks.
+	cur atomic.Pointer[epochState]
+	// epochMu serializes Extend and guards epochs (every epoch ever
+	// published, indexed by id). Published epochs are never dropped: old
+	// profiles route to their recorded epoch through this list.
+	epochMu sync.Mutex
+	epochs  []*epochState
 
 	// obsMu guards the observability state (see observe.go). obsReg/tracer
 	// stay nil until EnableMetrics/EnableTracing — the no-op default.
@@ -162,16 +172,43 @@ type Analysis struct {
 	tracer *obs.Tracer
 }
 
-// graphDigest lazily computes (once) the digest of the analysed call graph.
-func (a *Analysis) graphDigest() analysisio.GraphDigest {
-	a.digestOnce.Do(func() { a.digest = analysisio.DigestGraph(a.build.Graph) })
-	return a.digest
+// epochState is one immutable published analysis epoch: a consistent
+// (graph, encoding, instrumentation plan, compiled decoder) snapshot.
+type epochState struct {
+	id      uint64
+	build   *cha.Result
+	result  *core.Result
+	plan    *instrument.Plan
+	decoder *encoding.CompiledDecoder
+	digest  analysisio.GraphDigest
+	// absorbed lists the dynamic classes analysed as of this epoch, in
+	// absorption order (empty at epoch 0).
+	absorbed []string
 }
 
-// GraphDigest describes the call graph this analysis was built over
+// epoch returns the current epoch snapshot.
+func (a *Analysis) epoch() *epochState { return a.cur.Load() }
+
+// graphDigest returns the digest of the current epoch's call graph.
+func (a *Analysis) graphDigest() analysisio.GraphDigest { return a.epoch().digest }
+
+// GraphDigest describes the call graph the current epoch was built over
 // (node/edge counts plus a content hash) — the compatibility key that .dpa
 // analysis files and .dpp profiles carry.
 func (a *Analysis) GraphDigest() string { return a.graphDigest().String() }
+
+// Epoch reports the current analysis epoch: 0 until the first successful
+// Extend, then incrementing by one per extension.
+func (a *Analysis) Epoch() uint64 { return a.epoch().id }
+
+// Absorbed returns the names of the dynamic classes incremental extensions
+// have absorbed into the analysed world so far, in absorption order.
+func (a *Analysis) Absorbed() []string {
+	abs := a.epoch().absorbed
+	out := make([]string, len(abs))
+	copy(out, abs)
+	return out
+}
 
 // Analyze builds the call graph, runs the DeltaPath encoding algorithm
 // (Algorithm 2), computes SIDs for call path tracking, and resolves the
@@ -244,33 +281,205 @@ func Analyze(prog *Program, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{
-		prog:    prog,
+	a := &Analysis{prog: prog, opts: opts}
+	a.publish(&epochState{
 		build:   build,
 		result:  res,
 		plan:    plan,
 		decoder: encoding.Compile(res.Spec),
-	}, nil
+		digest:  analysisio.DigestGraph(build.Graph),
+	})
+	return a, nil
 }
 
-// Anchors returns the names of the overflow anchor nodes Algorithm 2 added.
+// publish registers ep as the next epoch and makes it current. Callers other
+// than Analyze (which runs before the Analysis escapes) must hold epochMu.
+func (a *Analysis) publish(ep *epochState) {
+	ep.id = uint64(len(a.epochs))
+	a.epochs = append(a.epochs, ep)
+	a.cur.Store(ep)
+}
+
+// epochByDigest finds the published epoch whose call graph carries the given
+// digest — the router profile decoding uses: each extension changes the
+// graph and therefore the digest, so the digest a .dpp header records
+// identifies its epoch. Needs epochMu.
+func (a *Analysis) epochByDigest(d analysisio.GraphDigest) *epochState {
+	for _, ep := range a.epochs {
+		if ep.digest == d {
+			return ep
+		}
+	}
+	return nil
+}
+
+// ExtendStats reports what one Analysis.Extend did: the epoch it published,
+// the classes it absorbed, and how much of the encoding the incremental pass
+// actually recomputed (the win over a from-scratch re-analysis).
+type ExtendStats struct {
+	// Epoch is the id of the published epoch.
+	Epoch uint64 `json:"epoch"`
+	// NewClasses lists the dynamic classes this call absorbed (including
+	// super-closure additions), in absorption order. Empty when every
+	// requested class was already absorbed — the call was a no-op and
+	// Epoch is the unchanged current epoch.
+	NewClasses []string `json:"new_classes,omitempty"`
+	// Core carries the incremental encoder's dirty-territory counters.
+	Core core.ExtendStats `json:"core"`
+}
+
+// Extend absorbs dynamically loaded classes into the analysed world and
+// publishes the result as the next analysis epoch. It is the paper's answer
+// to dynamic class loading made incremental: instead of tolerating unknown
+// code through call path tracking forever (sound, but every entry into
+// dynamic code costs a hazard check and an encoding gap), the analysis
+// re-models the named classes as ordinary graph nodes — recomputing addition
+// values, anchors and SIDs only for the dirty territory of the delta — so
+// subsequent runs encode through them with zero hazards and no gaps.
+//
+// Classes must name dynamic classes of the analysed program; superclasses
+// are absorbed automatically (the VM loads supers first). Classes already
+// absorbed are skipped — extending with an absorbed set is a no-op, not an
+// error — and if nothing remains the current epoch is returned unchanged.
+//
+// The new epoch is verified (internal/verify) before it is published: a
+// delta that fails the soundness certificate is rejected and the current
+// epoch stays in place, untouched. Publication is atomic — in-flight
+// sessions, decoders and profile pipelines keep the epoch they pinned, and
+// never observe a half-updated analysis. Existing sessions keep encoding
+// under their old epoch until Session.Adopt moves them forward; profiles
+// saved under any earlier epoch decode forever (DecodeProfile routes each
+// .dpp to the epoch whose digest it records).
+//
+// Extend calls are serialized; concurrent calls queue. It is incompatible
+// with the RTA graph builder and with pruned (target-method) encodings.
+func (a *Analysis) Extend(classes ...string) (*ExtendStats, error) {
+	if a.opts.GraphBuilder == GraphRTA {
+		return nil, fmt.Errorf("deltapath: Extend requires the CHA graph builder (RTA graphs grow from the entry and cannot absorb unreachable classes)")
+	}
+	if len(a.opts.TargetMethods) > 0 {
+		return nil, fmt.Errorf("deltapath: Extend does not support pruned (target-method) encodings")
+	}
+	a.epochMu.Lock()
+	defer a.epochMu.Unlock()
+	cur := a.cur.Load()
+
+	// Super-closure expansion, oldest ancestor first: absorbing Sub without
+	// its dynamic super Base would leave Sub's inherited dispatch dangling.
+	have := make(map[string]bool, len(cur.absorbed))
+	for _, name := range cur.absorbed {
+		have[name] = true
+	}
+	var fresh []string
+	var addClosure func(name string) error
+	addClosure = func(name string) error {
+		if have[name] {
+			return nil
+		}
+		c := a.prog.Class(name)
+		if c == nil {
+			return fmt.Errorf("deltapath: class %q is not in the program", name)
+		}
+		if dyn := dynamicClassOf(a.prog, name); dyn == nil {
+			// Static classes are analysed from epoch 0; absorbing one is
+			// a no-op, matching the already-absorbed rule.
+			return nil
+		}
+		if c.Super != "" && dynamicClassOf(a.prog, c.Super) != nil {
+			if err := addClosure(c.Super); err != nil {
+				return err
+			}
+		}
+		have[name] = true
+		fresh = append(fresh, name)
+		return nil
+	}
+	for _, name := range classes {
+		if err := addClosure(name); err != nil {
+			return nil, err
+		}
+	}
+	if len(fresh) == 0 {
+		return &ExtendStats{Epoch: cur.id}, nil
+	}
+	absorbed := append(append([]string(nil), cur.absorbed...), fresh...)
+
+	setting := cha.EncodingAll
+	if a.opts.ApplicationOnly {
+		setting = cha.EncodingApplication
+	}
+	build, err := cha.Extend(cur.build, a.prog, absorbed, cha.Options{
+		Setting:         setting,
+		KeepUnreachable: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, coreStats, err := core.Extend(cur.result, build.Graph, core.Options{MaxID: a.opts.MaxID})
+	if err != nil {
+		return nil, err
+	}
+	var cptPlan *cpt.Plan
+	if !a.opts.DisableCPT {
+		cptPlan = cpt.Compute(build.Graph)
+	}
+	// The soundness gate: re-prove the delta before anyone can see it. On
+	// any finding the current epoch stays published — callers keep a fully
+	// working (if hazard-paying) analysis.
+	if rep := verify.Check(res.Spec, cptPlan, verify.Options{}); !rep.Clean() {
+		rep.Source = fmt.Sprintf("extend epoch %d", cur.id+1)
+		return nil, fmt.Errorf("deltapath: extension rejected, keeping epoch %d: verification failed:\n%s",
+			cur.id, strings.TrimRight(rep.Text(), "\n"))
+	}
+	plan, err := instrument.NewPlanFrom(build, res.Spec, cptPlan, cur.plan)
+	if err != nil {
+		return nil, err
+	}
+	ep := &epochState{
+		build:    build,
+		result:   res,
+		plan:     plan,
+		decoder:  encoding.Compile(res.Spec),
+		digest:   analysisio.DigestGraph(build.Graph),
+		absorbed: absorbed,
+	}
+	a.publish(ep)
+	a.epochGauges(ep)
+	return &ExtendStats{Epoch: ep.id, NewClasses: fresh, Core: *coreStats}, nil
+}
+
+func dynamicClassOf(prog *Program, name string) *minivm.Class {
+	for _, c := range prog.Dynamic {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Anchors returns the names of the overflow anchor nodes Algorithm 2 added
+// (under the current epoch).
 func (a *Analysis) Anchors() []string {
-	out := make([]string, 0, len(a.result.OverflowAnchors))
-	for _, n := range a.result.OverflowAnchors {
-		out = append(out, a.build.Graph.Name(n))
+	e := a.epoch()
+	out := make([]string, 0, len(e.result.OverflowAnchors))
+	for _, n := range e.result.OverflowAnchors {
+		out = append(out, e.build.Graph.Name(n))
 	}
 	return out
 }
 
-// MaxID returns the largest encoding ID any context can produce under this
-// analysis — the static encoding-space requirement.
-func (a *Analysis) MaxID() uint64 { return a.result.MaxID }
+// MaxID returns the largest encoding ID any context can produce under the
+// current epoch — the static encoding-space requirement.
+func (a *Analysis) MaxID() uint64 { return a.epoch().result.MaxID }
 
-// NumInstrumentedSites reports how many call sites carry instrumentation.
-func (a *Analysis) NumInstrumentedSites() int { return a.plan.NumInstrumentedSites() }
+// NumInstrumentedSites reports how many call sites carry instrumentation
+// under the current epoch.
+func (a *Analysis) NumInstrumentedSites() int { return a.epoch().plan.NumInstrumentedSites() }
 
 // Context is one captured calling-context encoding: the state snapshot plus
-// the program point where it was captured.
+// the program point where it was captured. A context pins the analysis epoch
+// it was captured under, and decodes against that epoch even after later
+// extensions.
 type Context struct {
 	// At is the method containing the emit point.
 	At MethodRef
@@ -279,14 +488,39 @@ type Context struct {
 	state *encoding.State
 	node  callgraph.NodeID
 	known bool
+	ep    *epochState
 }
 
-// Session couples a VM with a DeltaPath encoder, ready to run.
+// Epoch reports the analysis epoch the context was captured under.
+func (c Context) Epoch() uint64 {
+	if c.ep == nil {
+		return 0
+	}
+	return c.ep.id
+}
+
+// Session couples a VM with a DeltaPath encoder, ready to run. A session is
+// pinned to the analysis epoch current when it was created (or last adopted
+// via Adopt): extensions published while it runs do not disturb it.
 type Session struct {
-	an  *Analysis
-	vm  *minivm.VM
-	enc *instrument.Encoder
-	inj *chaos.Injector // non-nil after EnableChaos
+	an *Analysis
+	vm *minivm.VM
+	// mu guards the fields an Adopt swaps (ep, enc, inj). The probe path
+	// does not take it — the VM calls one encoder for a whole Run, and
+	// Adopt's contract is "not concurrent with Run".
+	mu        sync.Mutex
+	ep        *epochState
+	enc       *instrument.Encoder
+	inj       *chaos.Injector // non-nil after EnableChaos
+	chaosOpts *ChaosOptions   // remembered so Adopt can re-arm injection
+	// heal routes every emit through the self-healing protocol (verify the
+	// encoding against the VM stack, resync on mismatch). Set by
+	// EnableChaos, and by a mid-run Adopt: frames already on the stack at
+	// an epoch swap carry probe tokens minted under the old plan, and as
+	// they unwind their pops/subtractions can drift the new encoder's
+	// state by a bounded amount — the emit-time check repairs it before
+	// any context is captured, the same guarantee chaos runs rely on.
+	heal bool
 }
 
 // ChaosOptions configures deterministic fault injection for a session.
@@ -305,8 +539,16 @@ type ChaosOptions struct {
 // corruption — so every captured context is exact despite the faults.
 // Call before Run; Health reports what happened.
 func (s *Session) EnableChaos(opts ChaosOptions) {
-	s.inj = chaos.NewInjector(s.enc, chaos.Config{Seed: opts.Seed, Rate: opts.Rate})
-	s.enc.SetDecoder(s.an.decoder)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chaosOpts = &opts
+	s.armChaos()
+}
+
+// armChaos wraps the current encoder in a fresh injector. Needs s.mu.
+func (s *Session) armChaos() {
+	s.inj = chaos.NewInjector(s.enc, chaos.Config{Seed: s.chaosOpts.Seed, Rate: s.chaosOpts.Rate})
+	s.enc.SetDecoder(s.ep.decoder)
 	s.vm.SetProbes(s.inj)
 }
 
@@ -328,8 +570,11 @@ type Health struct {
 	ProbeEvents    uint64
 }
 
-// Health returns the session's health counters.
+// Health returns the session's health counters. After Adopt the counters
+// restart at zero: they describe the current epoch's encoder.
 func (s *Session) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	h := Health{
 		Resyncs:             s.enc.Health.Resyncs,
 		CorruptionsDetected: s.enc.Health.CorruptionsDetected,
@@ -343,41 +588,109 @@ func (s *Session) Health() Health {
 	return h
 }
 
-// NewSession prepares an instrumented execution of the analysed program.
-// seed drives virtual-dispatch choices deterministically.
+// NewSession prepares an instrumented execution of the analysed program,
+// pinned to the current analysis epoch. seed drives virtual-dispatch choices
+// deterministically.
 func (a *Analysis) NewSession(seed uint64) (*Session, error) {
 	vm, err := minivm.NewVM(a.prog, seed)
 	if err != nil {
 		return nil, err
 	}
-	enc := instrument.NewEncoder(a.plan)
+	ep := a.epoch()
+	enc := instrument.NewEncoder(ep.plan)
 	if reg, tr := a.observability(); reg != nil {
 		enc.Observe(reg, tr)
 		vm.Observe(reg, tr)
 	}
 	vm.SetProbes(enc)
-	vm.SetInstrumented(a.plan.InstrumentedMethods())
-	return &Session{an: a, vm: vm, enc: enc}, nil
+	vm.SetInstrumented(ep.plan.InstrumentedMethods())
+	vm.MarkAnalyzed(ep.absorbed...)
+	return &Session{an: a, vm: vm, ep: ep, enc: enc}, nil
 }
 
 // VM exposes the underlying virtual machine (e.g. for ground-truth stack
 // walks in tests and experiments).
 func (s *Session) VM() *minivm.VM { return s.vm }
 
+// Epoch reports the analysis epoch the session is encoding under.
+func (s *Session) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ep.id
+}
+
 // Hazards reports how many hazardous unexpected call paths the run
-// detected.
-func (s *Session) Hazards() uint64 { return s.enc.Hazards }
+// detected (since the session started, or since the last Adopt).
+func (s *Session) Hazards() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Hazards
+}
+
+// Adopt moves the session forward to the analysis's current epoch: the VM's
+// probes are rebound to the new instrumentation plan, newly absorbed classes
+// stop counting as dynamic (their calls encode instead of costing hazard
+// checks), and — when the VM is mid-run — the encoding state is rebuilt from
+// the VM's stack so the very next probe event continues under the new epoch
+// with an exact context. Chaos injection, if enabled, is re-armed around the
+// new encoder with the original options.
+//
+// Adopt must not run concurrently with Run on the same session (the VM's
+// OnEmit callbacks would race the swap); call it before Run, or from within
+// an OnEmit callback, where the VM is quiescent. It reports whether the
+// session actually moved (false when already at the current epoch). Health
+// counters and Hazards restart at zero with the new encoder.
+func (s *Session) Adopt() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep := s.an.epoch()
+	if ep == s.ep {
+		return false
+	}
+	enc := instrument.NewEncoder(ep.plan)
+	if reg, tr := s.an.observability(); reg != nil {
+		enc.Observe(reg, tr)
+	}
+	prev := s.ep
+	s.ep = ep
+	s.enc = enc
+	s.vm.SetProbes(enc)
+	s.vm.SetInstrumented(ep.plan.InstrumentedMethods())
+	s.vm.MarkAnalyzed(ep.absorbed[len(prev.absorbed):]...)
+	if s.chaosOpts != nil {
+		s.armChaos()
+	}
+	if s.vm.Depth() > 0 {
+		// Mid-run adoption: the old encoder's state is meaningless under
+		// the new addition values, so rebuild from the ground truth.
+		enc.SetDecoder(ep.decoder)
+		enc.Resync(s.vm)
+		// Frames already on the stack hold probe tokens minted under the
+		// previous plan; as they unwind, their return-side pops and
+		// subtractions can disagree with the rebuilt state (a push the old
+		// spec emitted and the new one would not, or an addition value the
+		// resync attributed to a different same-callee site). Route the
+		// rest of the run through the self-healing emit check so every
+		// captured context stays exact while the old frames drain.
+		s.heal = true
+	}
+	return true
+}
 
 // Capture snapshots the current encoding at an emit point. It is intended
 // to be called from an OnEmit callback.
 func (s *Session) Capture(at MethodRef, tag string) Context {
-	node, known := s.an.build.NodeOf[at]
+	s.mu.Lock()
+	ep, enc := s.ep, s.enc
+	s.mu.Unlock()
+	node, known := ep.build.NodeOf[at]
 	return Context{
 		At:    at,
 		Tag:   tag,
-		state: s.enc.State().Snapshot(),
+		state: enc.State().Snapshot(),
 		node:  node,
 		known: known,
+		ep:    ep,
 	}
 }
 
@@ -387,12 +700,15 @@ func (s *Session) Capture(at MethodRef, tag string) Context {
 func (s *Session) Run(onEmit func(Context)) ([]Context, error) {
 	var collected []Context
 	s.vm.OnEmit = func(_ *minivm.VM, m MethodRef, tag string) {
-		if s.inj != nil {
+		s.mu.Lock()
+		ep, enc, inj, heal := s.ep, s.enc, s.inj, s.heal
+		s.mu.Unlock()
+		if inj != nil || heal {
 			// Self-healing protocol: verify the encoding against the
 			// VM's stack before capturing, resyncing on corruption, so
 			// the captured context is exact despite injected faults.
-			if _, known := s.an.build.NodeOf[m]; known {
-				s.enc.VerifyAndResync(s.vm)
+			if _, known := ep.build.NodeOf[m]; known {
+				enc.VerifyAndResync(s.vm)
 			}
 		}
 		c := s.Capture(m, tag)
@@ -421,12 +737,23 @@ func (a *Analysis) Run(seed uint64, onEmit func(Context)) ([]Context, error) {
 // Decode recovers the exact calling context of a captured encoding, from
 // the program entry to the capture point. Gaps — stretches of dynamically
 // loaded or excluded code the encoding intentionally does not track — are
-// rendered as "...".
+// rendered as "...". A context decodes against the epoch it was captured
+// under, even after later extensions: encodings are meaningful only relative
+// to their epoch's addition values.
 func (a *Analysis) Decode(c Context) ([]string, error) {
 	if !c.known {
 		return nil, fmt.Errorf("deltapath: emit point %s is outside the analysed program", c.At)
 	}
-	return a.decoder.DecodeNames(c.state, c.node)
+	return c.decoderOr(a).DecodeNames(c.state, c.node)
+}
+
+// decoderOr returns the decoder of the context's pinned epoch, or a's
+// current decoder for contexts without one (the zero Context).
+func (c Context) decoderOr(a *Analysis) *encoding.CompiledDecoder {
+	if c.ep != nil {
+		return c.ep.decoder
+	}
+	return a.epoch().decoder
 }
 
 // DecodeBestEffort is the degraded-mode counterpart of Decode: it never
@@ -439,8 +766,9 @@ func (a *Analysis) DecodeBestEffort(c Context) (names []string, complete bool, e
 	if !c.known {
 		return nil, false, fmt.Errorf("deltapath: emit point %s is outside the analysed program", c.At)
 	}
-	frames, complete := a.decoder.DecodeBestEffort(c.state, c.node)
-	return a.decoder.Names(frames), complete, nil
+	dec := c.decoderOr(a)
+	frames, complete := dec.DecodeBestEffort(c.state, c.node)
+	return dec.Names(frames), complete, nil
 }
 
 // DecodeBytesBestEffort decodes a context record with best-effort
@@ -452,8 +780,9 @@ func (a *Analysis) DecodeBytesBestEffort(record []byte) (names []string, complet
 	if err != nil {
 		return nil, false, err
 	}
-	frames, complete := a.decoder.DecodeBestEffort(st, end)
-	return a.decoder.Names(frames), complete, nil
+	dec := a.epoch().decoder
+	frames, complete := dec.DecodeBestEffort(st, end)
+	return dec.Names(frames), complete, nil
 }
 
 // Key returns the canonical encoding key of a context: equal keys decode to
@@ -484,24 +813,26 @@ func (c Context) MarshalBinary() ([]byte, error) {
 }
 
 // DecodeBytes decodes a context record produced by Context.MarshalBinary
-// under this analysis. The analysis must be the one (or an identical rerun
-// of the one) that produced the record — encodings are meaningful only
-// relative to their addition values.
+// under this analysis's current epoch. The analysis (and epoch) must be the
+// one — or an identical rerun of the one — that produced the record:
+// encodings are meaningful only relative to their addition values.
 func (a *Analysis) DecodeBytes(record []byte) ([]string, error) {
 	st, end, err := encoding.UnmarshalContext(record)
 	if err != nil {
 		return nil, err
 	}
-	return a.decoder.DecodeNames(st, end)
+	return a.epoch().decoder.DecodeNames(st, end)
 }
 
-// SaveAnalysis persists the analysis — call graph, addition values,
-// anchors, SIDs — so that context records can be decoded later by any host
-// holding the file, without the program and without re-analysis (see
-// LoadDecoder and cmd/dpdecode -analysis).
+// SaveAnalysis persists the current epoch's analysis — call graph, addition
+// values, anchors, SIDs, and the epoch id — so that context records can be
+// decoded later by any host holding the file, without the program and
+// without re-analysis (see LoadDecoder and cmd/dpdecode -analysis). An
+// epoch-0 analysis saves in the pre-epoch format, byte-identical with
+// earlier builds.
 func (a *Analysis) SaveAnalysis(w io.Writer) error {
-	var cptPlan *cpt.Plan = a.plan.CPT
-	return analysisio.Save(w, a.result.Spec, cptPlan)
+	e := a.epoch()
+	return analysisio.SaveEpoch(w, e.result.Spec, e.plan.CPT, e.id)
 }
 
 // VerifyEncoding statically certifies the encoding this analysis produced:
@@ -512,7 +843,8 @@ func (a *Analysis) SaveAnalysis(w io.Writer) error {
 // certificate for every execution, not just the ones the tests ran. The
 // returned error lists every finding.
 func (a *Analysis) VerifyEncoding() error {
-	rep := verify.Check(a.result.Spec, a.plan.CPT, verify.Options{})
+	e := a.epoch()
+	rep := verify.Check(e.result.Spec, e.plan.CPT, verify.Options{})
 	if rep.Clean() {
 		return nil
 	}
@@ -560,12 +892,16 @@ func (d *OfflineDecoder) DecodeBytesBestEffort(record []byte) (names []string, c
 // over (node/edge counts plus a content hash).
 func (d *OfflineDecoder) GraphDigest() string { return d.bundle.Digest.String() }
 
-// CheckAnalysis verifies that a freshly built analysis matches the
-// persisted one — the guard against decoding records from one program
-// version against the analysis of another. It compares the live call
-// graph's digest with the digest stored in the analysis file.
+// Epoch reports the analysis epoch the persisted analysis was saved at (0
+// for whole-program analyses and pre-epoch files).
+func (d *OfflineDecoder) Epoch() uint64 { return d.bundle.Epoch }
+
+// CheckAnalysis verifies that a freshly built analysis (at its current
+// epoch) matches the persisted one — the guard against decoding records
+// from one program version against the analysis of another. It compares the
+// live call graph's digest with the digest stored in the analysis file.
 func (d *OfflineDecoder) CheckAnalysis(a *Analysis) error {
-	return d.bundle.CheckGraph(a.build.Graph)
+	return d.bundle.CheckGraph(a.epoch().build.Graph)
 }
 
 // --- Concurrent profile pipeline ---
@@ -593,25 +929,37 @@ type ProfileRecord = profile.Record
 // on a single lock.
 type Profile struct {
 	an      *Analysis
+	ep      *epochState
 	store   *profile.Store
 	skipped atomic.Uint64
 }
 
 // NewProfile returns an empty profile for contexts captured under this
-// analysis. shards is rounded up to a power of two; <= 0 selects the
-// default (64).
+// analysis's current epoch. shards is rounded up to a power of two; <= 0
+// selects the default (64). An encoding is only meaningful relative to its
+// epoch's addition values, so a profile aggregates one epoch: contexts
+// captured under a different epoch are skipped by Add, and the saved .dpp
+// records this epoch's digest and id.
 func (a *Analysis) NewProfile(shards int) *Profile {
 	store := profile.NewStore(shards)
 	if reg, _ := a.observability(); reg != nil {
 		store.Observe(reg)
 	}
-	return &Profile{an: a, store: store}
+	return &Profile{an: a, ep: a.epoch(), store: store}
 }
 
-// Add records one hit of the captured context. Contexts captured at emit
-// points outside the analysed program cannot be serialized and are counted
-// as skipped; Add reports whether the context was recorded.
+// Epoch reports the analysis epoch the profile aggregates.
+func (p *Profile) Epoch() uint64 { return p.ep.id }
+
+// Add records one hit of the captured context. Contexts that cannot join
+// the profile — captured at emit points outside the analysed program, or
+// under a different analysis epoch than the profile's — are counted as
+// skipped; Add reports whether the context was recorded.
 func (p *Profile) Add(c Context) bool {
+	if c.ep != nil && c.ep != p.ep {
+		p.skipped.Add(1)
+		return false
+	}
 	rec, err := c.MarshalBinary()
 	if err != nil {
 		p.skipped.Add(1)
@@ -627,7 +975,8 @@ func (p *Profile) Unique() uint64 { return p.store.Unique() }
 // Total reports the aggregate hit count across all contexts.
 func (p *Profile) Total() uint64 { return p.store.Total() }
 
-// Skipped reports how many unanalysed-emit contexts Add rejected.
+// Skipped reports how many contexts Add rejected (unanalysed emit points,
+// or contexts from another epoch).
 func (p *Profile) Skipped() uint64 { return p.skipped.Load() }
 
 // Records returns the interned records with their counts in deterministic
@@ -635,12 +984,14 @@ func (p *Profile) Skipped() uint64 { return p.skipped.Load() }
 func (p *Profile) Records() []ProfileRecord { return p.store.Snapshot() }
 
 // Save streams the profile to w in the binary .dpp format: a header
-// carrying the analysis's graph digest, then one varint-encoded record per
-// distinct context with its count. DecodeProfile refuses a .dpp whose
-// digest does not match the analysis in hand, exactly as loading a .dpa
-// analysis file refuses a tampered payload.
+// carrying the profile's epoch — its graph digest and epoch id — then one
+// varint-encoded record per distinct context with its count. DecodeProfile
+// refuses a .dpp whose digest matches no epoch of the analysis in hand,
+// exactly as loading a .dpa analysis file refuses a tampered payload.
+// Epoch-0 profiles save in the pre-epoch format, byte-identical with
+// earlier builds.
 func (p *Profile) Save(w io.Writer) error {
-	pw, err := profile.NewWriter(w, p.an.graphDigest())
+	pw, err := profile.NewWriterEpoch(w, p.ep.digest, p.ep.id)
 	if err != nil {
 		return err
 	}
@@ -734,17 +1085,17 @@ type ctxBuf struct {
 
 var ctxBufPool = sync.Pool{New: func() any { return new(ctxBuf) }}
 
-// decodeProfileStream is the shared implementation of DecodeProfile: check
-// the profile's digest against the analysis in hand, then fan the records
-// over a worker pool decoding through the compiled flat tables.
-func decodeProfileStream(ctx context.Context, r io.Reader, workers int, want analysisio.GraphDigest, dec *encoding.CompiledDecoder, reg *obs.Registry) (*ProfileReport, error) {
+// decodeProfileStream is the shared implementation of DecodeProfile: route
+// the profile's recorded (digest, epoch) to a decoder via lookup, then fan
+// the records over a worker pool decoding through the compiled flat tables.
+func decodeProfileStream(ctx context.Context, r io.Reader, workers int, lookup func(analysisio.GraphDigest, uint64) (*encoding.CompiledDecoder, error), reg *obs.Registry) (*ProfileReport, error) {
 	pr, err := profile.NewReader(r)
 	if err != nil {
 		return nil, err
 	}
-	if pr.Digest() != want {
-		return nil, fmt.Errorf("deltapath: profile mismatch: profile was recorded over %s, analysis graph is %s (stale analysis or wrong program?)",
-			pr.Digest(), want)
+	dec, err := lookup(pr.Digest(), pr.Epoch())
+	if err != nil {
+		return nil, err
 	}
 	g := dec.Spec().Graph
 	return profile.DecodeContext(ctx, pr, workers, func(rec []byte) (string, error) {
@@ -776,8 +1127,10 @@ func decodeProfileStream(ctx context.Context, r io.Reader, workers int, want ana
 // DecodeProfile decodes a .dpp profile (Profile.Save) recorded under this
 // analysis into a hot-context report, fanning records out over workers
 // goroutines (workers < 1 means 1). The report is identical for every
-// worker count. A profile whose graph digest does not match this analysis
-// is refused.
+// worker count. The profile is routed by its recorded graph digest to the
+// epoch that produced it — profiles saved before an extension keep decoding
+// against their own epoch forever — and a profile whose digest matches no
+// epoch of this analysis is refused.
 func (a *Analysis) DecodeProfile(r io.Reader, workers int) (*ProfileReport, error) {
 	return a.DecodeProfileContext(context.Background(), r, workers)
 }
@@ -788,11 +1141,21 @@ func (a *Analysis) DecodeProfile(r io.Reader, workers int) (*ProfileReport, erro
 // decodes on shutdown.
 func (a *Analysis) DecodeProfileContext(ctx context.Context, r io.Reader, workers int) (*ProfileReport, error) {
 	reg, _ := a.observability()
-	return decodeProfileStream(ctx, r, workers, a.graphDigest(), a.decoder, reg)
+	return decodeProfileStream(ctx, r, workers, func(d analysisio.GraphDigest, epoch uint64) (*encoding.CompiledDecoder, error) {
+		a.epochMu.Lock()
+		ep := a.epochByDigest(d)
+		a.epochMu.Unlock()
+		if ep == nil {
+			return nil, fmt.Errorf("deltapath: profile mismatch: profile was recorded over %s (epoch %d), which matches no epoch of this analysis (current graph %s; stale analysis or wrong program?)",
+				d, epoch, a.graphDigest())
+		}
+		return ep.decoder, nil
+	}, reg)
 }
 
 // DecodeProfile decodes a .dpp profile against the persisted analysis (see
-// Analysis.DecodeProfile).
+// Analysis.DecodeProfile). A persisted analysis is a single epoch, so the
+// profile's digest must match it exactly.
 func (d *OfflineDecoder) DecodeProfile(r io.Reader, workers int) (*ProfileReport, error) {
 	return d.DecodeProfileContext(context.Background(), r, workers)
 }
@@ -800,5 +1163,11 @@ func (d *OfflineDecoder) DecodeProfile(r io.Reader, workers int) (*ProfileReport
 // DecodeProfileContext is DecodeProfile with cancellation (see
 // Analysis.DecodeProfileContext).
 func (d *OfflineDecoder) DecodeProfileContext(ctx context.Context, r io.Reader, workers int) (*ProfileReport, error) {
-	return decodeProfileStream(ctx, r, workers, d.bundle.Digest, d.decoder, nil)
+	return decodeProfileStream(ctx, r, workers, func(dig analysisio.GraphDigest, epoch uint64) (*encoding.CompiledDecoder, error) {
+		if dig != d.bundle.Digest {
+			return nil, fmt.Errorf("deltapath: profile mismatch: profile was recorded over %s (epoch %d), analysis graph is %s (epoch %d) (stale analysis or wrong program?)",
+				dig, epoch, d.bundle.Digest, d.bundle.Epoch)
+		}
+		return d.decoder, nil
+	}, nil)
 }

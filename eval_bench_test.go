@@ -1,0 +1,66 @@
+// Benchmarks over internal/eval's table generators. These live in the
+// external test package: internal/eval imports the root package for the
+// extend experiment, so an in-package test importing eval would form a
+// cycle.
+package deltapath_test
+
+import (
+	"testing"
+
+	"deltapath/internal/eval"
+	"deltapath/internal/workload"
+)
+
+// evalBenchSubset mirrors benchSubset in bench_test.go: a small program, a
+// large >64-bit one (anchors), and a large application.
+func evalBenchSubset(b *testing.B) []workload.Params {
+	b.Helper()
+	var out []workload.Params
+	for _, name := range []string{"compress", "crypto.aes", "xml.validation"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			b.Fatalf("missing benchmark %s", name)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// BenchmarkTable1StaticAnalysis measures the full static pipeline per
+// benchmark program: generation, call-graph construction (both settings),
+// space estimation, and Algorithm 2 with anchor insertion.
+func BenchmarkTable1StaticAnalysis(b *testing.B) {
+	for _, p := range evalBenchSubset(b) {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := eval.Table1([]workload.Params{p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rows[0].All.Nodes == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Collection measures the context-collection pass (DeltaPath
+// with CPT, statistics, decode audit) that generates Table 2 rows.
+func BenchmarkTable2Collection(b *testing.B) {
+	for _, p := range evalBenchSubset(b) {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := eval.Table2([]workload.Params{p}, 0.05)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rows[0].DecodeErrors != 0 {
+					b.Fatalf("%d decode errors", rows[0].DecodeErrors)
+				}
+			}
+		})
+	}
+}

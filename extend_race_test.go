@@ -1,0 +1,145 @@
+package deltapath
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestExtendConcurrentWithEncoding hammers the epoch swap: one goroutine
+// publishes extensions (real and idempotent no-ops) while others run
+// instrumented sessions on their pinned epochs, decode captured contexts,
+// and decode an epoch-0 profile stream. Under -race this proves the
+// atomic-pointer publication protocol: in-flight encoders and decoders
+// never observe a torn epoch, and epoch-0 artifacts decode identically
+// throughout. (make race / make extend-soak run it with the detector on.)
+func TestExtendConcurrentWithEncoding(t *testing.T) {
+	prog := mustParse(t, diffSrc)
+	an, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch-0 artifacts, prepared before any extension.
+	baseContexts, err := an.Run(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDecodes := make([][]string, len(baseContexts))
+	for i, c := range baseContexts {
+		if !c.known {
+			continue
+		}
+		names, derr := an.Decode(c)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		baseDecodes[i] = names
+	}
+	prof := an.NewProfile(0)
+	for _, c := range baseContexts {
+		prof.Add(c)
+	}
+	var dpp bytes.Buffer
+	if err := prof.Save(&dpp); err != nil {
+		t.Fatal(err)
+	}
+	baseReport, err := an.DecodeProfile(bytes.NewReader(dpp.Bytes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		sessionWorkers = 3
+		decodeWorkers  = 2
+		rounds         = 40
+	)
+	var wg sync.WaitGroup
+
+	// Publisher: absorb X, Y, Z one at a time, padded with idempotent
+	// re-absorptions so the swap path stays busy for the whole test.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		order := []string{"X", "X", "Y", "X", "Y", "Z", "Z", "X", "Y", "Z"}
+		for i := 0; i < rounds; i++ {
+			if _, err := an.Extend(order[i%len(order)]); err != nil {
+				t.Errorf("Extend: %v", err)
+				return
+			}
+			_ = an.Epoch()
+			_ = an.Absorbed()
+			_ = an.GraphDigest()
+		}
+	}()
+
+	// Encoders: each session pins the epoch current at its creation and
+	// runs to completion on it; every captured context must decode cleanly
+	// against that pinned epoch no matter how many epochs were published
+	// meanwhile.
+	for w := 0; w < sessionWorkers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s, serr := an.NewSession(uint64(w*rounds + i))
+				if serr != nil {
+					t.Errorf("NewSession: %v", serr)
+					return
+				}
+				contexts, rerr := s.Run(nil)
+				if rerr != nil {
+					t.Errorf("Run: %v", rerr)
+					return
+				}
+				for _, c := range contexts {
+					if !c.known {
+						continue
+					}
+					if _, derr := an.Decode(c); derr != nil {
+						t.Errorf("decode against epoch %d: %v", c.Epoch(), derr)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Decoders: epoch-0 contexts and the epoch-0 profile stream must keep
+	// decoding to the exact pre-extension results.
+	for w := 0; w < decodeWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for j, c := range baseContexts {
+					if !c.known {
+						continue
+					}
+					names, derr := an.Decode(c)
+					if derr != nil {
+						t.Errorf("epoch-0 context decode: %v", derr)
+						return
+					}
+					if len(names) != len(baseDecodes[j]) {
+						t.Errorf("epoch-0 decode changed: %v != %v", names, baseDecodes[j])
+						return
+					}
+				}
+				report, derr := an.DecodeProfile(bytes.NewReader(dpp.Bytes()), 2)
+				if derr != nil {
+					t.Errorf("epoch-0 profile decode: %v", derr)
+					return
+				}
+				if report.Total != baseReport.Total || len(report.Rows) != len(baseReport.Rows) {
+					t.Errorf("epoch-0 profile report changed: %d/%d rows, want %d/%d",
+						report.Total, len(report.Rows), baseReport.Total, len(baseReport.Rows))
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+}

@@ -1,0 +1,122 @@
+package deltapath
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzExtend drives Analysis.Extend with fuzzer-chosen extension sequences
+// over the differential corpus program and asserts the epoch invariants
+// that hold for EVERY sequence, valid or degenerate:
+//
+//   - every published epoch passes internal/verify (Extend's gate — an
+//     extension that fails it must be rejected with the old epoch kept);
+//   - the super-closure is respected (absorbing Y pulls in X) and
+//     re-absorption is an idempotent no-op;
+//   - an epoch-0 profile saved before any extension keeps decoding to the
+//     same report, and re-saving it reproduces the bytes identically,
+//     regardless of how many epochs were published afterwards.
+//
+// Each input byte is one operation: low bits pick a dynamic class (or an
+// unknown name, which must fail cleanly without publishing).
+func FuzzExtend(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{2, 1, 0})
+	f.Add([]byte{1, 1, 1, 1})
+	f.Add([]byte{3, 0, 2})
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		prog := mustParse(t, diffSrc)
+		an, err := Analyze(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Epoch-0 artifacts the run must never disturb.
+		contexts, err := an.Run(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := an.NewProfile(0)
+		for _, c := range contexts {
+			prof.Add(c)
+		}
+		var dpp bytes.Buffer
+		if err := prof.Save(&dpp); err != nil {
+			t.Fatal(err)
+		}
+		baseReport, err := an.DecodeProfile(bytes.NewReader(dpp.Bytes()), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		names := []string{"X", "Y", "Z", "Missing"}
+		absorbed := map[string]bool{}
+		for _, op := range ops {
+			name := names[int(op)%len(names)]
+			before := an.Epoch()
+			stats, eerr := an.Extend(name)
+			switch {
+			case name == "Missing":
+				if eerr == nil {
+					t.Fatalf("Extend(%q) accepted an unknown class", name)
+				}
+				if an.Epoch() != before {
+					t.Fatalf("failed Extend published epoch %d (was %d)", an.Epoch(), before)
+				}
+				continue
+			case eerr != nil:
+				t.Fatalf("Extend(%q): %v", name, eerr)
+			}
+			if absorbed[name] {
+				// Idempotent no-op: same epoch, nothing new.
+				if an.Epoch() != before || len(stats.NewClasses) != 0 {
+					t.Fatalf("re-absorbing %q moved epoch %d->%d (new %v)", name, before, an.Epoch(), stats.NewClasses)
+				}
+				continue
+			}
+			if an.Epoch() != before+1 {
+				t.Fatalf("absorbing %q moved epoch %d->%d, want +1", name, before, an.Epoch())
+			}
+			for _, n := range stats.NewClasses {
+				absorbed[n] = true // super-closure may pull in more than name
+			}
+			if name == "Y" && !absorbed["X"] {
+				t.Fatalf("absorbing Y did not pull in its dynamic super X (got %v)", stats.NewClasses)
+			}
+			if !absorbed[name] {
+				t.Fatalf("Extend(%q) succeeded but %q not in NewClasses %v", name, name, stats.NewClasses)
+			}
+			// The publish gate: the epoch that is now current must verify.
+			if verr := an.VerifyEncoding(); verr != nil {
+				t.Fatalf("published epoch %d fails verification: %v", an.Epoch(), verr)
+			}
+		}
+
+		// Old-epoch artifacts survive every sequence byte-identically.
+		var again bytes.Buffer
+		if err := prof.Save(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dpp.Bytes(), again.Bytes()) {
+			t.Fatalf("epoch-0 profile re-save changed bytes after %d extensions", an.Epoch())
+		}
+		report, err := an.DecodeProfile(bytes.NewReader(dpp.Bytes()), 1)
+		if err != nil {
+			t.Fatalf("epoch-0 profile decode after extensions: %v", err)
+		}
+		if report.Total != baseReport.Total || len(report.Rows) != len(baseReport.Rows) {
+			t.Fatalf("epoch-0 report drifted: %d totals/%d rows, want %d/%d",
+				report.Total, len(report.Rows), baseReport.Total, len(baseReport.Rows))
+		}
+		for i := range report.Rows {
+			if report.Rows[i] != baseReport.Rows[i] {
+				t.Fatalf("epoch-0 report row %d drifted: %+v != %+v", i, report.Rows[i], baseReport.Rows[i])
+			}
+		}
+	})
+}

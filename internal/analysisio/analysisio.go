@@ -5,14 +5,18 @@
 // (encoding.MarshalContext), and any host holding the analysis file can
 // decode them exactly, with no access to the program and no re-analysis.
 //
-// Format: the header "DPA2\n", then a graph digest (node count, edge
-// count, FNV-1a hash), then unsigned varints and length-prefixed strings.
-// The file is self-contained and versioned; Load rejects unknown versions,
-// truncated input, and files whose persisted digest does not match the
-// graph they carry (bit rot, partial writes). The digest also lets a
-// caller refuse to bind a stale Spec to a newer call graph (CheckGraph) —
-// the version-skew hazard of shipping analysis files separately from the
-// programs that produced them.
+// Format: the header "DPA3\n", then a graph digest (node count, edge
+// count, FNV-1a hash), then the analysis epoch (the number of incremental
+// extensions behind the encoding — 0 for a whole-program analysis), then
+// unsigned varints and length-prefixed strings. An epoch-0 analysis is
+// written in the previous "DPA2\n" format (no epoch field), byte-identical
+// with earlier builds; Load reads both. The file is self-contained and
+// versioned; Load rejects unknown versions (with a typed VersionSkewError
+// naming both sides), truncated input, and files whose persisted digest
+// does not match the graph they carry (bit rot, partial writes). The digest
+// also lets a caller refuse to bind a stale Spec to a newer call graph
+// (CheckGraph) — the version-skew hazard of shipping analysis files
+// separately from the programs that produced them.
 package analysisio
 
 import (
@@ -21,6 +25,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"strings"
 
 	"deltapath/internal/callgraph"
 	"deltapath/internal/cpt"
@@ -28,9 +33,25 @@ import (
 )
 
 const (
+	magicV3 = "DPA3\n" // adds the analysis epoch after the digest
 	magic   = "DPA2\n"
 	magicV1 = "DPA1\n" // pre-digest format; recognized only to reject clearly
 )
+
+// VersionSkewError reports a wire-format version this build cannot read: a
+// file written by a newer (or long-dead) format revision. It names both
+// sides so the operator can tell which end to upgrade.
+type VersionSkewError struct {
+	// Found is the version tag in the file, e.g. "DPA1".
+	Found string
+	// Supported lists the versions this build reads, newest first.
+	Supported []string
+}
+
+func (e *VersionSkewError) Error() string {
+	return fmt.Sprintf("file version %s is not readable by this build (supported: %s)",
+		e.Found, strings.Join(e.Supported, ", "))
+}
 
 // GraphDigest summarizes a call graph for compatibility checking: two
 // graphs with equal digests have the same nodes (names, order, library
@@ -92,6 +113,10 @@ type Bundle struct {
 	// Digest is the graph digest persisted with (and verified against)
 	// the analysis.
 	Digest GraphDigest
+	// Epoch is the analysis epoch the file was saved at: how many
+	// incremental extensions (Analysis.Extend) the encoding is behind the
+	// original whole-program analysis. 0 for DPA2 files.
+	Epoch uint64
 }
 
 // CheckGraph verifies that a live call graph matches the graph this
@@ -107,10 +132,23 @@ func (b *Bundle) CheckGraph(g *callgraph.Graph) error {
 	return nil
 }
 
-// Save writes the analysis to w. cptPlan may be nil.
+// Save writes the analysis to w. cptPlan may be nil. It writes epoch 0 —
+// the whole-program case; use SaveEpoch for extended analyses.
 func Save(w io.Writer, spec *encoding.Spec, cptPlan *cpt.Plan) error {
+	return SaveEpoch(w, spec, cptPlan, 0)
+}
+
+// SaveEpoch writes the analysis to w, stamped with its epoch. Epoch 0 is
+// written in the DPA2 format (no epoch field) — byte-identical with
+// pre-epoch builds, so existing files and golden bytes stay valid; a
+// nonzero epoch selects DPA3, which carries the epoch after the digest.
+func SaveEpoch(w io.Writer, spec *encoding.Spec, cptPlan *cpt.Plan, epoch uint64) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
+	head := magic
+	if epoch > 0 {
+		head = magicV3
+	}
+	if _, err := bw.WriteString(head); err != nil {
 		return err
 	}
 	g := spec.Graph
@@ -118,6 +156,9 @@ func Save(w io.Writer, spec *encoding.Spec, cptPlan *cpt.Plan) error {
 	putUvarint(bw, dig.Nodes)
 	putUvarint(bw, dig.Edges)
 	putUvarint(bw, dig.Hash)
+	if epoch > 0 {
+		putUvarint(bw, epoch)
+	}
 	putUvarint(bw, uint64(g.NumNodes()))
 	for _, id := range g.Nodes() {
 		n := g.Node(id)
@@ -218,14 +259,27 @@ func Load(r io.Reader) (*Bundle, error) {
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("analysisio: %w", err)
 	}
-	if string(head) != magic {
-		if string(head) == magicV1 {
-			return nil, fmt.Errorf("analysisio: file version DPA1 predates graph digests; re-save the analysis with this build")
+	var epochal bool
+	switch string(head) {
+	case magic:
+	case magicV3:
+		epochal = true
+	case magicV1:
+		return nil, fmt.Errorf("analysisio: %w (DPA1 predates graph digests; re-save the analysis with this build)",
+			&VersionSkewError{Found: "DPA1", Supported: []string{"DPA3", "DPA2"}})
+	default:
+		if strings.HasPrefix(string(head), "DPA") {
+			return nil, fmt.Errorf("analysisio: %w",
+				&VersionSkewError{Found: strings.TrimSuffix(string(head), "\n"), Supported: []string{"DPA3", "DPA2"}})
 		}
-		return nil, fmt.Errorf("analysisio: bad magic %q (unsupported version?)", head)
+		return nil, fmt.Errorf("analysisio: bad magic %q (not an analysis file)", head)
 	}
 	d := &decoder{r: br}
 	want := GraphDigest{Nodes: d.uvarint(), Edges: d.uvarint(), Hash: d.uvarint()}
+	var epoch uint64
+	if epochal {
+		epoch = d.uvarint()
+	}
 
 	g := callgraph.New()
 	nodes := d.uvarint()
@@ -317,6 +371,7 @@ func Load(r io.Reader) (*Bundle, error) {
 			want, got)
 	}
 	bundle.Digest = want
+	bundle.Epoch = epoch
 	return bundle, nil
 }
 

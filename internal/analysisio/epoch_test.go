@@ -1,0 +1,143 @@
+package analysisio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"deltapath/internal/cha"
+	"deltapath/internal/core"
+	"deltapath/internal/cpt"
+	"deltapath/internal/lang"
+)
+
+// Wire-format tests for the epoch header field DPA3 added: its exact byte
+// position, the epoch-0 compatibility guarantee (SaveEpoch(0) must remain
+// byte-identical with the pre-epoch DPA2 writer), and the typed error a
+// version-skewed file produces.
+
+func buildAnalysis(t *testing.T) (*cha.Result, *core.Result, *cpt.Plan) {
+	t.Helper()
+	prog := lang.MustParse(src)
+	build, err := cha.Build(prog, cha.Options{KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Encode(build.Graph, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return build, res, cpt.Compute(build.Graph)
+}
+
+// TestEpochHeaderGolden pins the DPA3 layout: "DPA3\n", the three digest
+// uvarints, then the epoch uvarint, then a body byte-identical with the
+// DPA2 body. Decoding by structure (not offsets) keeps the test valid for
+// any digest width.
+func TestEpochHeaderGolden(t *testing.T) {
+	_, res, plan := buildAnalysis(t)
+
+	var v2, v2exp, v3 bytes.Buffer
+	if err := Save(&v2, res.Spec, plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveEpoch(&v2exp, res.Spec, plan, 0); err != nil {
+		t.Fatal(err)
+	}
+	const epoch = 7
+	if err := SaveEpoch(&v3, res.Spec, plan, epoch); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 0 is not a new format: byte-identical with the DPA2 writer.
+	if !bytes.Equal(v2.Bytes(), v2exp.Bytes()) {
+		t.Fatal("SaveEpoch(0) is not byte-identical with Save")
+	}
+	if !bytes.HasPrefix(v2.Bytes(), []byte("DPA2\n")) {
+		t.Fatalf("epoch-0 magic = %q, want DPA2", v2.Bytes()[:5])
+	}
+	if !bytes.HasPrefix(v3.Bytes(), []byte("DPA3\n")) {
+		t.Fatalf("epochal magic = %q, want DPA3", v3.Bytes()[:5])
+	}
+
+	// Structure of the v3 header: digest (identical bytes to v2), then the
+	// epoch, then the identical body.
+	v2rest := v2.Bytes()[5:]
+	v3rest := v3.Bytes()[5:]
+	dlen := 0
+	for i := 0; i < 3; i++ {
+		_, n := binary.Uvarint(v2rest[dlen:])
+		if n <= 0 {
+			t.Fatal("cannot parse digest uvarints")
+		}
+		dlen += n
+	}
+	if !bytes.Equal(v2rest[:dlen], v3rest[:dlen]) {
+		t.Fatal("digest bytes differ between DPA2 and DPA3")
+	}
+	got, n := binary.Uvarint(v3rest[dlen:])
+	if n <= 0 || got != epoch {
+		t.Fatalf("epoch field after digest = %d (n=%d), want %d", got, n, epoch)
+	}
+	if !bytes.Equal(v2rest[dlen:], v3rest[dlen+n:]) {
+		t.Fatal("body after the epoch field differs from the DPA2 body")
+	}
+
+	// Round trip through Load.
+	for _, tc := range []struct {
+		buf  *bytes.Buffer
+		want uint64
+	}{{&v2, 0}, {&v3, epoch}} {
+		bundle, err := Load(bytes.NewReader(tc.buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bundle.Epoch != tc.want {
+			t.Fatalf("loaded epoch = %d, want %d", bundle.Epoch, tc.want)
+		}
+	}
+}
+
+// TestVersionSkew checks the typed error: an unreadable version names both
+// what was found and what this build supports.
+func TestVersionSkew(t *testing.T) {
+	_, res, plan := buildAnalysis(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, res.Spec, plan); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()[5:]
+
+	for _, tc := range []struct {
+		head  string
+		found string
+	}{
+		{"DPA1\n", "DPA1"}, // the pre-digest ancestor
+		{"DPA9\n", "DPA9"}, // a future version this build predates
+	} {
+		data := append([]byte(tc.head), body...)
+		_, err := Load(bytes.NewReader(data))
+		var skew *VersionSkewError
+		if !errors.As(err, &skew) {
+			t.Fatalf("%s: Load = %v, want VersionSkewError", tc.found, err)
+		}
+		if skew.Found != tc.found {
+			t.Errorf("Found = %q, want %q", skew.Found, tc.found)
+		}
+		msg := skew.Error()
+		for _, v := range []string{tc.found, "DPA3", "DPA2"} {
+			if !strings.Contains(msg, v) {
+				t.Errorf("error %q does not name version %q", msg, v)
+			}
+		}
+	}
+
+	// A non-DPA magic is corruption, not skew.
+	_, err := Load(bytes.NewReader(append([]byte("XXXX\n"), body...)))
+	var skew *VersionSkewError
+	if err == nil || errors.As(err, &skew) {
+		t.Fatalf("bad magic: Load = %v, want a plain (non-skew) error", err)
+	}
+}

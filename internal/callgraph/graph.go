@@ -255,6 +255,40 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
+// Clone returns a deep copy of the graph. The copy shares no mutable state
+// with the original, so incremental builders (cha.Extend) can append nodes
+// and edges to the clone while readers of the original — decoders pinned to
+// an older analysis epoch — keep traversing it concurrently.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:    append([]Node(nil), g.nodes...),
+		byName:   make(map[string]NodeID, len(g.byName)),
+		out:      make(map[NodeID][]Edge, len(g.out)),
+		in:       make(map[NodeID][]Edge, len(g.in)),
+		sites:    make(map[Site][]Edge, len(g.sites)),
+		entry:    g.entry,
+		hasEntry: g.hasEntry,
+		roots:    append([]NodeID(nil), g.roots...),
+		edgeSet:  make(map[Edge]struct{}, len(g.edgeSet)),
+	}
+	for name, id := range g.byName {
+		c.byName[name] = id
+	}
+	for n, edges := range g.out {
+		c.out[n] = append([]Edge(nil), edges...)
+	}
+	for n, edges := range g.in {
+		c.in[n] = append([]Edge(nil), edges...)
+	}
+	for s, edges := range g.sites {
+		c.sites[s] = append([]Edge(nil), edges...)
+	}
+	for e := range g.edgeSet {
+		c.edgeSet[e] = struct{}{}
+	}
+	return c
+}
+
 // DOT renders the graph in Graphviz dot format, with virtual sites drawn as
 // dashed edges and library nodes in grey. Useful for debugging analyses.
 func (g *Graph) DOT() string {

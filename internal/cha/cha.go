@@ -81,7 +81,17 @@ func (r *Result) Node(m minivm.MethodRef) callgraph.NodeID {
 
 // Build constructs the call graph of prog's statically loaded classes.
 func Build(prog *minivm.Program, opts Options) (*Result, error) {
-	h := NewHierarchy(prog.Classes)
+	return buildOver(prog.Entry, prog.Classes, opts, nil)
+}
+
+// buildOver is the builder shared by Build and Extend: it constructs the
+// call graph of the given analysed class set (static classes, plus — for
+// Extend — absorbed dynamic classes appended in absorption order). forced,
+// when non-nil, is a node-order prefix: those methods get the first node
+// ids, in order, so an extended graph keeps every previous node id (the
+// prefix property core.Extend requires).
+func buildOver(entryRef minivm.MethodRef, analysed []*minivm.Class, opts Options, forced []minivm.MethodRef) (*Result, error) {
+	h := NewHierarchy(analysed)
 
 	// Full static graph first (both settings need it: reachability under
 	// encoding-application is still defined through library code).
@@ -95,7 +105,7 @@ func Build(prog *minivm.Program, opts Options) (*Result, error) {
 	spawnSeen := make(map[minivm.MethodRef]bool)
 	appOnly := opts.Setting == EncodingApplication
 
-	for _, c := range prog.Classes {
+	for _, c := range analysed {
 		for _, m := range c.Methods {
 			from := minivm.MethodRef{Class: c.Name, Method: m.Name}
 			WalkCalls(m.Body, func(in *minivm.Instr) {
@@ -126,8 +136,8 @@ func Build(prog *minivm.Program, opts Options) (*Result, error) {
 	for _, e := range edges {
 		adj[e.from] = append(adj[e.from], e.to)
 	}
-	reach := map[minivm.MethodRef]bool{prog.Entry: true}
-	work := []minivm.MethodRef{prog.Entry}
+	reach := map[minivm.MethodRef]bool{entryRef: true}
+	work := []minivm.MethodRef{entryRef}
 	for _, sp := range spawns {
 		if !reach[sp] {
 			reach[sp] = true
@@ -161,14 +171,14 @@ func Build(prog *minivm.Program, opts Options) (*Result, error) {
 		}
 		return true
 	}
-	if opts.ExcludeMethods[prog.Entry] {
-		return nil, fmt.Errorf("cha: entry method %s cannot be excluded", prog.Entry)
+	if opts.ExcludeMethods[entryRef] {
+		return nil, fmt.Errorf("cha: entry method %s cannot be excluded", entryRef)
 	}
 
 	if appOnly {
-		ec := h.Class(prog.Entry.Class)
+		ec := h.Class(entryRef.Class)
 		if ec != nil && ec.Library {
-			return nil, fmt.Errorf("cha: entry method %s is in a library class; it cannot be excluded", prog.Entry)
+			return nil, fmt.Errorf("cha: entry method %s is in a library class; it cannot be excluded", entryRef)
 		}
 	}
 
@@ -189,12 +199,21 @@ func Build(prog *minivm.Program, opts Options) (*Result, error) {
 	}
 
 	// Deterministic node order: declaration order, entry's method first if
-	// included (it always is — reach includes it).
-	if !include(prog.Entry) {
-		return nil, fmt.Errorf("cha: entry method %s not found among static classes", prog.Entry)
+	// included (it always is — reach includes it). A forced prefix (the
+	// previous build's node order, under Extend) comes before everything;
+	// growing the analysed set can only add includable methods, so a forced
+	// method failing include means the caller changed options mid-stream.
+	for _, ref := range forced {
+		if !include(ref) {
+			return nil, fmt.Errorf("cha: extension would drop %s from the graph (options must match the previous build)", ref)
+		}
+		add(ref)
 	}
-	add(prog.Entry)
-	for _, c := range prog.Classes {
+	if !include(entryRef) {
+		return nil, fmt.Errorf("cha: entry method %s not found among analysed classes", entryRef)
+	}
+	add(entryRef)
+	for _, c := range analysed {
 		for _, m := range c.Methods {
 			ref := minivm.MethodRef{Class: c.Name, Method: m.Name}
 			if include(ref) {
@@ -213,7 +232,7 @@ func Build(prog *minivm.Program, opts Options) (*Result, error) {
 			res.Graph.MarkContextRoot(n)
 		}
 	}
-	res.Graph.SetEntry(res.NodeOf[prog.Entry])
+	res.Graph.SetEntry(res.NodeOf[entryRef])
 	if err := res.Graph.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,82 @@
+package cha
+
+import (
+	"fmt"
+
+	"deltapath/internal/minivm"
+)
+
+// Extend rebuilds prev's call graph with dynamic classes absorbed into the
+// analysed world. It is the static-analysis half of incremental encoding
+// (the paper's answer to "what if a dynamically loaded class matters enough
+// to re-analyse?"): the absorbed classes become ordinary graph nodes, their
+// methods join the dispatch sets of existing virtual sites, and everything
+// prev already modelled keeps its node id — the prefix property
+// core.Extend requires to patch the encoding instead of recomputing it.
+//
+// absorbed is the complete ordered list of dynamic class names now treated
+// as analysed: the ones prev was already extended with (if any) followed by
+// the newly loaded ones, in absorption order. Passing the full list keeps
+// Extend a pure function of (program, absorbed set); prev only pins the
+// node order. opts must match the options prev was built with.
+//
+// prev is never mutated; the result is a fresh graph and fresh maps, so
+// readers pinned to the old epoch can keep using prev concurrently.
+func Extend(prev *Result, prog *minivm.Program, absorbed []string, opts Options) (*Result, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("cha: Extend needs a previous build")
+	}
+	if opts.Setting != prev.Setting {
+		return nil, fmt.Errorf("cha: Extend setting %v does not match the previous build's %v", opts.Setting, prev.Setting)
+	}
+	analysed := make([]*minivm.Class, 0, len(prog.Classes)+len(absorbed))
+	analysed = append(analysed, prog.Classes...)
+	seen := make(map[string]bool, len(absorbed))
+	for _, name := range absorbed {
+		if seen[name] {
+			return nil, fmt.Errorf("cha: class %q absorbed twice", name)
+		}
+		seen[name] = true
+		c := dynamicClass(prog, name)
+		if c == nil {
+			return nil, fmt.Errorf("cha: absorbed class %q is not among the program's dynamic classes", name)
+		}
+		analysed = append(analysed, c)
+	}
+	// A class whose superclass is outside the analysed set would get an
+	// incomplete dispatch linkage (the VM loads supers first, so callers
+	// must absorb the super-closure).
+	names := make(map[string]bool, len(analysed))
+	for _, c := range analysed {
+		names[c.Name] = true
+	}
+	for _, c := range analysed[len(prog.Classes):] {
+		if c.Super != "" && !names[c.Super] {
+			return nil, fmt.Errorf("cha: absorbed class %q extends %q, which is neither static nor absorbed", c.Name, c.Super)
+		}
+	}
+
+	res, err := buildOver(prog.Entry, analysed, opts, prev.RefOf)
+	if err != nil {
+		return nil, err
+	}
+	// Safety net for standalone users (core.Extend re-validates this):
+	// growth must be monotone — every old edge survives.
+	for _, n := range prev.Graph.Nodes() {
+		for _, e := range prev.Graph.Out(n) {
+			if !res.Graph.HasEdge(e) {
+				return nil, fmt.Errorf("cha: extension removed edge %v", e)
+			}
+		}
+	}
+	return res, nil
+}
+
+func dynamicClass(prog *minivm.Program, name string) *minivm.Class {
+	for _, c := range prog.Dynamic {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package cha
+
+import (
+	"testing"
+
+	"deltapath/internal/callgraph"
+	"deltapath/internal/minivm"
+)
+
+// extendProg builds a program with a virtual site whose dispatch set grows
+// when dynamic classes are absorbed: Main.main vcalls Base.run; Sub and
+// SubSub (dynamic) override run.
+func extendProg(t *testing.T) *minivm.Program {
+	t.Helper()
+	p := &minivm.Program{
+		Classes: []*minivm.Class{
+			{Name: "Main", Methods: []*minivm.Method{
+				{Name: "main", Body: []minivm.Instr{
+					minivm.VCall("Base", "run"),
+				}},
+			}},
+			{Name: "Base", Methods: []*minivm.Method{
+				{Name: "run", Body: []minivm.Instr{minivm.Work(1)}},
+			}},
+		},
+		Dynamic: []*minivm.Class{
+			{Name: "Sub", Super: "Base", Methods: []*minivm.Method{
+				{Name: "run", Body: []minivm.Instr{
+					minivm.Call("Base", "run"),
+					minivm.Spawn("Base", "run"),
+				}},
+			}},
+			{Name: "SubSub", Super: "Sub", Methods: []*minivm.Method{
+				{Name: "run", Body: []minivm.Instr{minivm.Work(1)}},
+			}},
+		},
+		Entry: minivm.MethodRef{Class: "Main", Method: "main"},
+	}
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExtendAbsorbsDynamicClass(t *testing.T) {
+	p := extendProg(t)
+	base, err := Build(p, Options{KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := Extend(base, p, []string{"Sub"}, Options{KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old nodes keep their ids.
+	for ref, id := range base.NodeOf {
+		if grown.NodeOf[ref] != id {
+			t.Errorf("node %s renumbered %d -> %d", ref, id, grown.NodeOf[ref])
+		}
+	}
+	if grown.Graph.NumNodes() != base.Graph.NumNodes()+1 {
+		t.Fatalf("expected exactly one new node, got %d -> %d nodes",
+			base.Graph.NumNodes(), grown.Graph.NumNodes())
+	}
+	subRun := grown.Node(minivm.MethodRef{Class: "Sub", Method: "run"})
+	if subRun == callgraph.InvalidNode {
+		t.Fatal("Sub.run not in extended graph")
+	}
+	// The existing virtual site gained the new dispatch target.
+	main := grown.NodeOf[p.Entry]
+	site := callgraph.Site{Caller: main, Label: 0}
+	found := false
+	for _, e := range grown.Graph.SiteTargets(site) {
+		if e.Callee == subRun {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vcall site did not gain edge to Sub.run; targets=%v", grown.Graph.SiteTargets(site))
+	}
+	// The spawn inside the absorbed class became a context root.
+	baseRun := grown.NodeOf[minivm.MethodRef{Class: "Base", Method: "run"}]
+	rooted := false
+	for _, r := range grown.Graph.ContextRoots() {
+		if r == baseRun {
+			rooted = true
+		}
+	}
+	if !rooted {
+		t.Error("spawn target in absorbed class not marked as context root")
+	}
+	// prev untouched.
+	if base.Graph.NumNodes() != 2 {
+		t.Errorf("previous build mutated: %d nodes", base.Graph.NumNodes())
+	}
+
+	// Chained absorption: SubSub extends Sub, so it needs Sub in the list.
+	grown2, err := Extend(grown, p, []string{"Sub", "SubSub"}, Options{KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown2.Graph.NumNodes() != grown.Graph.NumNodes()+1 {
+		t.Fatalf("expected one more node, got %d", grown2.Graph.NumNodes())
+	}
+	for ref, id := range grown.NodeOf {
+		if grown2.NodeOf[ref] != id {
+			t.Errorf("node %s renumbered %d -> %d", ref, id, grown2.NodeOf[ref])
+		}
+	}
+}
+
+func TestExtendMatchesFreshBuild(t *testing.T) {
+	// Extending must produce the same graph a from-scratch build over the
+	// merged class list does (node ids included): Build adds statics in
+	// declaration order, and absorption appends — so the orders line up.
+	p := extendProg(t)
+	base, err := Build(p, Options{KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := Extend(base, p, []string{"Sub", "SubSub"}, Options{KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := &minivm.Program{
+		Classes: append(append([]*minivm.Class{}, p.Classes...), p.Dynamic...),
+		Entry:   p.Entry,
+	}
+	fresh, err := Build(merged, Options{KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := grown.Graph.NumNodes(), fresh.Graph.NumNodes(); got != want {
+		t.Fatalf("node count %d, fresh build has %d", got, want)
+	}
+	for ref, id := range fresh.NodeOf {
+		if grown.NodeOf[ref] != id {
+			t.Errorf("node %s: extend id %d, fresh id %d", ref, grown.NodeOf[ref], id)
+		}
+	}
+	if got, want := grown.Graph.NumEdges(), fresh.Graph.NumEdges(); got != want {
+		t.Fatalf("edge count %d, fresh build has %d", got, want)
+	}
+	for _, n := range fresh.Graph.Nodes() {
+		for _, e := range fresh.Graph.Out(n) {
+			if !grown.Graph.HasEdge(e) {
+				t.Errorf("missing edge %v", e)
+			}
+		}
+	}
+}
+
+func TestExtendRejects(t *testing.T) {
+	p := extendProg(t)
+	base, err := Build(p, Options{KeepUnreachable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		absorbed []string
+		opts     Options
+	}{
+		{"unknown class", []string{"Nope"}, Options{KeepUnreachable: true}},
+		{"static class", []string{"Base"}, Options{KeepUnreachable: true}},
+		{"absorbed twice", []string{"Sub", "Sub"}, Options{KeepUnreachable: true}},
+		{"missing super", []string{"SubSub"}, Options{KeepUnreachable: true}},
+		{"setting mismatch", []string{"Sub"}, Options{Setting: EncodingApplication, KeepUnreachable: true}},
+	}
+	for _, tc := range cases {
+		if _, err := Extend(base, p, tc.absorbed, tc.opts); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := Extend(nil, p, nil, Options{KeepUnreachable: true}); err == nil {
+		t.Error("nil prev: expected error")
+	}
+}

@@ -49,13 +49,14 @@ func EncodeBig(g *callgraph.Graph) (*BigResult, error) {
 	for _, n := range g.ContextRoots() {
 		an[n] = true
 	}
+	resets := resetAnchors(an, entry, recursiveEntry(rec, entry))
 
 	p := &pass{
 		nanchors: make(map[callgraph.NodeID][]callgraph.NodeID),
 		eanchors: make(map[callgraph.Edge][]callgraph.NodeID),
 	}
-	identifyTerritories(g, rec, an, p)
-	addBigOrphans(g, rec, an, p)
+	identifyTerritories(g, rec, an, resets, p)
+	addBigOrphans(g, rec, an, resets, p)
 
 	one := big.NewInt(1)
 	cav := make(map[callgraph.NodeID]map[callgraph.NodeID]*big.Int)
@@ -116,12 +117,15 @@ func EncodeBig(g *callgraph.Graph) (*BigResult, error) {
 			}
 			res.AV[cs] = a
 		}
-		if an[n] {
+		if resets[n] {
 			icc[n] = map[callgraph.NodeID]*big.Int{n: one}
 		} else if cavN := cav[n]; len(cavN) > 0 {
 			m := make(map[callgraph.NodeID]*big.Int, len(cavN))
 			for r, v := range cavN {
 				m[r] = v
+			}
+			if an[n] {
+				m[n] = one // non-resetting entry: reserved width of 1
 			}
 			icc[n] = m
 		}
@@ -129,11 +133,9 @@ func EncodeBig(g *callgraph.Graph) (*BigResult, error) {
 	if res.MaxID.Sign() > 0 {
 		res.MaxID = new(big.Int).Sub(res.MaxID, one)
 	}
-	res.Anchors = make(map[callgraph.NodeID]bool, len(an))
-	for n := range an {
-		if n != entry {
-			res.Anchors[n] = true
-		}
+	res.Anchors = make(map[callgraph.NodeID]bool, len(resets))
+	for n := range resets {
+		res.Anchors[n] = true
 	}
 	return res, nil
 }
@@ -141,13 +143,23 @@ func EncodeBig(g *callgraph.Graph) (*BigResult, error) {
 // addBigOrphans mirrors addOrphanAnchors for the big-int pass: nodes with
 // no forward in-edges still need a territory of their own.
 func addBigOrphans(g *callgraph.Graph, rec map[callgraph.Edge]bool,
-	an map[callgraph.NodeID]bool, p *pass) {
+	an, resets map[callgraph.NodeID]bool, p *pass) {
 	before := len(an)
 	addOrphanAnchors(g, rec, an)
 	if len(an) != before {
+		for n := range an {
+			if !resets[n] && n != mustEntry(g) {
+				resets[n] = true
+			}
+		}
 		// Rebuild territories with the enlarged anchor set.
 		p.nanchors = make(map[callgraph.NodeID][]callgraph.NodeID)
 		p.eanchors = make(map[callgraph.Edge][]callgraph.NodeID)
-		identifyTerritories(g, rec, an, p)
+		identifyTerritories(g, rec, an, resets, p)
 	}
+}
+
+func mustEntry(g *callgraph.Graph) callgraph.NodeID {
+	entry, _ := g.Entry()
+	return entry
 }

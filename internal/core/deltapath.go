@@ -43,9 +43,11 @@ type Options struct {
 	MaxID uint64
 
 	// ForceAnchors seeds the anchor set with the given nodes before the
-	// first pass. Used to reproduce the paper's worked examples (Figure 5
-	// fixes C and D as anchors) and by the hybrid-encoding mode, where
-	// profiled trunk functions become anchors (Section 8).
+	// first pass. Forced anchors reset the runtime encoding (they appear
+	// in Spec.Anchors) even when the entry is forced. Used to reproduce
+	// the paper's worked examples (Figure 5 fixes C and D as anchors) and
+	// by the hybrid-encoding mode, where profiled trunk functions become
+	// anchors (Section 8).
 	ForceAnchors []callgraph.NodeID
 
 	// EdgeProfile, when non-nil, gives execution frequencies for call
@@ -101,6 +103,22 @@ type Result struct {
 	// that received a single addition value — all of them, by
 	// construction; reported for comparison against PCCE's conflicts.
 	UnifiedVirtualSites int
+
+	// inc retains the successful pass's internal state (final CAV cells,
+	// edge territories, recursive-edge set) so Extend can recompute only
+	// the dirty territory of a graph delta. Nil for results that did not
+	// come out of Encode/Extend in this process (e.g. analysisio.Load).
+	inc *incState
+}
+
+// incState is the retained per-pass state Extend needs. All maps are
+// treated as immutable once published in a Result: Extend builds fresh
+// (copy-on-write) maps for the next Result, so concurrent readers of an
+// old epoch never observe mutation.
+type incState struct {
+	cav      map[callgraph.NodeID]map[callgraph.NodeID]uint64
+	eanchors map[callgraph.Edge][]callgraph.NodeID
+	rec      map[callgraph.Edge]bool
 }
 
 // ErrWidthTooSmall is wrapped by Encode when even turning every possible
@@ -138,18 +156,23 @@ func Encode(g *callgraph.Graph, opts Options) (*Result, error) {
 		an[n] = true
 	}
 	addOrphanAnchors(g, rec, an)
+	resets := resetAnchors(an, entry, recTargets[entry])
+	for _, n := range opts.ForceAnchors {
+		resets[n] = true
+	}
 
 	res := &Result{}
 	for {
-		run, overflowAt, ok := runOnce(g, topo, rec, an, maxID, opts.EdgeProfile, opts.BatchAnchors)
+		run, overflowAt, ok := runOnce(g, topo, rec, an, resets, maxID, opts.EdgeProfile, opts.BatchAnchors)
 		if ok {
-			res.finish(g, entry, rec, an, recTargets, run)
+			res.finish(g, rec, an, resets, run)
 			return res, nil
 		}
 		progress := false
 		for _, p := range overflowAt {
-			if !an[p] {
+			if !resets[p] {
 				an[p] = true
+				resets[p] = true
 				res.OverflowAnchors = append(res.OverflowAnchors, p)
 				progress = true
 			}
@@ -199,10 +222,39 @@ func (p *pass) recordOverflow(n callgraph.NodeID) {
 	}
 }
 
+// resetAnchors derives the runtime-resetting anchor set (the Spec.Anchors
+// to be) from the piece starts: every piece start except the entry. The
+// entry starts the bottom piece without a runtime reset — a non-recursive
+// call into it continues the caller's piece, exactly as the decoder and
+// encoding.Validate model it — so it bounds no other anchor's territory.
+// A recursive entry must reset (re-entries push), and overflow promotion
+// may add the entry later.
+func resetAnchors(an map[callgraph.NodeID]bool, entry callgraph.NodeID,
+	entryResets bool) map[callgraph.NodeID]bool {
+	resets := make(map[callgraph.NodeID]bool, len(an))
+	for n := range an {
+		if n != entry || entryResets {
+			resets[n] = true
+		}
+	}
+	return resets
+}
+
+// recursiveEntry reports whether the entry is the target of a recursive
+// edge (so re-entries push and the entry must reset).
+func recursiveEntry(rec map[callgraph.Edge]bool, entry callgraph.NodeID) bool {
+	for e := range rec {
+		if e.Callee == entry {
+			return true
+		}
+	}
+	return false
+}
+
 // runOnce is one iteration of Algorithm 2's restart loop. On overflow it
 // returns the caller node to promote to anchor and ok=false.
 func runOnce(g *callgraph.Graph, topo []callgraph.NodeID, rec map[callgraph.Edge]bool,
-	an map[callgraph.NodeID]bool, maxID uint64, profile map[callgraph.Edge]uint64,
+	an, resets map[callgraph.NodeID]bool, maxID uint64, profile map[callgraph.Edge]uint64,
 	batch bool) (*pass, []callgraph.NodeID, bool) {
 
 	p := &pass{
@@ -215,7 +267,7 @@ func runOnce(g *callgraph.Graph, topo []callgraph.NodeID, rec map[callgraph.Edge
 		dead:     make(map[callgraph.NodeID]map[callgraph.NodeID]bool),
 		seenOver: make(map[callgraph.NodeID]bool),
 	}
-	identifyTerritories(g, rec, an, p)
+	identifyTerritories(g, rec, an, resets, p)
 
 	// CAV[n][r] starts at 0 for every anchor r that can reach n.
 	for n, anchors := range p.nanchors {
@@ -240,7 +292,7 @@ func runOnce(g *callgraph.Graph, topo []callgraph.NodeID, rec map[callgraph.Edge
 			}
 			p.av[cs] = a
 		}
-		if an[n] {
+		if resets[n] {
 			p.icc[n] = map[callgraph.NodeID]uint64{n: 1}
 		} else if cavN := p.cav[n]; len(cavN) > 0 {
 			m := make(map[callgraph.NodeID]uint64, len(cavN))
@@ -249,6 +301,14 @@ func runOnce(g *callgraph.Graph, topo []callgraph.NodeID, rec map[callgraph.Edge
 					continue // dead range: do not seed downstream counts
 				}
 				m[r] = v
+			}
+			if an[n] {
+				// Non-resetting piece start — the entry: exactly one
+				// context (program start) reaches it within its own
+				// piece, while calls into it continue their callers'
+				// pieces, so its ICC merges the reserved 1 with the
+				// interior cells those callers see.
+				m[n] = 1
 			}
 			p.icc[n] = m
 		}
@@ -368,12 +428,14 @@ func orderIn(in []callgraph.Edge, profile map[callgraph.Edge]uint64) []callgraph
 	return out
 }
 
-// identifyTerritories computes, for every anchor, the nodes and edges its
-// bounded depth-first search reaches: traversal starts at the anchor and
-// retreats at other anchors (which still belong to the territory as its
-// boundary). Recursive edges are never traversed — they start new pieces.
+// identifyTerritories computes, for every piece start, the nodes and edges
+// its bounded depth-first search reaches: traversal starts at the anchor
+// and retreats at resetting anchors (which still belong to the territory
+// as its boundary) — only those reset the runtime encoding, so only those
+// end a piece; a non-resetting entry is flowed through like any interior
+// node. Recursive edges are never traversed — they start new pieces.
 func identifyTerritories(g *callgraph.Graph, rec map[callgraph.Edge]bool,
-	an map[callgraph.NodeID]bool, p *pass) {
+	an, resets map[callgraph.NodeID]bool, p *pass) {
 
 	anchors := make([]callgraph.NodeID, 0, len(an))
 	for r := range an {
@@ -382,50 +444,56 @@ func identifyTerritories(g *callgraph.Graph, rec map[callgraph.Edge]bool,
 	sort.Slice(anchors, func(i, j int) bool { return anchors[i] < anchors[j] })
 
 	for _, r := range anchors {
-		seen := map[callgraph.NodeID]bool{r: true}
-		p.nanchors[r] = append(p.nanchors[r], r)
-		work := []callgraph.NodeID{r}
-		for len(work) > 0 {
-			v := work[len(work)-1]
-			work = work[:len(work)-1]
-			if v != r && an[v] {
-				continue // boundary anchor: belongs to territory, not traversed
+		territoryDFS(g, rec, resets, p, r)
+	}
+}
+
+// territoryDFS walks one anchor's territory, appending r to the nanchors
+// and eanchors lists of everything its bounded traversal reaches. resets
+// is the boundary set: the runtime-resetting anchors.
+func territoryDFS(g *callgraph.Graph, rec map[callgraph.Edge]bool,
+	resets map[callgraph.NodeID]bool, p *pass, r callgraph.NodeID) {
+
+	seen := map[callgraph.NodeID]bool{r: true}
+	p.nanchors[r] = append(p.nanchors[r], r)
+	work := []callgraph.NodeID{r}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		if v != r && resets[v] {
+			continue // boundary anchor: belongs to territory, not traversed
+		}
+		for _, e := range g.Out(v) {
+			if rec[e] {
+				continue
 			}
-			for _, e := range g.Out(v) {
-				if rec[e] {
-					continue
-				}
-				p.eanchors[e] = append(p.eanchors[e], r)
-				if !seen[e.Callee] {
-					seen[e.Callee] = true
-					p.nanchors[e.Callee] = append(p.nanchors[e.Callee], r)
-					work = append(work, e.Callee)
-				}
+			p.eanchors[e] = append(p.eanchors[e], r)
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				p.nanchors[e.Callee] = append(p.nanchors[e.Callee], r)
+				work = append(work, e.Callee)
 			}
 		}
 	}
 }
 
 // finish assembles the Result from a successful pass.
-func (res *Result) finish(g *callgraph.Graph, entry callgraph.NodeID,
-	rec map[callgraph.Edge]bool, an, recTargets map[callgraph.NodeID]bool, p *pass) {
+func (res *Result) finish(g *callgraph.Graph, rec map[callgraph.Edge]bool,
+	an, resets map[callgraph.NodeID]bool, p *pass) {
 
 	spec := &encoding.Spec{
 		Graph:   g,
 		SiteAV:  p.av,
 		Push:    make(map[callgraph.Edge]encoding.PieceKind, len(rec)),
-		Anchors: make(map[callgraph.NodeID]bool, len(an)),
+		Anchors: make(map[callgraph.NodeID]bool, len(resets)),
 	}
 	for e := range rec {
 		spec.Push[e] = encoding.PieceRecursion
 	}
-	// Runtime anchors: every piece start except the entry — unless the
-	// entry is itself a recursive-edge target, in which case re-entries
-	// must push too.
-	for n := range an {
-		if n != entry || recTargets[n] {
-			spec.Anchors[n] = true
-		}
+	// Runtime anchors: exactly the resetting piece starts — every anchor
+	// except a non-recursive, non-promoted entry.
+	for n := range resets {
+		spec.Anchors[n] = true
 	}
 	res.Spec = spec
 	res.ICC = p.icc
@@ -435,6 +503,7 @@ func (res *Result) finish(g *callgraph.Graph, entry callgraph.NodeID,
 		res.MaxID = p.maxCAV - 1
 	}
 	res.UnifiedVirtualSites = g.NumVirtualSites()
+	res.inc = &incState{cav: p.cav, eanchors: p.eanchors, rec: rec}
 }
 
 // AdditionValue returns the single addition value assigned to a call site.

@@ -37,12 +37,13 @@ func EstimateSpace(g *callgraph.Graph) (*big.Int, int, error) {
 	for _, n := range g.ContextRoots() {
 		an[n] = true
 	}
+	resets := resetAnchors(an, entry, recursiveEntry(rec, entry))
 
 	p := &pass{
 		nanchors: make(map[callgraph.NodeID][]callgraph.NodeID),
 		eanchors: make(map[callgraph.Edge][]callgraph.NodeID),
 	}
-	identifyTerritories(g, rec, an, p)
+	identifyTerritories(g, rec, an, resets, p)
 
 	one := big.NewInt(1)
 	cav := make(map[callgraph.NodeID]map[callgraph.NodeID]*big.Int)
@@ -95,12 +96,15 @@ func EstimateSpace(g *callgraph.Graph) (*big.Int, int, error) {
 				}
 			}
 		}
-		if an[n] {
+		if resets[n] {
 			icc[n] = map[callgraph.NodeID]*big.Int{n: one}
 		} else if cavN := cav[n]; len(cavN) > 0 {
 			m := make(map[callgraph.NodeID]*big.Int, len(cavN))
 			for r, v := range cavN {
 				m[r] = v
+			}
+			if an[n] {
+				m[n] = one // non-resetting entry: reserved width of 1
 			}
 			icc[n] = m
 		}

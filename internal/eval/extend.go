@@ -1,0 +1,251 @@
+package eval
+
+// The incremental-encoding experiment: what does absorbing a dynamically
+// loaded class cost, and what does it buy? For each corpus program the
+// experiment publishes one epoch per dynamic class and reports, per step,
+// the Extend latency against a whole-program re-analysis of the same class
+// set (the baseline Extend replaces), how much of the graph the delta
+// actually dirtied, and the steady-state hazard pushes of fresh sessions
+// before and after the absorption — the run-time rent unanalysed classes
+// charge (one unexpected-call-path push per entry from unanalysed code)
+// that absorbing them eliminates.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"deltapath"
+	"deltapath/internal/lang"
+	"deltapath/internal/minivm"
+)
+
+// extendDynload mirrors testdata/dynload.mv: one dynamic class joining a
+// hot virtual-dispatch loop — the paper's motivating late-loading shape.
+const extendDynload = `
+entry D.main
+class D {
+  method main {
+    call D.first
+    load Ext
+    loop 4 { vcall Base.op }
+    emit done
+  }
+  method first { vcall Base.op }
+}
+class Base { method op { call Sink.accept; emit base } }
+class Sink { method accept { work 1 } }
+class Alt { method helper { work 1 } }
+dynamic class Ext extends Base {
+  method op { call Alt.helper; call Sink.accept; emit ext }
+}
+`
+
+// extendStaged is the differential suite's workhorse: three dynamic
+// classes, including a subclass of a dynamic class and one that makes an
+// old site recursive once absorbed.
+const extendStaged = `
+entry P.main
+class P {
+  method main {
+    call P.warm
+    load X
+    loop 2 { vcall Q.op }
+    load Y
+    loop 2 { vcall Q.op }
+    load Z
+    loop 3 { vcall Q.op }
+    call P.tail
+    emit fin
+  }
+  method warm { vcall Q.op; emit warm }
+  method tail { vcall Q.op }
+}
+class Q { method op { call S.leaf; emit qop } }
+class S { method leaf { emit leaf } }
+dynamic class X extends Q { method op { call S.leaf; emit xop } }
+dynamic class Y extends X { method op { emit yop } }
+dynamic class Z extends Q { method op { call P.tail; emit zop } }
+`
+
+// extendSeeds is the fixed dispatch-seed set hazard columns average over.
+var extendSeeds = []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+
+// ExtendRow is one absorption step of one program.
+type ExtendRow struct {
+	Program string `json:"program"`
+	// Class is the class passed to Extend; NewClasses is its dynamic
+	// super-closure, what the epoch actually absorbed.
+	Class      string   `json:"class"`
+	Epoch      uint64   `json:"epoch"`
+	NewClasses []string `json:"new_classes"`
+	// ExtendNs is Analysis.Extend's latency (graph patch, delta encode,
+	// CPT, verification gate, plan rebuild, publish); FullNs the latency
+	// of the whole-program re-analysis it replaces. Speedup is Full/Extend.
+	ExtendNs int64   `json:"extend_ns"`
+	FullNs   int64   `json:"full_ns"`
+	Speedup  float64 `json:"speedup"`
+	// Dirty territory: how much of the graph the delta actually touched.
+	DirtyNodes        int `json:"dirty_nodes"`
+	TotalNodes        int `json:"total_nodes"`
+	RecomputedAnchors int `json:"recomputed_anchors"`
+	// Hazard pushes per run (mean over the seed set) with fresh sessions
+	// before and after this step — the steady-state run-time cost the
+	// absorption removes.
+	HazardsBefore float64 `json:"hazards_before"`
+	HazardsAfter  float64 `json:"hazards_after"`
+}
+
+// ExtendLatency runs the experiment over the built-in corpus plus any
+// extra programs that declare dynamic classes (others are skipped — there
+// is nothing to absorb).
+func ExtendLatency(extra []NamedProgram) ([]ExtendRow, error) {
+	programs := []NamedProgram{
+		{Name: "dynload", Prog: lang.MustParse(extendDynload)},
+		{Name: "staged", Prog: lang.MustParse(extendStaged)},
+	}
+	for _, np := range extra {
+		if len(np.Prog.Dynamic) > 0 {
+			programs = append(programs, np)
+		}
+	}
+
+	var rows []ExtendRow
+	for _, np := range programs {
+		r, err := extendProgram(np)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", np.Name, err)
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+func extendProgram(np NamedProgram) ([]ExtendRow, error) {
+	an, err := deltapath.Analyze(np.Prog, deltapath.Options{})
+	if err != nil {
+		return nil, err
+	}
+	hazards, err := meanHazards(an)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ExtendRow
+	for _, class := range dynamicOrder(np.Prog) {
+		if contains(an.Absorbed(), class) {
+			continue // pulled in by an earlier class's super-closure
+		}
+		start := time.Now()
+		stats, err := an.Extend(class)
+		if err != nil {
+			return nil, fmt.Errorf("Extend(%s): %w", class, err)
+		}
+		extendNs := time.Since(start).Nanoseconds()
+
+		fullNs, err := fullReanalysisNs(np.Prog, an.Absorbed())
+		if err != nil {
+			return nil, err
+		}
+		after, err := meanHazards(an)
+		if err != nil {
+			return nil, err
+		}
+		speedup := 0.0
+		if extendNs > 0 {
+			speedup = float64(fullNs) / float64(extendNs)
+		}
+		rows = append(rows, ExtendRow{
+			Program:           np.Name,
+			Class:             class,
+			Epoch:             stats.Epoch,
+			NewClasses:        stats.NewClasses,
+			ExtendNs:          extendNs,
+			FullNs:            fullNs,
+			Speedup:           speedup,
+			DirtyNodes:        stats.Core.DirtyNodes,
+			TotalNodes:        stats.Core.TotalNodes,
+			RecomputedAnchors: stats.Core.RecomputedAnchors,
+			HazardsBefore:     hazards,
+			HazardsAfter:      after,
+		})
+		hazards = after
+	}
+	return rows, nil
+}
+
+// meanHazards runs fresh sessions over the seed set at the analysis's
+// current epoch and returns the mean hazardous-UCP pushes per run.
+func meanHazards(an *deltapath.Analysis) (float64, error) {
+	var total uint64
+	for _, seed := range extendSeeds {
+		s, err := an.NewSession(seed)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := s.Run(nil); err != nil {
+			return 0, err
+		}
+		total += s.Hazards()
+	}
+	return float64(total) / float64(len(extendSeeds)), nil
+}
+
+// fullReanalysisNs times the baseline Extend replaces: a whole-program
+// analysis of the original program with the absorbed classes promoted to
+// static.
+func fullReanalysisNs(prog *minivm.Program, absorbed []string) (int64, error) {
+	promoted := &minivm.Program{Entry: prog.Entry}
+	promoted.Classes = append(promoted.Classes, prog.Classes...)
+	for _, name := range absorbed {
+		for _, c := range prog.Dynamic {
+			if c.Name == name {
+				promoted.Classes = append(promoted.Classes, c)
+			}
+		}
+	}
+	for _, c := range prog.Dynamic {
+		if !contains(absorbed, c.Name) {
+			promoted.Dynamic = append(promoted.Dynamic, c)
+		}
+	}
+	start := time.Now()
+	if _, err := deltapath.Analyze(promoted, deltapath.Options{}); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Nanoseconds(), nil
+}
+
+// dynamicOrder returns the program's dynamic class names in declaration
+// order — the absorption schedule.
+func dynamicOrder(prog *minivm.Program) []string {
+	out := make([]string, 0, len(prog.Dynamic))
+	for _, c := range prog.Dynamic {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderExtend prints the incremental-encoding table.
+func RenderExtend(rows []ExtendRow) string {
+	var b strings.Builder
+	b.WriteString("Incremental encoding: Extend latency vs whole-program re-analysis, and steady-state hazard pushes\n")
+	fmt.Fprintf(&b, "%-10s %-8s %5s | %10s %10s %7s | %11s %7s | %10s %10s\n",
+		"program", "class", "epoch", "extend_us", "full_us", "speedup", "dirty/total", "re-anch", "haz before", "haz after")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-8s %5d | %10.1f %10.1f %6.1fx | %5d/%-5d %7d | %10.2f %10.2f\n",
+			r.Program, r.Class, r.Epoch,
+			float64(r.ExtendNs)/1e3, float64(r.FullNs)/1e3, r.Speedup,
+			r.DirtyNodes, r.TotalNodes, r.RecomputedAnchors,
+			r.HazardsBefore, r.HazardsAfter)
+	}
+	return b.String()
+}

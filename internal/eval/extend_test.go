@@ -1,0 +1,80 @@
+package eval
+
+import "testing"
+
+// TestExtendLatencyDynload pins the experiment's headline behaviour on the
+// dynload corpus program: before absorbing Ext every run pays hazard
+// pushes for the unanalysed class (up to 4 per run — one per entry into
+// the analysed world from Ext.op's frames; the seed-set mean is lower
+// because dispatch does not always choose Ext), and after one Extend the
+// steady state is hazard-free.
+func TestExtendLatencyDynload(t *testing.T) {
+	rows, err := ExtendLatency(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dynload *ExtendRow
+	for i := range rows {
+		if rows[i].Program == "dynload" && rows[i].Class == "Ext" {
+			dynload = &rows[i]
+		}
+	}
+	if dynload == nil {
+		t.Fatalf("no dynload/Ext row in %+v", rows)
+	}
+	if dynload.Epoch != 1 {
+		t.Errorf("epoch = %d, want 1", dynload.Epoch)
+	}
+	if dynload.HazardsBefore <= 0 {
+		t.Errorf("hazards before absorb = %v, want > 0", dynload.HazardsBefore)
+	}
+	if dynload.HazardsAfter != 0 {
+		t.Errorf("hazards after absorb = %v, want 0", dynload.HazardsAfter)
+	}
+	if dynload.ExtendNs <= 0 || dynload.FullNs <= 0 {
+		t.Errorf("non-positive latencies: extend=%d full=%d", dynload.ExtendNs, dynload.FullNs)
+	}
+	if dynload.DirtyNodes <= 0 || dynload.DirtyNodes > dynload.TotalNodes {
+		t.Errorf("implausible dirty territory %d/%d", dynload.DirtyNodes, dynload.TotalNodes)
+	}
+}
+
+// TestExtendLatencyStaged checks every staged step publishes a fresh epoch
+// and the super-closure shows up in the Y step (absorbing Y pulls in X
+// when X was not absorbed first — here X is first in declaration order, so
+// instead assert each row's class is in its own NewClasses and hazards
+// never increase as classes are absorbed).
+func TestExtendLatencyStaged(t *testing.T) {
+	rows, err := ExtendLatency(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var staged []ExtendRow
+	for _, r := range rows {
+		if r.Program == "staged" {
+			staged = append(staged, r)
+		}
+	}
+	if len(staged) != 3 {
+		t.Fatalf("staged rows = %d, want 3 (X, Y, Z)", len(staged))
+	}
+	prev := staged[0].HazardsBefore
+	for i, r := range staged {
+		if r.Epoch != uint64(i+1) {
+			t.Errorf("step %d epoch = %d, want %d", i, r.Epoch, i+1)
+		}
+		if !contains(r.NewClasses, r.Class) {
+			t.Errorf("step %d: %s not in NewClasses %v", i, r.Class, r.NewClasses)
+		}
+		if r.HazardsAfter > r.HazardsBefore {
+			t.Errorf("step %d: hazards grew %v -> %v", i, r.HazardsBefore, r.HazardsAfter)
+		}
+		if r.HazardsBefore > prev {
+			t.Errorf("step %d: before-hazards inconsistent with previous after", i)
+		}
+		prev = r.HazardsAfter
+	}
+	if last := staged[len(staged)-1]; last.HazardsAfter != 0 {
+		t.Errorf("fully absorbed program still pays %v hazards per run", last.HazardsAfter)
+	}
+}

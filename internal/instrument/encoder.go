@@ -73,9 +73,10 @@ type Encoder struct {
 	dec encoding.ContextDecoder
 	// walker captures ground-truth stacks for the checker and for resync;
 	// built on first use (its filter is the instrumented-method set).
-	// nodeBuf is its reused capture buffer.
-	walker  *stackwalk.Walker
-	nodeBuf []callgraph.NodeID
+	// nodeBuf/directBuf are its reused capture buffers.
+	walker    *stackwalk.Walker
+	nodeBuf   []callgraph.NodeID
+	directBuf []bool
 }
 
 // Token bits returned by BeforeCall/Enter and consumed by AfterCall/Exit.

@@ -119,6 +119,24 @@ type Plan struct {
 // entities recorded in build. The spec must have been computed over
 // build.Graph.
 func NewPlan(build *cha.Result, spec *encoding.Spec, cptPlan *cpt.Plan) (*Plan, error) {
+	return newPlan(build, spec, cptPlan, nil)
+}
+
+// NewPlanFrom builds the plan of an extended analysis (cha.Extend +
+// core.Extend output) with dense ids stable across the epoch boundary:
+// every call site prev modelled keeps its site id, and new sites append
+// after. Method ids are graph node ids, stable by the prefix property.
+// Stability is what makes a live plan swap safe for an encoder mid-flight —
+// a dense id resolved against the old plan indexes the same entity in the
+// new one.
+func NewPlanFrom(build *cha.Result, spec *encoding.Spec, cptPlan *cpt.Plan, prev *Plan) (*Plan, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("instrument: NewPlanFrom needs a previous plan")
+	}
+	return newPlan(build, spec, cptPlan, prev)
+}
+
+func newPlan(build *cha.Result, spec *encoding.Spec, cptPlan *cpt.Plan, prev *Plan) (*Plan, error) {
 	if spec.Graph != build.Graph {
 		return nil, fmt.Errorf("instrument: spec was computed over a different graph")
 	}
@@ -136,9 +154,32 @@ func NewPlan(build *cha.Result, spec *encoding.Spec, cptPlan *cpt.Plan) (*Plan, 
 		siteID:  make(map[minivm.SiteRef]int32),
 	}
 	g := build.Graph
-	// Dense site ids follow g.Sites() order (deterministic: caller, label),
+	// Dense site ids follow g.Sites() order (deterministic: caller, label).
+	// Under an extension, the previous plan's sites come first, in their old
+	// id order: an old caller's site can materialise its first edge only
+	// after an absorption (its targets were all dynamic before), and letting
+	// it sort among the old sites would shift every later id.
+	order := g.Sites()
+	if prev != nil {
+		ordered := make([]callgraph.Site, 0, len(order))
+		old := make(map[callgraph.Site]bool, len(prev.fastSites))
+		for i := range prev.fastSites {
+			s := prev.fastSites[i].site
+			if len(g.SiteTargets(s)) == 0 {
+				return nil, fmt.Errorf("instrument: site %v vanished from the extended graph", s)
+			}
+			old[s] = true
+			ordered = append(ordered, s)
+		}
+		for _, s := range order {
+			if !old[s] {
+				ordered = append(ordered, s)
+			}
+		}
+		order = ordered
+	}
 	// compiling each payload into its flat fastSites slot as we go.
-	for _, s := range g.Sites() {
+	for _, s := range order {
 		pay := &sitePayload{site: s, av: spec.SiteAV[s]}
 		if spec.PerEdge {
 			pay.perTarget = make(map[callgraph.NodeID]uint64)

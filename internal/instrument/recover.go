@@ -51,16 +51,17 @@ func (e *Encoder) decoder() encoding.ContextDecoder {
 }
 
 // walkNodes captures the VM's ground-truth stack, filtered to instrumented
-// methods and mapped to graph nodes — the reference the checker compares
-// against and the path the resync replays. The node buffer is reused
-// across walks (one encoder serves one VM, so walks never overlap).
-func (e *Encoder) walkNodes(vm *minivm.VM) []callgraph.NodeID {
+// methods and mapped to graph nodes, plus the per-frame call-adjacency
+// flags — the reference the checker compares against and the path the
+// resync replays. The buffers are reused across walks (one encoder serves
+// one VM, so walks never overlap).
+func (e *Encoder) walkNodes(vm *minivm.VM) ([]callgraph.NodeID, []bool) {
 	if e.walker == nil {
 		e.walker = &stackwalk.Walker{Filter: e.plan.InstrumentedMethods()}
 		e.walker.Observe(e.obsReg)
 	}
-	e.nodeBuf = e.walker.CaptureNodes(vm, e.plan.Build.NodeOf, e.nodeBuf[:0])
-	return e.nodeBuf
+	e.nodeBuf, e.directBuf = e.walker.CaptureNodesDirect(vm, e.plan.Build.NodeOf, e.nodeBuf[:0], e.directBuf[:0])
+	return e.nodeBuf, e.directBuf
 }
 
 // VerifyState runs the shadow-stack invariant check: decode the live state
@@ -70,7 +71,8 @@ func (e *Encoder) walkNodes(vm *minivm.VM) []callgraph.NodeID {
 // context ending at the innermost instrumented frame. A nil return means
 // the state is consistent; any error means corruption.
 func (e *Encoder) VerifyState(vm *minivm.VM) error {
-	return e.verifyAgainst(e.walkNodes(vm))
+	path, _ := e.walkNodes(vm)
+	return e.verifyAgainst(path)
 }
 
 func (e *Encoder) verifyAgainst(truth []callgraph.NodeID) error {
@@ -111,8 +113,8 @@ func (e *Encoder) nameAt(truth []callgraph.NodeID, i int) string {
 // incremental tracking resumes and every subsequent query is exact.
 func (e *Encoder) Resync(vm *minivm.VM) { e.resyncTo(e.walkNodes(vm)) }
 
-func (e *Encoder) resyncTo(path []callgraph.NodeID) {
-	st := stackwalk.ReencodeObserved(e.plan.Spec, e.plan.entry, path,
+func (e *Encoder) resyncTo(path []callgraph.NodeID, direct []bool) {
+	st := stackwalk.ReencodeDirect(e.plan.Spec, e.plan.entry, path, direct,
 		e.obsReg.Counter(obs.MetricStackwalkReencodes))
 	// Replace in place so references handed out by State() stay live.
 	*e.st = *st
@@ -142,7 +144,7 @@ func (e *Encoder) resyncTo(path []callgraph.NodeID) {
 // rebuild the state. Reports whether a resync happened; afterwards the
 // state is guaranteed consistent with the VM's stack.
 func (e *Encoder) VerifyAndResync(vm *minivm.VM) bool {
-	path := e.walkNodes(vm)
+	path, direct := e.walkNodes(vm)
 	corrupt := e.suspect
 	if !corrupt {
 		if err := e.verifyAgainst(path); err != nil {
@@ -162,6 +164,6 @@ func (e *Encoder) VerifyAndResync(vm *minivm.VM) bool {
 			e.obs.partials.Inc()
 		}
 	}
-	e.resyncTo(path)
+	e.resyncTo(path, direct)
 	return true
 }

@@ -22,7 +22,7 @@ var MagicBytes = &Analyzer{
 	Run: runMagicBytes,
 }
 
-var magicStrings = []string{"DPA1\n", "DPA2\n", "DPP1\n"}
+var magicStrings = []string{"DPA1\n", "DPA2\n", "DPA3\n", "DPP1\n", "DPP2\n"}
 
 func runMagicBytes(f *File) []Finding {
 	// internal/lint is exempt too: the rule definition has to spell the

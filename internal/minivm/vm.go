@@ -105,6 +105,10 @@ type VM struct {
 	prog    *Program
 	classes map[string]*Class // name -> definition (static + dynamic)
 	static  map[string]bool   // statically loaded class names
+	// analyzed marks dynamically loaded classes a later incremental
+	// analysis absorbed (Analysis.Extend): their methods are instrumented
+	// exactly like static ones from the moment MarkAnalyzed runs.
+	analyzed map[string]bool
 
 	loaded  map[string]bool             // currently loaded class names
 	methods map[MethodRef]*loadedMethod // loaded methods
@@ -210,6 +214,7 @@ func NewVM(prog *Program, seed uint64) (*VM, error) {
 		prog:     prog,
 		classes:  make(map[string]*Class),
 		static:   make(map[string]bool),
+		analyzed: make(map[string]bool),
 		loaded:   make(map[string]bool),
 		methods:  make(map[MethodRef]*loadedMethod),
 		supers:   make(map[string]string),
@@ -252,6 +257,26 @@ func (vm *VM) SetInstrumented(set map[MethodRef]bool) { vm.instrumented = set }
 // SetProbeDynamic makes Enter/Exit probes fire for dynamically loaded
 // methods too (depth-tracking ablation only).
 func (vm *VM) SetProbeDynamic(on bool) { vm.probeDynamic = on }
+
+// MarkAnalyzed flips the named dynamically loaded classes into the analysed
+// world, after an incremental analysis (Analysis.Extend) absorbed them:
+// their methods — already loaded or loaded later — are instrumented exactly
+// like static ones from now on. Call it after installing the extended
+// analysis's probes: it re-resolves every loaded method's dense probe-id
+// tables, because ids cached against the previous plan are stale for newly
+// analysed methods (their entries and call sites resolved to "no payload"
+// when the class was outside the graph).
+func (vm *VM) MarkAnalyzed(names ...string) {
+	for _, n := range names {
+		vm.analyzed[n] = true
+	}
+	for _, lm := range vm.methods {
+		if lm.dynamic && vm.analyzed[lm.ref.Class] {
+			lm.dynamic = false
+		}
+	}
+	vm.resolveFast()
+}
 
 // SetInstrumentedSites restricts call-site probes to the given sites; nil
 // means every site within instrumented methods fires. The fast-path site
@@ -369,7 +394,7 @@ func (vm *VM) load(name string) error {
 	}
 	vm.loaded[name] = true
 	vm.supers[name] = c.Super
-	dynamic := !vm.static[name]
+	dynamic := !vm.static[name] && !vm.analyzed[name]
 	for _, m := range c.Methods {
 		ref := MethodRef{Class: name, Method: m.Name}
 		lm := &loadedMethod{

@@ -6,21 +6,30 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"deltapath/internal/analysisio"
 )
 
 // The streaming binary profile format (".dpp"):
 //
-//	magic   "DPP1\n"
+//	magic   "DPP2\n" (or "DPP1\n", the pre-epoch format)
 //	digest  uvarint nodes, uvarint edges, uvarint hash
 //	        — the analysisio.GraphDigest of the call graph the records
 //	          were captured under; a reader refuses to decode against a
 //	          mismatching analysis, exactly like analysisio.Load refuses
 //	          stale/tampered analyses.
+//	epoch   uvarint (DPP2 only) — the analysis epoch the records were
+//	        captured under: how many incremental extensions
+//	        (Analysis.Extend) behind the whole-program analysis. DPP1
+//	        files are epoch 0.
 //	records repeated until EOF:
 //	        uvarint len (1..MaxRecordBytes), len record bytes, uvarint
 //	        count (>= 1)
+//
+// An epoch-0 profile is written as DPP1, byte-identical with pre-epoch
+// builds — existing files, WAL fixtures and golden bytes stay valid — and
+// the epoch field appears only when there is an epoch to record.
 //
 // The format is append-friendly: the same record may appear more than once
 // (e.g. one Writer fed from several runs without a merging store); readers
@@ -28,7 +37,10 @@ import (
 // profile streams in a few megabytes with no in-memory table on either
 // side.
 
-const dppMagic = "DPP1\n"
+const (
+	dppMagic   = "DPP1\n"
+	dppMagicV2 = "DPP2\n"
+)
 
 // ErrTruncatedRecord marks a record cut short by end of input — a stream
 // that stopped mid-varint or mid-record-body, the signature of a crash
@@ -56,13 +68,33 @@ type Writer struct {
 
 // NewWriter writes the header and returns a streaming writer. digest must
 // describe the call graph of the analysis the records were captured under.
+// The profile is stamped epoch 0; use NewWriterEpoch for records captured
+// under an extended analysis.
 func NewWriter(w io.Writer, digest analysisio.GraphDigest) (*Writer, error) {
+	return NewWriterEpoch(w, digest, 0)
+}
+
+// NewWriterEpoch is NewWriter with an explicit analysis epoch. Epoch 0
+// writes the DPP1 header (no epoch field, byte-identical with pre-epoch
+// builds); a nonzero epoch writes DPP2 with the epoch after the digest.
+func NewWriterEpoch(w io.Writer, digest analysisio.GraphDigest, epoch uint64) (*Writer, error) {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(dppMagic); err != nil {
+	head := dppMagic
+	if epoch > 0 {
+		head = dppMagicV2
+	}
+	if _, err := bw.WriteString(head); err != nil {
 		return nil, err
 	}
 	if err := WriteDigest(bw, digest); err != nil {
 		return nil, err
+	}
+	if epoch > 0 {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], epoch)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return nil, err
+		}
 	}
 	return &Writer{bw: bw}, nil
 }
@@ -168,30 +200,54 @@ func AppendRecord(buf []byte, record []byte, count uint64) []byte {
 type Reader struct {
 	br     *bufio.Reader
 	digest analysisio.GraphDigest
+	epoch  uint64
 	n      uint64
 	err    error
 }
 
 // NewReader parses the header. It fails on a bad magic, an unsupported
-// version, or a truncated digest.
+// version (a typed analysisio.VersionSkewError naming both sides), or a
+// truncated digest. Both DPP2 and the pre-epoch DPP1 are accepted; DPP1
+// profiles report epoch 0.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(dppMagic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
 	}
-	if string(head) != dppMagic {
-		return nil, fmt.Errorf("profile: bad magic %q (not a .dpp profile, or unsupported version)", head)
+	var epochal bool
+	switch string(head) {
+	case dppMagic:
+	case dppMagicV2:
+		epochal = true
+	default:
+		if strings.HasPrefix(string(head), "DPP") {
+			return nil, fmt.Errorf("profile: %w", &analysisio.VersionSkewError{
+				Found:     strings.TrimSuffix(string(head), "\n"),
+				Supported: []string{"DPP2", "DPP1"},
+			})
+		}
+		return nil, fmt.Errorf("profile: bad magic %q (not a .dpp profile)", head)
 	}
 	digest, err := ReadDigest(br)
 	if err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
 	}
-	return &Reader{br: br, digest: digest}, nil
+	var epoch uint64
+	if epochal {
+		if epoch, err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("profile: truncated epoch: %w", err)
+		}
+	}
+	return &Reader{br: br, digest: digest, epoch: epoch}, nil
 }
 
 // Digest returns the graph digest the profile was recorded under.
 func (r *Reader) Digest() analysisio.GraphDigest { return r.digest }
+
+// Epoch returns the analysis epoch the profile was recorded under (0 for
+// DPP1 files and whole-program analyses).
+func (r *Reader) Epoch() uint64 { return r.epoch }
 
 // Records reports how many records Next has returned so far.
 func (r *Reader) Records() uint64 { return r.n }

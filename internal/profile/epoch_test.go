@@ -1,0 +1,122 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"deltapath/internal/analysisio"
+)
+
+// Wire-format tests for the .dpp epoch field DPP2 added: exact layout, the
+// epoch-0 DPP1 compatibility guarantee, and version-skew rejection.
+
+func TestDPPEpochHeaderGolden(t *testing.T) {
+	dig := analysisio.GraphDigest{Nodes: 11, Edges: 29, Hash: 0xfeedface}
+	write := func(epoch uint64) []byte {
+		var buf bytes.Buffer
+		w, err := NewWriterEpoch(&buf, dig, epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Add([]byte{1, 2, 3}, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	v1 := write(0)
+	const epoch = 5
+	v2 := write(epoch)
+
+	// Epoch 0 stays on the pre-epoch wire format, byte for byte.
+	var legacy bytes.Buffer
+	w, err := NewWriter(&legacy, dig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]byte{1, 2, 3}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1, legacy.Bytes()) {
+		t.Fatal("NewWriterEpoch(0) is not byte-identical with NewWriter")
+	}
+	if !bytes.HasPrefix(v1, []byte("DPP1\n")) {
+		t.Fatalf("epoch-0 magic = %q, want DPP1", v1[:5])
+	}
+	if !bytes.HasPrefix(v2, []byte("DPP2\n")) {
+		t.Fatalf("epochal magic = %q, want DPP2", v2[:5])
+	}
+
+	// DPP2 layout: magic, digest (same bytes as DPP1), epoch uvarint, then
+	// the identical record stream.
+	r1, r2 := v1[5:], v2[5:]
+	dlen := 0
+	for i := 0; i < 3; i++ {
+		_, n := binary.Uvarint(r1[dlen:])
+		if n <= 0 {
+			t.Fatal("cannot parse digest uvarints")
+		}
+		dlen += n
+	}
+	if !bytes.Equal(r1[:dlen], r2[:dlen]) {
+		t.Fatal("digest bytes differ between DPP1 and DPP2")
+	}
+	got, n := binary.Uvarint(r2[dlen:])
+	if n <= 0 || got != epoch {
+		t.Fatalf("epoch field after digest = %d, want %d", got, epoch)
+	}
+	if !bytes.Equal(r1[dlen:], r2[dlen+n:]) {
+		t.Fatal("record stream differs after the epoch field")
+	}
+
+	// Readers surface the stamp.
+	for _, tc := range []struct {
+		data []byte
+		want uint64
+	}{{v1, 0}, {v2, epoch}} {
+		r, err := NewReader(bytes.NewReader(tc.data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Epoch() != tc.want {
+			t.Fatalf("Reader.Epoch() = %d, want %d", r.Epoch(), tc.want)
+		}
+		if r.Digest() != dig {
+			t.Fatalf("Reader.Digest() = %+v, want %+v", r.Digest(), dig)
+		}
+		if _, _, err := r.Next(); err != nil {
+			t.Fatalf("first record: %v", err)
+		}
+	}
+}
+
+func TestDPPVersionSkew(t *testing.T) {
+	_, err := NewReader(strings.NewReader("DPP7\n\x00\x00\x00"))
+	var skew *analysisio.VersionSkewError
+	if !errors.As(err, &skew) {
+		t.Fatalf("NewReader = %v, want VersionSkewError", err)
+	}
+	if skew.Found != "DPP7" {
+		t.Errorf("Found = %q, want DPP7", skew.Found)
+	}
+	msg := skew.Error()
+	for _, v := range []string{"DPP7", "DPP2", "DPP1"} {
+		if !strings.Contains(msg, v) {
+			t.Errorf("error %q does not name version %q", msg, v)
+		}
+	}
+	// Non-DPP magic is corruption, not skew.
+	_, err = NewReader(strings.NewReader("nope\nxxxx"))
+	if err == nil || errors.As(err, &skew) {
+		t.Fatalf("bad magic: NewReader = %v, want a plain (non-skew) error", err)
+	}
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"deltapath"
+	"deltapath/internal/analysisio"
+	"deltapath/internal/profile"
+)
+
+// epochSrc has one dynamic class so the analysis can be extended past
+// epoch 0 before it is handed to the server.
+const epochSrc = `
+entry E.main
+class E {
+  method main {
+    load Late
+    loop 3 { vcall Base.op }
+    emit done
+  }
+}
+class Base { method op { emit base } }
+dynamic class Late extends Base { method op { emit late } }
+`
+
+// TestTenantEpochSurfacing registers a tenant from an extended (epoch-1)
+// analysis and checks the epoch flows through: the DPA3 bundle, the
+// AddTenant reply, /healthz, and ingest routing for a .dpp stamped with
+// the same epoch.
+func TestTenantEpochSurfacing(t *testing.T) {
+	prog, err := deltapath.ParseProgram(epochSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := deltapath.Analyze(prog, deltapath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.Extend("Late"); err != nil {
+		t.Fatal(err)
+	}
+	var dpa bytes.Buffer
+	if err := an.SaveAnalysis(&dpa); err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := analysisio.Load(bytes.NewReader(dpa.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bundle.Epoch != 1 {
+		t.Fatalf("extended bundle epoch = %d, want 1", bundle.Epoch)
+	}
+
+	s := newTestServer(t, t.TempDir(), Config{})
+	defer s.Close(context.Background())
+	th, err := s.AddTenant("live", bytes.NewReader(dpa.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Epoch != 1 {
+		t.Fatalf("AddTenant epoch = %d, want 1", th.Epoch)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	h := healthz(t, ts.URL)
+	if len(h.Tenants) != 1 || h.Tenants[0].Epoch != 1 {
+		t.Fatalf("healthz tenants = %+v, want one tenant at epoch 1", h.Tenants)
+	}
+
+	// A profile captured at that epoch ingests by digest as usual.
+	ctxs, err := an.Run(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctxs) == 0 {
+		t.Fatal("program emitted no contexts")
+	}
+	var dpp bytes.Buffer
+	w, err := profile.NewWriterEpoch(&dpp, bundle.Digest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ctxs {
+		rec, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Add(rec, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, ir := ingest(t, ts.URL, dpp.Bytes(), "epoch-batch")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	if ir.Applied != len(ctxs) || ir.Quarantined != 0 {
+		t.Fatalf("ingest reply: %+v", ir)
+	}
+}
+
+// TestTenantEpochZeroDefault pins the compatibility side: a pre-epoch
+// (DPA2) tenant reports epoch 0.
+func TestTenantEpochZeroDefault(t *testing.T) {
+	fx := loadFixture(t)
+	s := newTestServer(t, t.TempDir(), Config{})
+	defer s.Close(context.Background())
+	th, err := s.AddTenant("app", bytes.NewReader(fx.dpa))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Epoch != 0 {
+		t.Fatalf("legacy tenant epoch = %d, want 0", th.Epoch)
+	}
+}

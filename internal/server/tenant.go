@@ -46,6 +46,7 @@ type batch struct {
 type TenantHealth struct {
 	Name           string `json:"name"`
 	Digest         string `json:"digest"`
+	Epoch          uint64 `json:"epoch"`
 	Records        uint64 `json:"records"`
 	Unique         uint64 `json:"unique_contexts"`
 	Batches        uint64 `json:"batches_applied"`
@@ -72,6 +73,7 @@ type TenantHealth struct {
 type tenant struct {
 	name   string
 	digest analysisio.GraphDigest
+	epoch  uint64
 	dec    *encoding.CompiledDecoder
 	graph  *callgraph.Graph
 	dir    string
@@ -129,6 +131,7 @@ func newTenant(name string, bundle *analysisio.Bundle, dir string, queueDepth in
 	t := &tenant{
 		name:        name,
 		digest:      bundle.Digest,
+		epoch:       bundle.Epoch,
 		dec:         encoding.Compile(bundle.Spec),
 		graph:       bundle.Graph,
 		dir:         dir,
@@ -399,6 +402,7 @@ func (t *tenant) health() TenantHealth {
 	return TenantHealth{
 		Name:                t.name,
 		Digest:              t.digest.String(),
+		Epoch:               t.epoch,
 		Records:             t.store.Total(),
 		Unique:              t.store.Unique(),
 		Batches:             t.batches.Load(),

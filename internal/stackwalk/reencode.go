@@ -29,6 +29,18 @@ func Reencode(spec *encoding.Spec, entry callgraph.NodeID, path []callgraph.Node
 // ReencodeObserved is Reencode with an observability hook: reencodes (nil
 // = no-op) counts each state rebuild, the healer's primary rate signal.
 func ReencodeObserved(spec *encoding.Spec, entry callgraph.NodeID, path []callgraph.NodeID, reencodes *obs.Counter) *encoding.State {
+	return ReencodeDirect(spec, entry, path, nil, reencodes)
+}
+
+// ReencodeDirect is ReencodeObserved with call adjacency from the walk:
+// direct, when non-nil, is parallel to path and reports for each frame
+// whether it was entered directly from the previous kept frame (see
+// Walker.CaptureNodesDirect). A transition that is not direct flowed
+// through unanalysed frames, so the replay pushes a hazardous UCP there —
+// matching what the live probes did — even when a static edge happens to
+// connect the pair. Without the flags a connecting edge is preferred, the
+// most compact state consistent with the filtered path.
+func ReencodeDirect(spec *encoding.Spec, entry callgraph.NodeID, path []callgraph.NodeID, direct []bool, reencodes *obs.Counter) *encoding.State {
 	reencodes.Inc()
 	if len(path) == 0 {
 		return encoding.NewState(entry)
@@ -39,9 +51,10 @@ func ReencodeObserved(spec *encoding.Spec, entry callgraph.NodeID, path []callgr
 		st.PushAnchor(path[0])
 	}
 	prev := path[0]
-	for _, n := range path[1:] {
+	for i, n := range path[1:] {
+		viaCall := direct == nil || direct[i+1]
 		pushedEdge := false
-		if e, ok := findEdge(spec, prev, n); ok {
+		if e, ok := findEdge(spec, prev, n); ok && viaCall {
 			if kind, push := spec.Push[e]; push {
 				st.PushCallEdge(kind, e.Site(), n)
 				pushedEdge = true

@@ -74,6 +74,38 @@ func (w *Walker) CaptureNodes(vm *minivm.VM, nodeOf map[minivm.MethodRef]callgra
 	return buf
 }
 
+// CaptureNodesDirect is CaptureNodes plus call adjacency: alongside the
+// node for each kept frame it records whether that frame sits immediately
+// above the previous kept frame on the raw stack — i.e. whether the call
+// that created it came directly from the previous kept frame, with no
+// dropped (unanalysed or filtered-out) frames in between. For the first
+// kept frame the flag reports whether it is the raw stack bottom. The
+// reencoder uses the flags to place hazardous-UCP pushes exactly where
+// the live instrumentation would have, instead of guessing a direct edge
+// when one happens to exist. Both buffers may be reused across walks.
+func (w *Walker) CaptureNodesDirect(vm *minivm.VM, nodeOf map[minivm.MethodRef]callgraph.NodeID, buf []callgraph.NodeID, dbuf []bool) ([]callgraph.NodeID, []bool) {
+	depth := vm.Depth()
+	w.walks.Inc()
+	w.frames.Add(uint64(depth))
+	dropped := false
+	for i := 0; i < depth; i++ {
+		f := vm.Frame(i)
+		if w.Filter != nil && !w.Filter[f] {
+			dropped = true
+			continue
+		}
+		n, ok := nodeOf[f]
+		if !ok {
+			dropped = true
+			continue
+		}
+		buf = append(buf, n)
+		dbuf = append(dbuf, !dropped)
+		dropped = false
+	}
+	return buf, dbuf
+}
+
 // Key canonicalizes a context for uniqueness accounting.
 func Key(ctx []minivm.MethodRef) string {
 	parts := make([]string, len(ctx))

@@ -60,20 +60,34 @@ type TraceEvent struct {
 // counts — is published as gauges immediately.
 func (a *Analysis) EnableMetrics() {
 	a.obsMu.Lock()
-	defer a.obsMu.Unlock()
 	if a.obsReg != nil {
+		a.obsMu.Unlock()
 		return
 	}
-	reg := obs.NewRegistry()
-	reg.Gauge(obs.MetricGraphNodes).Set(uint64(a.build.Graph.NumNodes()))
-	reg.Gauge(obs.MetricGraphEdges).Set(uint64(a.build.Graph.NumEdges()))
-	reg.Gauge(obs.MetricAnchors).Set(uint64(len(a.result.Spec.Anchors)))
-	reg.Gauge(obs.MetricMaxID).Set(a.result.MaxID)
-	if a.plan.CPT != nil {
-		a.plan.CPT.Observe(reg)
+	a.obsReg = obs.NewRegistry()
+	a.obsMu.Unlock()
+	a.epochGauges(a.epoch())
+}
+
+// epochGauges republishes the static-shape gauges for an epoch — called at
+// EnableMetrics and again at every successful Extend, so the gauges always
+// describe the current epoch. No-op while metrics are off. Extend already
+// holds epochMu; only obsMu is taken here.
+func (a *Analysis) epochGauges(e *epochState) {
+	a.obsMu.Lock()
+	reg := a.obsReg
+	a.obsMu.Unlock()
+	if reg == nil {
+		return
 	}
-	a.decoder.Observe(reg)
-	a.obsReg = reg
+	reg.Gauge(obs.MetricGraphNodes).Set(uint64(e.build.Graph.NumNodes()))
+	reg.Gauge(obs.MetricGraphEdges).Set(uint64(e.build.Graph.NumEdges()))
+	reg.Gauge(obs.MetricAnchors).Set(uint64(len(e.result.Spec.Anchors)))
+	reg.Gauge(obs.MetricMaxID).Set(e.result.MaxID)
+	if e.plan.CPT != nil {
+		e.plan.CPT.Observe(reg)
+	}
+	e.decoder.Observe(reg)
 }
 
 // EnableTracing attaches a fixed-size lock-free ring buffer tracer that
