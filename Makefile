@@ -2,9 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench chaos eval profile-baseline fuzz examples clean \
-	lint lint-invariants verify-encodings bench-smoke bench-baseline decode-baseline \
-	golden-freshness ci-local serve-smoke ingest-stress extend-soak
+.PHONY: all build test test-short test-shuffle race bench chaos eval profile-baseline fuzz \
+	examples clean lint lint-invariants verify-encodings bench-smoke bench-baseline \
+	decode-baseline scale-baseline golden-freshness ci-local serve-smoke ingest-stress \
+	extend-soak scale-smoke
 
 all: build test
 
@@ -17,6 +18,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The CI test step runs with -shuffle=on: any hidden inter-test ordering
+# dependency fails loudly instead of lurking.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
 
 # A short chaos pass rides along via ./... (internal/chaos trims its seed
 # counts under -short).
@@ -102,6 +108,14 @@ lint-invariants:
 verify-encodings:
 	$(GO) run ./cmd/dplint examples/*.mv testdata/*.mv
 
+# Huge-graph scalability gate: one reduced 5×10⁴-node tier end to end —
+# generate, analyze with the level-parallel engine and the serial reference,
+# assert byte-identical .dpa output, verify, compile, decode (see
+# scale_smoke_test.go). The full 10⁵–10⁶-node curve is
+# `go run ./cmd/dpbench -experiment scale -scale 1.0` (results/scale.txt).
+scale-smoke:
+	SCALE_SMOKE_NODES=50000 $(GO) test -race -count=1 -run TestScaleSmoke . -v
+
 # Bench-smoke regression gate: re-measure the newest results/BENCH_*.json
 # baseline and fail on any key metric >25% worse (see cmd/dpbench/compare.go
 # and EXPERIMENTS.md for the gated metrics and re-baselining).
@@ -109,12 +123,22 @@ bench-smoke:
 	$(GO) run ./cmd/dpbench -compare \
 		"$$(ls results/BENCH_*.json | sort | tail -1)" -tolerance 0.25 -repeats 5
 
-# Record a fresh bench-smoke baseline (bump NNNN; commit the file).
+# Record a fresh bench-smoke baseline (bump NNNN; commit the file). The
+# scale experiment rides along at -scale 0.4 (tiers 40k–400k nodes): the
+# gate re-measures only its ≤10⁵-node tiers, and only the machine-
+# independent bytes/node plus the identity/verify verdicts.
 bench-baseline:
 	mkdir -p results
-	$(GO) run ./cmd/dpbench -experiment encode,profile,decode \
-		-bench compress,sunflow,mpegaudio -scale 0.4 -repeats 5 -json \
-		> results/BENCH_0005.json
+	$(GO) run ./cmd/dpbench -experiment encode,profile,decode,scale \
+		-bench compress,sunflow,mpegaudio -scale 0.4 -repeats 5 -workers 4 -json \
+		> results/BENCH_0008.json
+
+# Regenerate the full million-node scale curve (results/scale.txt) — the
+# human-readable companion of the scale rows in the bench baseline, and the
+# acceptance artifact for the 10⁶-node tier.
+scale-baseline:
+	mkdir -p results
+	$(GO) run ./cmd/dpbench -experiment scale -scale 1.0 -workers 4 | tee results/scale.txt
 
 # Regenerate the decode-throughput table over the full suite (legacy map
 # decoder vs compiled flat tables; results/decode.txt) — the human-readable
@@ -133,7 +157,7 @@ golden-freshness:
 		{ echo "golden files drifted: review and commit the regenerated files"; exit 1; }
 
 # Everything CI runs, in CI's order — reproduce a red workflow offline.
-ci-local: lint lint-invariants build test race verify-encodings serve-smoke ingest-stress extend-soak golden-freshness bench-smoke
+ci-local: lint lint-invariants build test-shuffle race verify-encodings serve-smoke ingest-stress extend-soak golden-freshness bench-smoke scale-smoke
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalContext -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzCompiledDecode -fuzztime 5s ./internal/encoding

@@ -3,7 +3,10 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"deltapath/internal/eval"
 	"deltapath/internal/workload"
@@ -30,6 +33,7 @@ type baselineDoc struct {
 	Profile []eval.ProfileRow
 	Decode  []eval.DecodeRow
 	Fig8    []eval.Fig8Row
+	Scale   []eval.ScaleRow
 	Meta    struct {
 		Scale float64
 		Bench []string
@@ -71,8 +75,9 @@ func runCompare(path string, tolerance float64, repeats int) {
 		fmt.Fprintf(os.Stderr, "dpbench: -compare %s: %v\n", path, err)
 		os.Exit(2)
 	}
-	if len(base.Encode) == 0 && len(base.Profile) == 0 && len(base.Decode) == 0 && len(base.Fig8) == 0 {
-		fmt.Fprintf(os.Stderr, "dpbench: -compare %s: no comparable experiments (encode/profile/decode/fig8)\n", path)
+	if len(base.Encode) == 0 && len(base.Profile) == 0 && len(base.Decode) == 0 &&
+		len(base.Fig8) == 0 && len(base.Scale) == 0 {
+		fmt.Fprintf(os.Stderr, "dpbench: -compare %s: no comparable experiments (encode/profile/decode/fig8/scale)\n", path)
 		os.Exit(2)
 	}
 	scale := base.Meta.Scale
@@ -169,6 +174,43 @@ func runCompare(path string, tolerance float64, repeats int) {
 		}
 	}
 
+	if len(base.Scale) > 0 {
+		// Scale tiers: only machine-independent facts are gated — the
+		// analysis memory budget (bytes/node is an allocation count, not a
+		// timing) plus the hard correctness verdicts; absolute tier timings
+		// are recorded in the baseline but never compared. Tiers above 10⁵
+		// nodes are skipped: re-measuring them is a minutes-scale job that
+		// belongs to scale-smoke, not the bench gate.
+		byTier := make(map[string]workload.HugeParams)
+		for _, p := range workload.HugeTiers(scaleTierFactor(base.Scale)) {
+			byTier[p.Name] = p
+		}
+		for _, b := range base.Scale {
+			if b.Nodes > 100_000 || !b.Identical || !b.VerifyClean {
+				continue // over-budget tier, or baseline itself not certified
+			}
+			p, ok := byTier[b.Tier]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dpbench: baseline names unknown scale tier %q (re-baseline needed)\n", b.Tier)
+				os.Exit(2)
+			}
+			fresh, err := eval.ScaleCurve([]workload.HugeParams{p}, b.Par, b.DecodeSample)
+			if err != nil {
+				fatalCompare(err)
+			}
+			f := fresh[0]
+			if !f.Identical || !f.VerifyClean {
+				// Not a tolerance question: a divergent or uncertified
+				// engine fails the gate outright.
+				checks = append(checks, check{
+					name: "scale " + b.Tier + " identity+verify", base: 1, fresh: 0, ratio: math.Inf(1),
+				})
+				continue
+			}
+			add(lowerBetter("scale "+b.Tier+" bytes/node", b.BytesPerNode, f.BytesPerNode))
+		}
+	}
+
 	regressions := 0
 	fmt.Printf("bench-smoke gate: %s vs fresh best-of-%d (tolerance %.0f%%)\n",
 		path, repeats, tolerance*100)
@@ -205,6 +247,21 @@ func suiteFromNames(names []string) []workload.Params {
 		out = append(out, p)
 	}
 	return out
+}
+
+// scaleTierFactor recovers the HugeTiers scale factor a baseline's scale
+// rows were generated with, from the first tier's name ("huge-<n>k" targets
+// n×1000 nodes; the tier base is 100k).
+func scaleTierFactor(rows []eval.ScaleRow) float64 {
+	if len(rows) == 0 {
+		return 1
+	}
+	name := strings.TrimSuffix(strings.TrimPrefix(rows[0].Tier, "huge-"), "k")
+	n, err := strconv.Atoi(name)
+	if err != nil || n <= 0 {
+		return 1
+	}
+	return float64(n) * 1000 / 100_000
 }
 
 func fatalCompare(err error) {

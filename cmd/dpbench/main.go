@@ -14,6 +14,7 @@
 //	dpbench -experiment table1|fig8|table2|decode|profile|encode|graph|extend|all
 //	        [-scale 0.2] [-repeats 3] [-workers 1]
 //	        [-bench compress,sunflow] [-json]
+//	dpbench -experiment scale [-scale 1.0] [-workers 4] [-json]
 //	dpbench -compare results/BENCH_0003.json [-tolerance 0.25] [-repeats 3]
 //
 // Scale multiplies workload loop-trip counts: 1.0 is the full configured
@@ -35,6 +36,14 @@
 // flat tables (encoding.Compile) — reporting ns/context for each, the
 // legacy/compiled speedup, compiled-path frames/s, and compiled
 // steady-state allocations per decode (expected 0).
+//
+// The scale experiment sweeps the huge-graph scalability tiers
+// (workload.HugeTiers, 10⁵–10⁶ nodes at -scale 1.0): per tier it measures
+// parallel and serial analysis latency, spec-compile latency, the analysis
+// memory budget (peak bytes, bytes/node), and compiled decode ns/context,
+// while proving the level-parallel engine byte-identical to the serial
+// reference and running the soundness verifier. It is opt-in — excluded
+// from -experiment all — because the top tier allocates gigabytes.
 //
 // The extend experiment measures incremental encoding (Analysis.Extend):
 // per absorbed dynamic class, the delta-analysis latency against the
@@ -89,7 +98,7 @@ func loadPrograms(glob string) ([]eval.NamedProgram, error) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "comma-separated subset of table1, fig8, table2, decode, profile, encode, graph, extend; or all")
+	experiment := flag.String("experiment", "all", "comma-separated subset of table1, fig8, table2, decode, profile, encode, graph, extend; or all; scale is opt-in (huge graphs)")
 	scale := flag.Float64("scale", 0.2, "workload scale factor (1.0 = full runs)")
 	repeats := flag.Int("repeats", 3, "throughput repetitions per configuration (fig8, decode, encode, -compare)")
 	workers := flag.Int("workers", 1, "concurrent benchmark worker threads (fig8)")
@@ -208,6 +217,38 @@ func main() {
 		}
 		return emit("extend", rows, eval.RenderExtend(rows))
 	})
+	// The scale experiment sweeps the huge-graph tiers (workload.HugeTiers):
+	// at -scale 1.0 the top tier is a million-node, multi-million-edge
+	// graph, so it is opt-in — never part of -experiment all. -scale
+	// multiplies the tier node counts; -workers sets the parallel engine's
+	// worker count (minimum 2, so the level-parallel schedule always runs
+	// and is proven byte-identical to the serial reference).
+	if wanted["scale"] {
+		scaleWorkers := *workers
+		if scaleWorkers < 2 {
+			scaleWorkers = 2
+		}
+		rows, err := eval.ScaleCurve(workload.HugeTiers(*scale), scaleWorkers, 256)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: scale: %v\n", err)
+			os.Exit(1)
+		}
+		failed := false
+		for _, r := range rows {
+			if !r.Identical || !r.VerifyClean {
+				failed = true
+			}
+		}
+		if err := emit("scale", rows, eval.RenderScale(rows)); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: scale: %v\n", err)
+			os.Exit(1)
+		}
+		if failed {
+			fmt.Fprintln(os.Stderr, "dpbench: scale: engine divergence or verification finding (see rows)")
+			os.Exit(1)
+		}
+	}
+
 	// The encode experiment's metrics-on runs aggregate into reg, which
 	// -json surfaces as meta.metrics — the observability layer observing
 	// its own benchmark.

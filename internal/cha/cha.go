@@ -94,33 +94,48 @@ func buildOver(entryRef minivm.MethodRef, analysed []*minivm.Class, opts Options
 	h := NewHierarchy(analysed)
 
 	// Full static graph first (both settings need it: reachability under
-	// encoding-application is still defined through library code).
+	// encoding-application is still defined through library code). Methods
+	// are interned to dense int32 ids as they appear, so edge storage and
+	// the reachability sweep below work on ints, not two-string structs —
+	// at huge method counts the per-edge MethodRef hashing dominated.
+	intern := make(map[minivm.MethodRef]int32)
+	var refs []minivm.MethodRef
+	mid := func(ref minivm.MethodRef) int32 {
+		if i, ok := intern[ref]; ok {
+			return i
+		}
+		i := int32(len(refs))
+		intern[ref] = i
+		refs = append(refs, ref)
+		return i
+	}
 	type edgeRec struct {
-		from minivm.MethodRef
+		from int32
 		site int32
-		to   minivm.MethodRef
+		to   int32
 	}
 	var edges []edgeRec
-	var spawns []minivm.MethodRef
-	spawnSeen := make(map[minivm.MethodRef]bool)
+	var spawns []int32
+	spawnSeen := make(map[int32]bool)
 	appOnly := opts.Setting == EncodingApplication
 
+	entryID := mid(entryRef)
 	for _, c := range analysed {
 		for _, m := range c.Methods {
-			from := minivm.MethodRef{Class: c.Name, Method: m.Name}
+			from := mid(minivm.MethodRef{Class: c.Name, Method: m.Name})
 			WalkCalls(m.Body, func(in *minivm.Instr) {
 				switch in.Op {
 				case minivm.OpCall:
-					edges = append(edges, edgeRec{from, in.Site, minivm.MethodRef{Class: in.Class, Method: in.Name}})
+					edges = append(edges, edgeRec{from, in.Site, mid(minivm.MethodRef{Class: in.Class, Method: in.Name})})
 				case minivm.OpVCall:
 					for _, target := range h.Dispatch(in.Class, in.Name) {
-						edges = append(edges, edgeRec{from, in.Site, target})
+						edges = append(edges, edgeRec{from, in.Site, mid(target)})
 					}
 				case minivm.OpSpawn:
 					// A spawn is not a call edge — the task runs on its
 					// own stack — but its target is a reachability root
 					// and a context root.
-					ref := minivm.MethodRef{Class: in.Class, Method: in.Name}
+					ref := mid(minivm.MethodRef{Class: in.Class, Method: in.Name})
 					if !spawnSeen[ref] {
 						spawnSeen[ref] = true
 						spawns = append(spawns, ref)
@@ -130,14 +145,25 @@ func buildOver(entryRef minivm.MethodRef, analysed []*minivm.Class, opts Options
 		}
 	}
 
-	// Reachability over the full graph from the entry and every
-	// statically known task entry.
-	adj := make(map[minivm.MethodRef][]minivm.MethodRef)
+	// Reachability over the full graph from the entry and every statically
+	// known task entry: counting-sorted CSR adjacency, iterative sweep.
+	adjStart := make([]int32, len(refs)+1)
 	for _, e := range edges {
-		adj[e.from] = append(adj[e.from], e.to)
+		adjStart[e.from+1]++
 	}
-	reach := map[minivm.MethodRef]bool{entryRef: true}
-	work := []minivm.MethodRef{entryRef}
+	for v := 0; v < len(refs); v++ {
+		adjStart[v+1] += adjStart[v]
+	}
+	adjTo := make([]int32, len(edges))
+	fill := make([]int32, len(refs))
+	copy(fill, adjStart[:len(refs)])
+	for _, e := range edges {
+		adjTo[fill[e.from]] = e.to
+		fill[e.from]++
+	}
+	reach := make([]bool, len(refs))
+	reach[entryID] = true
+	work := []int32{entryID}
 	for _, sp := range spawns {
 		if !reach[sp] {
 			reach[sp] = true
@@ -147,12 +173,16 @@ func buildOver(entryRef minivm.MethodRef, analysed []*minivm.Class, opts Options
 	for len(work) > 0 {
 		v := work[len(work)-1]
 		work = work[:len(work)-1]
-		for _, w := range adj[v] {
-			if !reach[w] {
+		for j := adjStart[v]; j < adjStart[v+1]; j++ {
+			if w := adjTo[j]; !reach[w] {
 				reach[w] = true
 				work = append(work, w)
 			}
 		}
+	}
+	reachable := func(ref minivm.MethodRef) bool {
+		i, ok := intern[ref]
+		return ok && reach[i]
 	}
 
 	include := func(ref minivm.MethodRef) bool {
@@ -166,7 +196,7 @@ func buildOver(entryRef minivm.MethodRef, analysed []*minivm.Class, opts Options
 		if opts.ExcludeMethods[ref] {
 			return false
 		}
-		if !opts.KeepUnreachable && !reach[ref] {
+		if !opts.KeepUnreachable && !reachable(ref) {
 			return false
 		}
 		return true
@@ -221,14 +251,23 @@ func buildOver(entryRef minivm.MethodRef, analysed []*minivm.Class, opts Options
 			}
 		}
 	}
+	// Per-intern-id node table so the edge loop needs no MethodRef hashing.
+	nodeByID := make([]callgraph.NodeID, len(refs))
+	for i, ref := range refs {
+		nodeByID[i] = callgraph.InvalidNode
+		if id, ok := res.NodeOf[ref]; ok {
+			nodeByID[i] = id
+		}
+	}
 	for _, e := range edges {
-		if include(e.from) && include(e.to) {
-			res.Graph.AddEdge(res.NodeOf[e.from], e.site, res.NodeOf[e.to])
+		from, to := nodeByID[e.from], nodeByID[e.to]
+		if from != callgraph.InvalidNode && to != callgraph.InvalidNode {
+			res.Graph.AddEdge(from, e.site, to)
 		}
 	}
 	for _, sp := range spawns {
-		if n, ok := res.NodeOf[sp]; ok {
-			res.SpawnEntries = append(res.SpawnEntries, sp)
+		if n := nodeByID[sp]; n != callgraph.InvalidNode {
+			res.SpawnEntries = append(res.SpawnEntries, refs[sp])
 			res.Graph.MarkContextRoot(n)
 		}
 	}

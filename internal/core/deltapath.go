@@ -69,6 +69,26 @@ type Options struct {
 	// BenchmarkAblationBatchAnchors). Anchor sets can be slightly larger
 	// than the sequential policy's.
 	BatchAnchors bool
+
+	// Workers selects the analysis engine. 0 (auto) uses the
+	// level-parallel engine with up to GOMAXPROCS workers, but only when
+	// GOMAXPROCS > 1 and the graph has at least ParThreshold nodes —
+	// otherwise the serial reference engine runs, so every existing
+	// workload is unaffected by default. 1 forces serial; >1 forces the
+	// parallel engine with that many workers (subject to the threshold).
+	// Both engines produce bit-identical Results (see parallel.go).
+	Workers int
+
+	// ParThreshold overrides the node count below which auto mode stays
+	// serial (default 32768). Negative removes the size gate entirely,
+	// which the differential tests use to force the parallel engine onto
+	// small graphs.
+	ParThreshold int
+
+	// MeasureMemory enables live-heap sampling at analysis checkpoints;
+	// the high-water mark is reported in Result.Stats.PeakBytes. Off by
+	// default: runtime.ReadMemStats stops the world.
+	MeasureMemory bool
 }
 
 // Result is the outcome of the DeltaPath static analysis.
@@ -103,6 +123,12 @@ type Result struct {
 	// that received a single addition value — all of them, by
 	// construction; reported for comparison against PCCE's conflicts.
 	UnifiedVirtualSites int
+
+	// Stats reports scalability characteristics of the run: which engine
+	// ran, its wave count, and (with Options.MeasureMemory) the peak
+	// memory budget. Nil for results not produced by Encode in this
+	// process (analysisio.Load, Extend).
+	Stats *AnalysisStats
 
 	// inc retains the successful pass's internal state (final CAV cells,
 	// edge territories, recursive-edge set) so Extend can recompute only
@@ -161,11 +187,48 @@ func Encode(g *callgraph.Graph, opts Options) (*Result, error) {
 		resets[n] = true
 	}
 
+	// Engine selection: the level-parallel engine (parallel.go) builds its
+	// flat schedule once and reuses it across Algorithm 2's restarts; it
+	// produces bit-identical passes, so restart decisions are unaffected.
+	workers := effectiveWorkers(opts, g.NumNodes())
+	mem := &memPeak{enabled: opts.MeasureMemory}
+	mem.sample()
+	var eng *parEngine
+	if workers > 1 {
+		eng = newParEngine(g, topo, rec, opts.EdgeProfile, workers)
+		mem.sample()
+	}
+
 	res := &Result{}
 	for {
-		run, overflowAt, ok := runOnce(g, topo, rec, an, resets, maxID, opts.EdgeProfile, opts.BatchAnchors)
+		var run *pass
+		var overflowAt []callgraph.NodeID
+		var ok bool
+		if eng != nil {
+			run, overflowAt, ok = eng.runOnce(an, resets, maxID, opts.BatchAnchors, mem)
+		} else {
+			run, overflowAt, ok = runOnce(g, topo, rec, an, resets, maxID, opts.EdgeProfile, opts.BatchAnchors)
+		}
 		if ok {
 			res.finish(g, rec, an, resets, run)
+			mem.sample()
+			st := &AnalysisStats{
+				Nodes:   g.NumNodes(),
+				Edges:   g.NumEdges(),
+				Sites:   g.NumSites(),
+				Anchors: len(an),
+				Par:     workers,
+			}
+			if eng != nil {
+				st.Levels = eng.levels
+			}
+			if opts.MeasureMemory {
+				st.PeakBytes = mem.peak
+				if st.Nodes > 0 {
+					st.BytesPerNode = float64(st.PeakBytes) / float64(st.Nodes)
+				}
+			}
+			res.Stats = st
 			return res, nil
 		}
 		progress := false

@@ -51,14 +51,33 @@ type CompiledDecoder struct {
 	inCaller []int32
 	inAV     []uint64
 
-	// Territory bitsets, one word-row per potential piece-start node: bit
-	// inIdx[s] of row n is set iff slot s's edge is reachable from n
-	// without leaving through another anchor (Section 3.2's bounded DFS,
-	// precomputed for every node). nil when the spec has no anchors — then
-	// every edge qualifies and the filter would be pure overhead, exactly
-	// the legacy territoryOf contract.
+	// Territory bitsets: bit inIdx[s] of a row is set iff slot s's edge is
+	// reachable from the row's node without leaving through another anchor
+	// (Section 3.2's bounded DFS, precomputed). Two storage modes:
+	//
+	//   - eager (terr non-nil): one row per node, any piece start served
+	//     from the flat table. Chosen while V×⌈E/64⌉ words fit the
+	//     maxEagerTerritoryWords budget — every suite-scale graph.
+	//   - sparse (terrRows non-nil): rows only for the known piece starts
+	//     (anchors, the entry, context roots); an arbitrary UCP resume
+	//     point falls back to an on-the-fly DFS over the retained
+	//     out-CSR. At 10⁶ nodes the eager table would need hundreds of
+	//     gigabytes; the sparse rows need megabytes.
+	//
+	// Both nil when the spec has no anchors — then every edge qualifies
+	// and the filter would be pure overhead, exactly the legacy
+	// territoryOf contract.
 	terrWords int32
 	terr      []uint64
+	terrRows  map[int32][]uint64
+
+	// Out-CSR of the non-push edges (counting-sorted from the in-rows),
+	// retained only in sparse mode for the fallback DFS; anchorBits is the
+	// retreat set.
+	outStart   []int32
+	outCallee  []int32
+	outIdx     []int32
+	anchorBits []bool
 
 	// scratch pools per-decode working space (piece node stack + segment
 	// table), so a warm DecodeInto performs zero allocations.
@@ -66,8 +85,9 @@ type CompiledDecoder struct {
 
 	// Observability hooks (nil = no-op), registered under the same
 	// dp_decode_memo_* names as the legacy decoder: every table lookup is
-	// a hit (the tables are precomputed, so the "memo" can never miss —
-	// memoMisses is registered for symmetry and stays zero).
+	// a hit. memoMisses stays zero in eager mode (the tables are
+	// precomputed, so the "memo" cannot miss) and counts sparse-mode
+	// fallback DFS runs for piece starts outside the precomputed set.
 	memoHits   *obs.Counter
 	memoMisses *obs.Counter
 	frames     *obs.Histogram
@@ -121,37 +141,46 @@ func Compile(spec *Spec) *CompiledDecoder {
 // legacy decoder: both decode over the same spec.
 func (d *Decoder) Precompile() *CompiledDecoder { return Compile(d.spec) }
 
-// compileTerritories precomputes the territory bitset of every node: the
-// same bounded DFS the legacy territoryOf memoizes lazily, run eagerly for
-// all piece starts (a piece start can be any node — UCP pushes record
-// arbitrary resume points) and stored as packed edge-index bits.
+// maxEagerTerritoryWords bounds the eager all-nodes territory table:
+// 8M words = 64 MB. Suite-scale graphs sit orders of magnitude below it;
+// the huge tier (10⁵–10⁶ nodes) switches to sparse piece-start rows. A var
+// so the differential tests can force sparse mode on small graphs.
+var maxEagerTerritoryWords = int64(8 << 20)
+
+// compileTerritories precomputes territory bitsets: the same bounded DFS
+// the legacy territoryOf memoizes lazily, stored as packed edge-index bits.
+// Under the eager budget every node gets a row (a piece start can be any
+// node — UCP pushes record arbitrary resume points); past it only the known
+// piece starts are precomputed and other starts fall back to an on-the-fly
+// DFS at decode time (see territory).
 func (c *CompiledDecoder) compileTerritories() {
 	n := int(c.numNodes)
 	numEdges := len(c.inCaller)
 	c.terrWords = int32((numEdges + 63) / 64)
-	c.terr = make([]uint64, n*int(c.terrWords))
 
-	// Out-CSR of the non-push edges carrying their dense indexes: each CSR
-	// in-row slot is one edge caller→callee whose dense index is the slot
-	// itself, so the out-adjacency is a regrouping of the in-rows.
-	type outEdge struct {
-		callee int32
-		idx    int32
+	// Out-CSR of the non-push edges carrying their dense indexes, built by
+	// counting sort: each CSR in-row slot is one edge caller→callee whose
+	// dense index is the slot itself, so the out-adjacency is a regrouping
+	// of the in-rows — no per-node slice headers at huge node counts.
+	outStart := make([]int32, n+1)
+	for slot := 0; slot < numEdges; slot++ {
+		outStart[c.inCaller[slot]+1]++
 	}
-	outs := make([][]outEdge, n)
+	for v := 0; v < n; v++ {
+		outStart[v+1] += outStart[v]
+	}
+	outCallee := make([]int32, numEdges)
+	outIdx := make([]int32, numEdges)
+	fill := make([]int32, n)
+	copy(fill, outStart[:n])
 	for callee := 0; callee < n; callee++ {
 		for slot := c.inStart[callee]; slot < c.inStart[callee+1]; slot++ {
 			caller := c.inCaller[slot]
-			outs[caller] = append(outs[caller], outEdge{callee: int32(callee), idx: slot})
+			outCallee[fill[caller]] = int32(callee)
+			outIdx[fill[caller]] = slot
+			fill[caller]++
 		}
 	}
-	outStart := make([]int32, n+1)
-	flat := make([]outEdge, 0, numEdges)
-	for v := 0; v < n; v++ {
-		outStart[v] = int32(len(flat))
-		flat = append(flat, outs[v]...)
-	}
-	outStart[n] = int32(len(flat))
 
 	anchors := make([]bool, n)
 	for a, on := range c.spec.Anchors {
@@ -159,32 +188,81 @@ func (c *CompiledDecoder) compileTerritories() {
 			anchors[a] = true
 		}
 	}
+	c.outStart, c.outCallee, c.outIdx, c.anchorBits = outStart, outCallee, outIdx, anchors
 
+	if int64(n)*int64(c.terrWords) <= maxEagerTerritoryWords {
+		c.terr = make([]uint64, n*int(c.terrWords))
+		seen := make([]int32, n)
+		for i := range seen {
+			seen[i] = -1
+		}
+		var work []int32
+		for start := 0; start < n; start++ {
+			bits := c.terr[start*int(c.terrWords) : (start+1)*int(c.terrWords)]
+			work = c.fillTerritory(int32(start), bits, seen, int32(start), work)
+		}
+		// Eager mode serves every start from the table; the fallback CSR
+		// is dead weight.
+		c.outStart, c.outCallee, c.outIdx, c.anchorBits = nil, nil, nil, nil
+		return
+	}
+
+	// Sparse mode: precompute the piece starts that occur in practice —
+	// every anchor, the entry, and the context roots.
+	starts := make([]int32, 0, len(c.spec.Anchors)+4)
+	for a, on := range c.spec.Anchors {
+		if on && a >= 0 && int(a) < n {
+			starts = append(starts, int32(a))
+		}
+	}
+	if e, ok := c.spec.Graph.Entry(); ok && int(e) < n {
+		starts = append(starts, int32(e))
+	}
+	for _, r := range c.spec.Graph.ContextRoots() {
+		if r >= 0 && int(r) < n {
+			starts = append(starts, int32(r))
+		}
+	}
+	c.terrRows = make(map[int32][]uint64, len(starts))
 	seen := make([]int32, n)
 	for i := range seen {
 		seen[i] = -1
 	}
 	var work []int32
-	for start := 0; start < n; start++ {
-		bits := c.terr[start*int(c.terrWords) : (start+1)*int(c.terrWords)]
-		seen[start] = int32(start)
-		work = append(work[:0], int32(start))
-		for len(work) > 0 {
-			v := work[len(work)-1]
-			work = work[:len(work)-1]
-			if int(v) != start && anchors[v] {
-				continue // retreat at other anchors
-			}
-			for j := outStart[v]; j < outStart[v+1]; j++ {
-				oe := flat[j]
-				bits[oe.idx>>6] |= 1 << (uint(oe.idx) & 63)
-				if seen[oe.callee] != int32(start) {
-					seen[oe.callee] = int32(start)
-					work = append(work, oe.callee)
-				}
+	for i, start := range starts {
+		if _, dup := c.terrRows[start]; dup {
+			continue
+		}
+		bits := make([]uint64, c.terrWords)
+		work = c.fillTerritory(start, bits, seen, int32(i), work)
+		c.terrRows[start] = bits
+	}
+}
+
+// fillTerritory runs the bounded territory DFS from start, setting the
+// dense edge-index bit of every edge inside the territory. seen is an
+// epoch-stamped visited array (epoch must be unique per call for a shared
+// array); work is the reusable stack, returned for reuse.
+func (c *CompiledDecoder) fillTerritory(start int32, bits []uint64, seen []int32, epoch int32, work []int32) []int32 {
+	seen[start] = epoch
+	work = append(work[:0], start)
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		if v != start && c.anchorBits[v] {
+			continue // retreat at other anchors
+		}
+		for j := c.outStart[v]; j < c.outStart[v+1]; j++ {
+			idx := c.outIdx[j]
+			bits[idx>>6] |= 1 << (uint(idx) & 63)
+			callee := c.outCallee[j]
+			if seen[callee] != epoch {
+				seen[callee] = epoch
+				work = append(work, callee)
 			}
 		}
 	}
+	return work
 }
 
 // Observe resolves the compiled decoder's metric hooks from reg (nil
@@ -399,14 +477,30 @@ func (c *CompiledDecoder) pickEdge(n callgraph.NodeID, id uint64, terr []uint64)
 }
 
 // territory returns start's territory bitset row, or nil when the spec has
-// no anchors (no restriction — the legacy contract).
+// no anchors (no restriction — the legacy contract). In sparse mode a start
+// outside the precomputed piece-start set is served by a fresh bounded DFS:
+// correct for any node, allocating, and counted as a memo miss.
 func (c *CompiledDecoder) territory(start callgraph.NodeID) []uint64 {
-	if c.terr == nil {
+	if c.terr != nil {
+		c.memoHits.Inc()
+		w := int32(start) * c.terrWords
+		return c.terr[w : w+c.terrWords]
+	}
+	if c.terrRows == nil {
 		return nil
 	}
-	c.memoHits.Inc()
-	w := int32(start) * c.terrWords
-	return c.terr[w : w+c.terrWords]
+	if row, ok := c.terrRows[int32(start)]; ok {
+		c.memoHits.Inc()
+		return row
+	}
+	c.memoMisses.Inc()
+	bits := make([]uint64, c.terrWords)
+	seen := make([]int32, c.numNodes)
+	for i := range seen {
+		seen[i] = -1
+	}
+	c.fillTerritory(int32(start), bits, seen, 0, nil)
+	return bits
 }
 
 // Spec returns the spec the decoder was compiled from.

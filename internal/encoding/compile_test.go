@@ -141,6 +141,68 @@ func TestCompiledTerritoryRestriction(t *testing.T) {
 	}
 }
 
+// TestCompiledSparseTerritories forces the huge-graph territory mode (rows
+// precomputed only for anchors/entry/roots, lazy DFS elsewhere) on the small
+// fixtures and holds it differential against the legacy decoder — including
+// UCP piece starts outside the precomputed set, which exercise the fallback.
+func TestCompiledSparseTerritories(t *testing.T) {
+	defer func(old int64) { maxEagerTerritoryWords = old }(maxEagerTerritoryWords)
+	maxEagerTerritoryWords = 0
+
+	spec, ids := anchoredSpec()
+	legacy := NewDecoder(spec)
+	compiled := Compile(spec)
+	if compiled.terr != nil || compiled.terrRows == nil {
+		t.Fatal("sparse mode did not engage")
+	}
+	for _, want := range []string{"a", "b", "d"} {
+		if _, ok := compiled.terrRows[int32(ids[want])]; !ok {
+			t.Errorf("piece start %q missing a precomputed row", want)
+		}
+	}
+	if _, ok := compiled.terrRows[int32(ids["c"])]; ok {
+		t.Error("non-piece-start c should not be precomputed")
+	}
+	for _, endName := range []string{"a", "b", "c", "d"} {
+		end := ids[endName]
+		for id := uint64(0); id < 8; id++ {
+			st := NewState(ids["a"])
+			st.ID = id
+			assertDifferential(t, legacy, compiled, st, end)
+		}
+	}
+	// Anchor piece start (precomputed row) and a UCP resume at c, which has
+	// no precomputed row and must fall back to the on-the-fly DFS.
+	st := NewState(ids["a"])
+	st.Add(1)
+	st.PushAnchor(ids["b"])
+	assertDifferential(t, legacy, compiled, st, ids["b"])
+	ucp := NewState(ids["a"])
+	ucp.PushUCP(callgraph.Site{Caller: ids["a"], Label: 1}, 0, ids["a"], ids["c"])
+	assertDifferential(t, legacy, compiled, ucp, ids["d"])
+	if compiled.memoMisses != nil && compiled.memoMisses.Value() == 0 {
+		t.Error("UCP start at c should have counted a sparse fallback miss")
+	}
+
+	// The fallback allocates private state only — shared use stays race-free.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []Frame
+			for round := 0; round < 50; round++ {
+				var err error
+				if buf, err = compiled.DecodeInto(buf, ucp, ids["d"]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // TestCompiledDecodeIntoReuse proves the documented buffer contract: passing
 // the previous result back in reuses its storage and yields identical
 // frames.

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+
+	"deltapath/internal/callgraph"
+)
+
+// HugeParams describes a synthetic huge program in the 10⁵–10⁶ node range
+// (the scalability tier: far past the SPECjvm2008-shaped suite, toward the
+// Android-OS-scale graphs of arXiv:1602.03942). Unlike Params, which
+// generates a minivm program, Build emits the call graph directly — at a
+// million nodes the graph is the artifact under test, and bytecode for it
+// would only burn memory.
+//
+// The shape is a layered DAG cut into segments by narrow hub waists:
+//
+//	entry → [seg 0: CutEvery layers] → cut 0 hubs → [seg 1] → cut 1 hubs → …
+//
+// Every cross-segment call routes through the hubs, and each cut's hubs
+// form a mutual-recursion ring, so they are recursive-edge targets —
+// anchors whose territories tile the segments. That bounds every anchor's
+// territory to one segment and keeps the total CAV cell count at a small
+// multiple of the node count, which is what makes million-node analysis
+// tractable; it is also how real layered systems (drivers → services →
+// framework → apps) behave. Recursion pockets (mutual 2-cycles) inside
+// segments and virtual fan-out sites complete the paper's feature set at
+// scale. Deterministic by Seed.
+type HugeParams struct {
+	Name string
+	// Nodes is the approximate target node count; Build reports the exact
+	// count via the graph.
+	Nodes int
+	// Layers is the number of normal (non-hub) layers. 0 → 48.
+	Layers int
+	// CutEvery is the number of normal layers per segment. 0 → 12.
+	CutEvery int
+	// CutHubs is the number of hub nodes per cut. 0 → 6.
+	CutHubs int
+	// MaxSpan is the maximum forward distance, in layers, of a call edge
+	// (always clamped at the next cut). 0 → 3.
+	MaxSpan int
+	// SitesMin/SitesMax bound the call sites per interior node. 0 → 1/3.
+	SitesMin, SitesMax int
+	// VirtualFrac is the fraction of sites with FanOut dispatch targets
+	// instead of one. 0 → 0.2 (set negative for none).
+	VirtualFrac float64
+	// FanOut is the dispatch-target count of a virtual site. 0 → 3.
+	FanOut int
+	// Pockets is the number of mutual-recursion 2-cycles per segment.
+	// 0 → 2 (set negative for none).
+	Pockets int
+	Seed    uint64
+}
+
+func (p HugeParams) withDefaults() HugeParams {
+	if p.Layers == 0 {
+		p.Layers = 48
+	}
+	if p.CutEvery == 0 {
+		p.CutEvery = 12
+	}
+	if p.CutHubs == 0 {
+		p.CutHubs = 6
+	}
+	if p.MaxSpan == 0 {
+		p.MaxSpan = 3
+	}
+	if p.SitesMin == 0 {
+		p.SitesMin = 1
+	}
+	if p.SitesMax == 0 {
+		p.SitesMax = 3
+	}
+	if p.VirtualFrac == 0 {
+		p.VirtualFrac = 0.2
+	}
+	if p.VirtualFrac < 0 {
+		p.VirtualFrac = 0
+	}
+	if p.FanOut == 0 {
+		p.FanOut = 3
+	}
+	if p.Pockets == 0 {
+		p.Pockets = 2
+	}
+	if p.Pockets < 0 {
+		p.Pockets = 0
+	}
+	if p.Seed == 0 {
+		p.Seed = 0x9e3779b97f4a7c15
+	}
+	return p
+}
+
+// Build generates the call graph. The node count lands within a few hub
+// widths of p.Nodes; the edge count is roughly Nodes × 2.8 with default
+// parameters.
+func (p HugeParams) Build() (*callgraph.Graph, error) {
+	p = p.withDefaults()
+	if p.Nodes < p.Layers*2 {
+		return nil, fmt.Errorf("workload: huge graph needs at least %d nodes, got %d", p.Layers*2, p.Nodes)
+	}
+	r := &rng{s: p.Seed}
+	g := callgraph.New()
+
+	// Level plan: level 0 is the entry; every CutEvery normal layers a hub
+	// cut is interposed. cutLevel marks hub levels.
+	numCuts := 0
+	if p.Layers > p.CutEvery {
+		numCuts = (p.Layers - 1) / p.CutEvery
+	}
+	width := (p.Nodes - 1 - numCuts*p.CutHubs) / p.Layers
+	if width < 1 {
+		width = 1
+	}
+
+	type level struct {
+		nodes []callgraph.NodeID
+		cut   bool
+	}
+	var levels []level
+	entry := g.AddNode("main", false)
+	g.SetEntry(entry)
+	levels = append(levels, level{nodes: []callgraph.NodeID{entry}})
+	for l := 0; l < p.Layers; l++ {
+		if l > 0 && l%p.CutEvery == 0 {
+			cut := make([]callgraph.NodeID, p.CutHubs)
+			for h := range cut {
+				cut[h] = g.AddNode("hub"+strconv.Itoa(len(g.Nodes()))+"_"+strconv.Itoa(h), false)
+			}
+			levels = append(levels, level{nodes: cut, cut: true})
+		}
+		layer := make([]callgraph.NodeID, width)
+		for i := range layer {
+			layer[i] = g.AddNode("f"+strconv.Itoa(l)+"_"+strconv.Itoa(i), false)
+		}
+		levels = append(levels, level{nodes: layer})
+	}
+
+	// nextCut[i] is the index of the first cut level after i (or the last
+	// level index when no cut follows): the clamp that routes all
+	// cross-segment calls through the hubs.
+	nextCut := make([]int, len(levels))
+	next := len(levels) - 1
+	for i := len(levels) - 1; i >= 0; i-- {
+		nextCut[i] = next
+		if levels[i].cut {
+			next = i
+		}
+	}
+
+	// siteCount tracks the next site label per caller. All nodes exist by
+	// now — only edges are added below.
+	siteCount := make([]int32, g.NumNodes())
+	addSite := func(caller callgraph.NodeID, targets []callgraph.NodeID) {
+		lab := siteCount[caller]
+		siteCount[caller]++
+		for _, t := range targets {
+			g.AddEdge(caller, lab, t)
+		}
+	}
+	pick := func(lv level) callgraph.NodeID { return lv.nodes[r.intn(len(lv.nodes))] }
+
+	// Forward call sites. The entry fans out over the whole first layer so
+	// every root-segment chain is reachable; interior nodes emit
+	// SitesMin..SitesMax sites into later levels of their segment.
+	var scratch []callgraph.NodeID
+	for li, lv := range levels {
+		hi := nextCut[li]
+		if li == hi {
+			continue // last level: leaves
+		}
+		for _, n := range lv.nodes {
+			nsites := p.SitesMin
+			if p.SitesMax > p.SitesMin {
+				nsites += r.intn(p.SitesMax - p.SitesMin + 1)
+			}
+			if li == 0 {
+				nsites = len(levels[1].nodes) // entry covers layer 1
+			}
+			for s := 0; s < nsites; s++ {
+				tl := li + 1 + r.intn(min(p.MaxSpan, hi-li))
+				fan := 1
+				if p.VirtualFrac > 0 && r.float() < p.VirtualFrac {
+					fan = p.FanOut
+				}
+				scratch = scratch[:0]
+				for k := 0; k < fan; k++ {
+					scratch = append(scratch, pick(levels[tl]))
+				}
+				addSite(n, scratch)
+			}
+		}
+	}
+
+	// Hub recursion rings: each cut's hubs call one another in a cycle, so
+	// every hub is a recursive-edge target — an anchor rooting the next
+	// segment's territory.
+	for _, lv := range levels {
+		if !lv.cut {
+			continue
+		}
+		for h, n := range lv.nodes {
+			addSite(n, []callgraph.NodeID{lv.nodes[(h+1)%len(lv.nodes)]})
+		}
+	}
+
+	// Recursion pockets: mutual 2-cycles between same-level interior
+	// nodes. Both partners become anchors with segment-bounded
+	// territories.
+	for li, lv := range levels {
+		if lv.cut || li == 0 || li%p.CutEvery != 1 || len(lv.nodes) < 2 {
+			continue
+		}
+		for k := 0; k < p.Pockets; k++ {
+			a := pick(lv)
+			b := pick(lv)
+			if a == b {
+				continue
+			}
+			addSite(a, []callgraph.NodeID{b})
+			addSite(b, []callgraph.NodeID{a})
+		}
+	}
+
+	// Coverage: every non-entry node must be forward-reachable — an
+	// uncovered node gets one caller from the previous level. Hub levels
+	// draw from the layer before the cut; the layer after a cut draws
+	// from the hubs.
+	for li := 1; li < len(levels); li++ {
+		prev := levels[li-1]
+		for _, n := range levels[li].nodes {
+			if len(g.In(n)) > 0 {
+				continue
+			}
+			addSite(pick(prev), []callgraph.NodeID{n})
+		}
+	}
+
+	return g, nil
+}
+
+// HugeTiers returns the scale curve the dpbench scale experiment sweeps:
+// node counts from 10⁵ to 10⁶, multiplied by scale (so -scale 0.2 gives a
+// quick 2×10⁴…2×10⁵ pass and -scale 1.0 the full million-node tier).
+func HugeTiers(scale float64) []HugeParams {
+	if scale <= 0 {
+		scale = 1
+	}
+	base := []int{100_000, 250_000, 500_000, 1_000_000}
+	tiers := make([]HugeParams, 0, len(base))
+	for i, n := range base {
+		nodes := int(float64(n) * scale)
+		if nodes < 2_000 {
+			nodes = 2_000
+		}
+		tiers = append(tiers, HugeParams{
+			Name:  fmt.Sprintf("huge-%dk", nodes/1000),
+			Nodes: nodes,
+			Seed:  uint64(0xd1fa7 + i),
+		})
+	}
+	return tiers
+}
+
+// HugeSmoke returns the reduced tier the CI scale-smoke job runs end to
+// end: same shape as the full tiers, sized for minutes-not-hours runners.
+func HugeSmoke(nodes int) HugeParams {
+	return HugeParams{Name: fmt.Sprintf("smoke-%dk", nodes/1000), Nodes: nodes, Seed: 0x50a6e}
+}

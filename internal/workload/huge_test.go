@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"testing"
+
+	"deltapath/internal/analysisio"
+)
+
+func TestHugeBuildShape(t *testing.T) {
+	p := HugeSmoke(20_000)
+	g, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumNodes(); got < 18_000 || got > 21_000 {
+		t.Errorf("node count %d far from target %d", got, p.Nodes)
+	}
+	if g.NumEdges() < 2*g.NumNodes() {
+		t.Errorf("edge count %d below 2 per node (%d nodes)", g.NumEdges(), g.NumNodes())
+	}
+	if g.NumVirtualSites() == 0 {
+		t.Error("no virtual fan-out sites generated")
+	}
+	rec := g.RecursiveEdges()
+	if len(rec) == 0 {
+		t.Error("no recursion pockets or hub rings generated")
+	}
+	if _, err := g.TopoOrder(rec); err != nil {
+		t.Errorf("forward graph not acyclic: %v", err)
+	}
+	// Coverage pass: every non-entry node must have an incoming edge, so
+	// the whole graph is forward-reachable and no orphan anchors appear.
+	entry, _ := g.Entry()
+	for _, n := range g.Nodes() {
+		if n != entry && len(g.In(n)) == 0 {
+			t.Fatalf("node %s has no callers", g.Name(n))
+		}
+	}
+}
+
+func TestHugeBuildDeterministic(t *testing.T) {
+	p := HugeSmoke(10_000)
+	a, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da, db := analysisio.DigestGraph(a), analysisio.DigestGraph(b); da != db {
+		t.Errorf("same seed produced different graphs: %v vs %v", da, db)
+	}
+	p.Seed = 12345
+	c, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analysisio.DigestGraph(a) == analysisio.DigestGraph(c) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestHugeTiers(t *testing.T) {
+	tiers := HugeTiers(0.2)
+	if len(tiers) != 4 {
+		t.Fatalf("expected 4 tiers, got %d", len(tiers))
+	}
+	if tiers[0].Nodes != 20_000 || tiers[3].Nodes != 200_000 {
+		t.Errorf("scale 0.2 tiers wrong: %d..%d", tiers[0].Nodes, tiers[3].Nodes)
+	}
+	full := HugeTiers(1.0)
+	if full[3].Nodes != 1_000_000 {
+		t.Errorf("full top tier must be 10⁶ nodes, got %d", full[3].Nodes)
+	}
+}

@@ -1,0 +1,114 @@
+package deltapath
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"deltapath/internal/analysisio"
+	"deltapath/internal/callgraph"
+	"deltapath/internal/core"
+	"deltapath/internal/cpt"
+	"deltapath/internal/encoding"
+	"deltapath/internal/verify"
+	"deltapath/internal/workload"
+)
+
+// TestScaleSmoke is the CI scale-smoke gate: one reduced huge-graph tier run
+// end to end — generate, analyze with the level-parallel engine and the
+// serial reference, prove the serialized .dpa byte-identical, certify the
+// spec with the verifier, compile, and decode sampled contexts — every
+// verdict the full 10⁵–10⁶-node curve (dpbench -experiment scale) relies
+// on. SCALE_SMOKE_NODES overrides the tier size (CI uses 50000).
+func TestScaleSmoke(t *testing.T) {
+	nodes := 20_000
+	if s := os.Getenv("SCALE_SMOKE_NODES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 2_000 {
+			t.Fatalf("SCALE_SMOKE_NODES=%q: need an integer >= 2000", s)
+		}
+		nodes = n
+	} else if testing.Short() {
+		nodes = 5_000
+	}
+	params := workload.HugeSmoke(nodes)
+	g, err := params.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < nodes*9/10 || g.NumEdges() < 2*g.NumNodes() {
+		t.Errorf("tier shape off target: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+
+	par, err := core.Encode(g, core.Options{Workers: 4, ParThreshold: -1, MeasureMemory: true})
+	if err != nil {
+		t.Fatalf("parallel encode: %v", err)
+	}
+	st := par.Stats
+	if st == nil || st.Par != 4 || st.Levels == 0 {
+		t.Fatalf("level-parallel engine did not engage: %+v", st)
+	}
+	if st.PeakBytes == 0 || st.BytesPerNode <= 0 {
+		t.Errorf("memory budget not reported: %+v", st)
+	}
+	t.Logf("tier %s: %d nodes, %d edges, %d anchors, %d levels, %.0f B/node",
+		params.Name, st.Nodes, st.Edges, len(par.Spec.Anchors), st.Levels, st.BytesPerNode)
+	if len(par.Spec.Anchors) == 0 {
+		t.Error("huge tier produced no anchors (hub rings and pockets missing?)")
+	}
+
+	serial, err := core.Encode(g, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial encode: %v", err)
+	}
+
+	// Byte-identity of the whole serialized analysis (spec + SIDs).
+	plan := cpt.Compute(g)
+	var pb, sb bytes.Buffer
+	if err := analysisio.Save(&pb, par.Spec, plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := analysisio.Save(&sb, serial.Spec, plan); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb.Bytes(), sb.Bytes()) {
+		t.Errorf("parallel .dpa bytes diverged from the serial reference (%d vs %d bytes)",
+			pb.Len(), sb.Len())
+	}
+
+	if rep := verify.Check(par.Spec, plan, verify.Options{}); !rep.Clean() {
+		t.Errorf("verifier reported %d findings; first: %v", len(rep.Findings), rep.Findings[0])
+	}
+
+	// Decode sampled random-walk contexts through the compiled tables.
+	dec := encoding.Compile(par.Spec)
+	entry, _ := g.Entry()
+	rnd := rand.New(rand.NewSource(1))
+	var buf []encoding.Frame
+	var path []callgraph.Edge
+	for i := 0; i < 128; i++ {
+		path = path[:0]
+		cur := entry
+		for d := 8 + rnd.Intn(120); d > 0; d-- {
+			outs := g.Out(cur)
+			if len(outs) == 0 {
+				break
+			}
+			e := outs[rnd.Intn(len(outs))]
+			path = append(path, e)
+			cur = e.Callee
+		}
+		state, err := encoding.EncodePath(par.Spec, path)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if buf, err = dec.DecodeInto(buf[:0], state, cur); err != nil {
+			t.Fatalf("sample %d: decode: %v", i, err)
+		}
+		if len(buf) == 0 || buf[len(buf)-1].Node != cur {
+			t.Fatalf("sample %d: decoded context does not end at %s", i, g.Name(cur))
+		}
+	}
+}
