@@ -81,6 +81,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCompiledDecode -fuzztime 10s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzProfileReader -fuzztime 10s ./internal/profile
 	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime 10s ./internal/verify
+	$(GO) test -run '^$$' -fuzz FuzzCheckDelta -fuzztime 10s ./internal/verify
 	$(GO) test -run '^$$' -fuzz FuzzExtend -fuzztime 10s .
 
 # Lint: gofmt and vet always; staticcheck/govulncheck when installed (CI
@@ -110,7 +111,8 @@ verify-encodings:
 
 # Huge-graph scalability gate: one reduced 5×10⁴-node tier end to end —
 # generate, analyze with the level-parallel engine and the serial reference,
-# assert byte-identical .dpa output, verify, compile, decode (see
+# assert byte-identical .dpa output, verify serially and on 4 workers with
+# byte-identical reports (under -race), compile, decode (see
 # scale_smoke_test.go). The full 10⁵–10⁶-node curve is
 # `go run ./cmd/dpbench -experiment scale -scale 1.0` (results/scale.txt).
 scale-smoke:
@@ -126,12 +128,14 @@ bench-smoke:
 # Record a fresh bench-smoke baseline (bump NNNN; commit the file). The
 # scale experiment rides along at -scale 0.4 (tiers 40k–400k nodes): the
 # gate re-measures only its ≤10⁵-node tiers, and only the machine-
-# independent bytes/node plus the identity/verify verdicts.
+# independent bytes/node plus the identity/verify verdicts. The extend
+# experiment contributes the delta-verify-vs-full obligation fractions —
+# deterministic counts, so they gate exactly.
 bench-baseline:
 	mkdir -p results
-	$(GO) run ./cmd/dpbench -experiment encode,profile,decode,scale \
+	$(GO) run ./cmd/dpbench -experiment encode,profile,decode,scale,extend \
 		-bench compress,sunflow,mpegaudio -scale 0.4 -repeats 5 -workers 4 -json \
-		> results/BENCH_0008.json
+		> results/BENCH_0009.json
 
 # Regenerate the full million-node scale curve (results/scale.txt) — the
 # human-readable companion of the scale rows in the bench baseline, and the
@@ -163,6 +167,7 @@ ci-local: lint lint-invariants build test-shuffle race verify-encodings serve-sm
 	$(GO) test -run '^$$' -fuzz FuzzCompiledDecode -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzProfileReader -fuzztime 5s ./internal/profile
 	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime 5s ./internal/verify
+	$(GO) test -run '^$$' -fuzz FuzzCheckDelta -fuzztime 5s ./internal/verify
 	$(GO) test -run '^$$' -fuzz FuzzExtend -fuzztime 5s .
 
 examples:

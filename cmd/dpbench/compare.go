@@ -22,9 +22,11 @@ import (
 // multi-worker scaling is meaningless. The gate therefore (1) compares
 // best-of-N measurements on both sides, (2) prefers machine-independent
 // *ratios* — the observability overhead (metrics-on / metrics-off) and the
-// decode speedup (legacy / compiled) — over absolute timings, which are
-// gated only for encode and intern, and (3) never compares multi-worker
-// speedup rows — only the workers=1 intern cost.
+// decode speedup (legacy / compiled), the scale tiers' bytes/node and
+// identity/verify verdicts, and the extend steps' delta-verify-vs-full
+// obligation fraction — over absolute timings, which are gated only for
+// encode and intern, and (3) never compares multi-worker speedup rows —
+// only the workers=1 intern cost.
 
 // baselineDoc mirrors the slice of the -json document the gate reads.
 // Unknown experiments in the file are simply not compared.
@@ -34,6 +36,7 @@ type baselineDoc struct {
 	Decode  []eval.DecodeRow
 	Fig8    []eval.Fig8Row
 	Scale   []eval.ScaleRow
+	Extend  []eval.ExtendRow
 	Meta    struct {
 		Scale float64
 		Bench []string
@@ -76,8 +79,8 @@ func runCompare(path string, tolerance float64, repeats int) {
 		os.Exit(2)
 	}
 	if len(base.Encode) == 0 && len(base.Profile) == 0 && len(base.Decode) == 0 &&
-		len(base.Fig8) == 0 && len(base.Scale) == 0 {
-		fmt.Fprintf(os.Stderr, "dpbench: -compare %s: no comparable experiments (encode/profile/decode/fig8/scale)\n", path)
+		len(base.Fig8) == 0 && len(base.Scale) == 0 && len(base.Extend) == 0 {
+		fmt.Fprintf(os.Stderr, "dpbench: -compare %s: no comparable experiments (encode/profile/decode/fig8/scale/extend)\n", path)
 		os.Exit(2)
 	}
 	scale := base.Meta.Scale
@@ -199,15 +202,64 @@ func runCompare(path string, tolerance float64, repeats int) {
 				fatalCompare(err)
 			}
 			f := fresh[0]
-			if !f.Identical || !f.VerifyClean {
-				// Not a tolerance question: a divergent or uncertified
-				// engine fails the gate outright.
+			if !f.Identical || !f.VerifyClean || !f.VerifyIdentical {
+				// Not a tolerance question: a divergent engine, an
+				// uncertified spec, or a parallel verifier disagreeing with
+				// the serial one fails the gate outright.
 				checks = append(checks, check{
 					name: "scale " + b.Tier + " identity+verify", base: 1, fresh: 0, ratio: math.Inf(1),
 				})
 				continue
 			}
 			add(lowerBetter("scale "+b.Tier+" bytes/node", b.BytesPerNode, f.BytesPerNode))
+		}
+	}
+
+	if len(base.Extend) > 0 {
+		// Extend steps: absolute latencies are container noise, but the
+		// delta-verify-vs-full proof reuse is a deterministic count for a
+		// given program — the fraction of interval obligations the epoch
+		// gate re-derived instead of reusing from the previous certificate.
+		// A step that certified incrementally in the baseline but fell back
+		// to a full proof fresh fails outright: the incremental engine
+		// stopped accepting its own certificates.
+		fresh, err := eval.ExtendLatency(nil)
+		if err != nil {
+			fatalCompare(err)
+		}
+		freshBy := make(map[string]eval.ExtendRow, len(fresh))
+		for _, r := range fresh {
+			freshBy[r.Program+"/"+r.Class] = r
+		}
+		for _, b := range base.Extend {
+			if !b.VerifyDelta || b.ObligationsTotal == 0 {
+				continue // first epoch (no prior certificate) or degenerate
+			}
+			f, ok := freshBy[b.Program+"/"+b.Class]
+			if !ok {
+				continue // baseline included -mv extras the gate does not re-run
+			}
+			step := "extend " + b.Program + "/" + b.Class
+			if !f.VerifyDelta || f.ObligationsTotal == 0 {
+				checks = append(checks, check{
+					name: step + " delta proof", base: 1, fresh: 0, ratio: math.Inf(1),
+				})
+				continue
+			}
+			if b.ObligationsChecked == 0 {
+				// A fully reused proof has ratio 0, which no tolerance can
+				// scale; gate it as an exact count instead.
+				if f.ObligationsChecked > 0 {
+					checks = append(checks, check{
+						name: step + " delta/full obligations", base: 0,
+						fresh: float64(f.ObligationsChecked), ratio: math.Inf(1),
+					})
+				}
+				continue
+			}
+			add(lowerBetter(step+" delta/full obligations",
+				float64(b.ObligationsChecked)/float64(b.ObligationsTotal),
+				float64(f.ObligationsChecked)/float64(f.ObligationsTotal)))
 		}
 	}
 

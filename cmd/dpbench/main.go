@@ -235,7 +235,7 @@ func main() {
 		}
 		failed := false
 		for _, r := range rows {
-			if !r.Identical || !r.VerifyClean {
+			if !r.Identical || !r.VerifyClean || !r.VerifyIdentical {
 				failed = true
 			}
 		}

@@ -46,6 +46,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"deltapath/internal/analysisio"
 	"deltapath/internal/callgraph"
@@ -184,6 +185,11 @@ type epochState struct {
 	// absorbed lists the dynamic classes analysed as of this epoch, in
 	// absorption order (empty at epoch 0).
 	absorbed []string
+	// cert is the verifier's reusable proof state, set when this epoch
+	// passed the soundness gate (nil at epoch 0, which Analyze publishes
+	// unverified). The next Extend proves its delta against it via
+	// verify.CheckDelta instead of a whole-graph pass.
+	cert *verify.Certificate
 }
 
 // epoch returns the current epoch snapshot.
@@ -326,6 +332,20 @@ type ExtendStats struct {
 	NewClasses []string `json:"new_classes,omitempty"`
 	// Core carries the incremental encoder's dirty-territory counters.
 	Core core.ExtendStats `json:"core"`
+	// VerifyNs is the wall time the soundness gate spent proving the new
+	// epoch; VerifyDelta reports whether it proved incrementally against
+	// the previous epoch's certificate (false on the first extension, and
+	// on fallback when the certificate went stale).
+	VerifyNs    int64 `json:"verify_ns"`
+	VerifyDelta bool  `json:"verify_delta"`
+	// DirtyTerritories of TotalTerritories were re-proven by the gate, and
+	// ObligationsChecked of ObligationsTotal interval obligations actually
+	// re-derived — the gate's proof reuse (equal when the gate ran a full
+	// pass).
+	DirtyTerritories   int `json:"dirty_territories"`
+	TotalTerritories   int `json:"total_territories"`
+	ObligationsChecked int `json:"obligations_checked"`
+	ObligationsTotal   int `json:"obligations_total"`
 }
 
 // Extend absorbs dynamically loaded classes into the analysed world and
@@ -425,8 +445,26 @@ func (a *Analysis) Extend(classes ...string) (*ExtendStats, error) {
 	}
 	// The soundness gate: re-prove the delta before anyone can see it. On
 	// any finding the current epoch stays published — callers keep a fully
-	// working (if hazard-paying) analysis.
-	if rep := verify.Check(res.Spec, cptPlan, verify.Options{}); !rep.Clean() {
+	// working (if hazard-paying) analysis. When the previous epoch carries
+	// a certificate the gate proves incrementally — only the dirty
+	// territories re-derive — and falls back to the whole-graph pass if the
+	// certificate is stale (a stale certificate costs time, never
+	// soundness). Reject-whole semantics are identical either way:
+	// CheckDelta accepts exactly when Check would.
+	verifyStart := time.Now()
+	var rep *verify.Report
+	verifyDelta := false
+	if cur.cert != nil {
+		if drep, derr := verify.CheckDelta(cur.cert, res.Spec, cptPlan,
+			coreStats.DirtyTerritoryList, verify.Options{}); derr == nil {
+			rep, verifyDelta = drep, true
+		}
+	}
+	if rep == nil {
+		rep = verify.Check(res.Spec, cptPlan, verify.Options{})
+	}
+	verifyNs := time.Since(verifyStart).Nanoseconds()
+	if !rep.Clean() {
 		rep.Source = fmt.Sprintf("extend epoch %d", cur.id+1)
 		return nil, fmt.Errorf("deltapath: extension rejected, keeping epoch %d: verification failed:\n%s",
 			cur.id, strings.TrimRight(rep.Text(), "\n"))
@@ -442,10 +480,28 @@ func (a *Analysis) Extend(classes ...string) (*ExtendStats, error) {
 		decoder:  encoding.Compile(res.Spec),
 		digest:   analysisio.DigestGraph(build.Graph),
 		absorbed: absorbed,
+		cert:     rep.Certificate,
 	}
 	a.publish(ep)
 	a.epochGauges(ep)
-	return &ExtendStats{Epoch: ep.id, NewClasses: fresh, Core: *coreStats}, nil
+	stats := &ExtendStats{
+		Epoch:       ep.id,
+		NewClasses:  fresh,
+		Core:        *coreStats,
+		VerifyNs:    verifyNs,
+		VerifyDelta: verifyDelta,
+	}
+	stats.TotalTerritories = rep.Stats.PieceStarts
+	if rep.Delta != nil {
+		stats.DirtyTerritories = rep.Delta.DirtyTerritories
+		stats.ObligationsChecked = rep.Delta.ObligationsChecked
+		stats.ObligationsTotal = rep.Delta.ObligationsTotal
+	} else {
+		stats.DirtyTerritories = rep.Stats.PieceStarts
+		stats.ObligationsChecked = rep.Stats.IntervalsChecked
+		stats.ObligationsTotal = rep.Stats.IntervalsChecked
+	}
+	return stats, nil
 }
 
 func dynamicClassOf(prog *Program, name string) *minivm.Class {

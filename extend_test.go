@@ -438,3 +438,59 @@ func TestSaveAnalysisEpoch(t *testing.T) {
 		}
 	}
 }
+
+// TestExtendVerifyDeltaGate pins the incremental soundness gate: the first
+// Extend has no predecessor certificate (epoch 0 publishes unverified) and
+// proves the whole graph; every later Extend proves incrementally against
+// the previous epoch's certificate and reports real reuse counters.
+func TestExtendVerifyDeltaGate(t *testing.T) {
+	src := `
+entry E.main
+class E {
+  method main { call E.go; load Mid; load Leaf; loop 2 { vcall R.op }; emit end }
+  method go { vcall R.op }
+}
+class R { method op { emit rop } }
+dynamic class Mid extends R { method op { emit mid } }
+dynamic class Leaf extends Mid { method op { emit leaf } }
+`
+	prog := mustParse(t, src)
+	an, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := an.Extend("Mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.VerifyDelta {
+		t.Fatal("first Extend claims a delta proof: epoch 0 has no certificate")
+	}
+	if first.TotalTerritories == 0 || first.DirtyTerritories != first.TotalTerritories {
+		t.Fatalf("full gate should prove every territory: %d/%d",
+			first.DirtyTerritories, first.TotalTerritories)
+	}
+	second, err := an.Extend("Leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.VerifyDelta {
+		t.Fatal("second Extend fell back to a full proof: certificate went stale on a genuine delta")
+	}
+	if second.TotalTerritories == 0 {
+		t.Fatal("delta gate reported no territories")
+	}
+	if second.DirtyTerritories > second.TotalTerritories {
+		t.Fatalf("dirty %d > total %d", second.DirtyTerritories, second.TotalTerritories)
+	}
+	if second.ObligationsChecked > second.ObligationsTotal {
+		t.Fatalf("obligations checked %d > total %d",
+			second.ObligationsChecked, second.ObligationsTotal)
+	}
+	if second.VerifyNs <= 0 {
+		t.Fatal("verify wall time not recorded")
+	}
+	if err := an.VerifyEncoding(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -70,6 +70,14 @@ type ExtendStats struct {
 	RecomputedAnchors int `json:"recomputed_anchors"`
 	TotalAnchors      int `json:"total_anchors"`
 	Restarts          int `json:"restarts"`
+	// DirtyTerritories counts the piece-start territories whose verification
+	// obligations this extension invalidated; DirtyTerritoryList names them
+	// (piece-start node IDs, sorted) for verify.CheckDelta. The list is a
+	// superset of the re-walked territories: a territory whose membership is
+	// unchanged still re-proves when a dirty node or dirty site changed the
+	// addition values its interval check reads.
+	DirtyTerritories   int                `json:"dirty_territories"`
+	DirtyTerritoryList []callgraph.NodeID `json:"-"`
 }
 
 // Extend incrementally re-encodes g, which must be the graph of prev plus
@@ -339,6 +347,34 @@ func runExtendOnce(prev *Result, g *callgraph.Graph, topo []callgraph.NodeID,
 	}
 	stats.DirtyNodes = len(dirty)
 	stats.DirtySites = len(dirtySite)
+
+	// Export the territories whose proof obligations this delta invalidates:
+	// every re-walked territory (membership may differ) plus every territory
+	// containing a dirty node or a dirty site's caller — their interval
+	// checks re-derive from changed AV/ICC values even when membership is
+	// untouched. p.nanchors is complete for the new graph at this point, so
+	// the lookups see post-delta territories.
+	dirtyTerr := make(map[callgraph.NodeID]bool, len(inR))
+	for r := range inR {
+		dirtyTerr[r] = true
+	}
+	for n := range dirty {
+		for _, r := range p.nanchors[n] {
+			dirtyTerr[r] = true
+		}
+	}
+	for s := range dirtySite {
+		for _, r := range p.nanchors[s.Caller] {
+			dirtyTerr[r] = true
+		}
+	}
+	list := make([]callgraph.NodeID, 0, len(dirtyTerr))
+	for r := range dirtyTerr {
+		list = append(list, r)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	stats.DirtyTerritoryList = list
+	stats.DirtyTerritories = len(list)
 
 	// Copy-on-write state: clean nodes share their final CAV/ICC maps with
 	// prev (never written again); dirty nodes get fresh zeroed cells.

@@ -109,22 +109,25 @@ func RenderEncode(rows []EncodeRow) string {
 func RenderScale(rows []ScaleRow) string {
 	var b strings.Builder
 	b.WriteString("Scale curve: huge-graph tiers (parallel level-wise analysis vs serial reference)\n")
-	fmt.Fprintf(&b, "%-12s %9s %9s %4s %6s %4s %9s %9s %9s %9s %8s %9s %5s %9s %6s\n",
+	fmt.Fprintf(&b, "%-12s %9s %9s %4s %6s %4s %9s %9s %9s %9s %9s %8s %9s %5s %9s %6s\n",
 		"tier", "nodes", "edges", "anc", "levels", "par",
-		"par ms", "serial ms", "compile", "verify", "MiB", "B/node", "bits", "decode ns", "proof")
+		"par ms", "serial ms", "compile", "verify", "ver(par)", "MiB", "B/node", "bits", "decode ns", "proof")
 	for _, r := range rows {
 		proof := "OK"
 		if !r.Identical {
 			proof = "DIVERGED"
 		} else if !r.VerifyClean {
 			proof = "UNSOUND"
+		} else if !r.VerifyIdentical {
+			proof = "VDIVERGED"
 		}
-		fmt.Fprintf(&b, "%-12s %9d %9d %4d %6d %4d %9.0f %9.0f %9.0f %9.0f %8.0f %9.0f %5d %9.0f %6s\n",
+		fmt.Fprintf(&b, "%-12s %9d %9d %4d %6d %4d %9.0f %9.0f %9.0f %9.0f %9.0f %8.0f %9.0f %5d %9.0f %6s\n",
 			r.Tier, r.Nodes, r.Edges, r.Anchors, r.Levels, r.Par,
-			r.ParMs, r.SerialMs, r.CompileMs, r.VerifyMs,
+			r.ParMs, r.SerialMs, r.CompileMs, r.VerifyMs, r.VerifyParMs,
 			float64(r.PeakBytes)/(1<<20), r.BytesPerNode, r.MaxIDBits, r.DecodeNs, proof)
 	}
-	b.WriteString("proof: OK = parallel .dpa byte-identical to serial AND verifier certified the spec\n")
+	b.WriteString("proof: OK = parallel .dpa byte-identical to serial, verifier certified the spec,\n" +
+		"       and the parallel verifier's report byte-identical to the serial one's\n")
 	return b.String()
 }
 

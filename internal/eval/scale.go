@@ -2,9 +2,11 @@ package eval
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -35,10 +37,16 @@ type ScaleRow struct {
 	ParMs     float64 `json:"par_ms"`    // parallel-engine analysis
 	SerialMs  float64 `json:"serial_ms"` // serial reference analysis
 	CompileMs float64 `json:"compile_ms"`
-	VerifyMs  float64 `json:"verify_ms"`
+	// VerifyMs is the serial (Workers=1) soundness verification;
+	// VerifyParMs the same proof on Par workers. VerifyIdentical proves
+	// the parallel verifier's report and certificate byte-identical to the
+	// serial one's — the level-parallel analogue of Identical.
+	VerifyMs    float64 `json:"verify_ms"`
+	VerifyParMs float64 `json:"verify_par_ms"`
 	// Identical: SHA-256 of the serialized .dpa from both engines agree.
-	Identical   bool `json:"identical"`
-	VerifyClean bool `json:"verify_clean"`
+	Identical       bool `json:"identical"`
+	VerifyClean     bool `json:"verify_clean"`
+	VerifyIdentical bool `json:"verify_identical"`
 	// PeakBytes/BytesPerNode are sampled heap peaks of the parallel run
 	// (core.AnalysisStats); the parallel run goes first so the serial
 	// engine's state never inflates them.
@@ -135,12 +143,39 @@ func scaleTier(p workload.HugeParams, workers, sample int) (ScaleRow, error) {
 	row.VerifyMs = msSince(start)
 	row.VerifyClean = rep.Clean()
 
+	// Same proof on Par workers: the report (findings, stats, text) and the
+	// emitted certificate must match the serial run byte for byte.
+	start = time.Now()
+	prep := verify.Check(par.Spec, plan, verify.Options{Workers: workers})
+	row.VerifyParMs = msSince(start)
+	row.VerifyIdentical, err = sameReport(rep, prep)
+	if err != nil {
+		return row, err
+	}
+
 	ns, n, err := scaleDecode(g, par.Spec, dec, p.Seed, sample)
 	if err != nil {
 		return row, err
 	}
 	row.DecodeNs, row.DecodeSample = ns, n
 	return row, nil
+}
+
+// sameReport proves two verification reports interchangeable: identical
+// JSON documents (findings, stats, delta block), identical rendered text,
+// and structurally equal certificates.
+func sameReport(a, b *verify.Report) (bool, error) {
+	aj, err := json.Marshal(a)
+	if err != nil {
+		return false, err
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		return false, err
+	}
+	return string(aj) == string(bj) &&
+		a.Text() == b.Text() &&
+		reflect.DeepEqual(a.Certificate, b.Certificate), nil
 }
 
 // scaleDecode samples random call paths from the entry, encodes each through

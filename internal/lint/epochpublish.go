@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// EpochPublish guards the epoch-publication invariant of the root package:
+// the current-epoch pointer (`cur atomic.Pointer[epochState]`) may only be
+// stored through the epochMu-serialized publish helper. A Store or Swap
+// anywhere else can publish an epoch without registering it in the epochs
+// list (breaking digest routing of old profiles) and races with a
+// concurrent Extend. Loads are unrestricted — that is the whole point of
+// the atomic pointer. Test files are exempt.
+var EpochPublish = &Analyzer{
+	Name: "epochpublish",
+	Doc: "epoch state may only be published via the epochMu-serialized " +
+		"publish helper (a stray cur.Store/Swap races Extend and skips " +
+		"epoch registration)",
+	Run: runEpochPublish,
+}
+
+// epochPublishMutators are the atomic.Pointer methods that replace the
+// published epoch.
+var epochPublishMutators = map[string]bool{"Store": true, "Swap": true}
+
+// epochPublisher is the one function allowed to mutate the pointer.
+const epochPublisher = "publish"
+
+func runEpochPublish(f *File) []Finding {
+	if f.Test() || !pkgIs(f, "deltapath") {
+		return nil
+	}
+	var out []Finding
+	for _, decl := range f.AST.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Name.Name == epochPublisher {
+			continue
+		}
+		ast.Inspect(fn, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !epochPublishMutators[sel.Sel.Name] {
+				return true
+			}
+			// The epoch pointer is the `cur` field of the Analysis; match
+			// any receiver whose rendered form ends in ".cur" (a.cur,
+			// an.cur, a.inner.cur, ...).
+			recv := exprString(sel.X)
+			if recv != "cur" && !strings.HasSuffix(recv, ".cur") {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: "epochpublish",
+				Pos:      f.Fset.Position(call.Pos()),
+				Message: fmt.Sprintf(
+					"%s.%s(...) publishes epoch state outside %s: only the epochMu-serialized %s helper may store the current-epoch pointer",
+					recv, sel.Sel.Name, epochPublisher, epochPublisher),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -13,6 +13,9 @@
 //     packages that own the formats; a re-spelled literal elsewhere is a
 //     format dependency the owning package cannot see when it revs the
 //     version.
+//   - epochpublish: the root package's current-epoch pointer is stored only
+//     through the epochMu-serialized publish helper; a stray Store/Swap
+//     races Extend and skips epoch registration.
 //
 // The framework is deliberately syntactic and stdlib-only (go/ast,
 // go/parser, go/token): the build environment pins zero dependencies, so
@@ -71,7 +74,7 @@ type Analyzer struct {
 
 // All returns every analyzer cmd/dplint-go runs.
 func All() []*Analyzer {
-	return []*Analyzer{ObsSink, ProfileLock, MagicBytes}
+	return []*Analyzer{ObsSink, ProfileLock, MagicBytes, EpochPublish}
 }
 
 // ParseFile parses one source file (with comments, for the suppression

@@ -81,6 +81,10 @@ func TestMagicBytesFixture(t *testing.T) {
 	checkFixture(t, "magicbytes_src.go", "example.com/app/sniffing", MagicBytes)
 }
 
+func TestEpochPublishFixture(t *testing.T) {
+	checkFixture(t, "epochpublish_src.go", "deltapath", EpochPublish)
+}
+
 // TestExemptScopes: the same violating sources are clean inside the
 // packages that own each invariant, and inside test files.
 func TestExemptScopes(t *testing.T) {
@@ -93,6 +97,7 @@ func TestExemptScopes(t *testing.T) {
 		{"profilelock_src.go", "deltapath/internal/cpt", ProfileLock}, // rule is profile-only
 		{"magicbytes_src.go", "deltapath/internal/analysisio", MagicBytes},
 		{"magicbytes_src.go", "deltapath/internal/profile", MagicBytes},
+		{"epochpublish_src.go", "deltapath/internal/core", EpochPublish}, // rule is root-package-only
 	}
 	for _, c := range cases {
 		f := parseFixture(t, c.fixture, c.pkg)

@@ -1,0 +1,45 @@
+// Fixture for the epochpublish analyzer: epoch-pointer stores outside the
+// publish helper are flagged; publish itself, loads, unrelated atomic
+// pointers, and suppressed lines stay quiet.
+package deltapath
+
+import "sync/atomic"
+
+type epochState struct{ id uint64 }
+
+type analysisLike struct {
+	cur    atomic.Pointer[epochState]
+	epochs []*epochState
+}
+
+func (a *analysisLike) publish(ep *epochState) {
+	a.epochs = append(a.epochs, ep)
+	a.cur.Store(ep) // allowed: the epochMu-serialized publish helper
+}
+
+func (a *analysisLike) hotSwap(ep *epochState) {
+	a.cur.Store(ep) // want epochpublish
+}
+
+func (a *analysisLike) rollback(ep *epochState) *epochState {
+	return a.cur.Swap(ep) // want epochpublish
+}
+
+type wrapper struct{ inner *analysisLike }
+
+func (w *wrapper) sneak(ep *epochState) {
+	w.inner.cur.Store(ep) // want epochpublish
+}
+
+func (a *analysisLike) read() *epochState {
+	return a.cur.Load() // allowed: lock-free reads are the point
+}
+
+func (a *analysisLike) unrelated(p *atomic.Pointer[epochState], ep *epochState) {
+	p.Store(ep) // allowed: not the epoch pointer
+}
+
+func (a *analysisLike) suppressed(ep *epochState) {
+	//dplint:coldpath
+	a.cur.Store(ep)
+}

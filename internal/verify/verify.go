@@ -46,6 +46,8 @@ import (
 	"math"
 	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"deltapath/internal/analysisio"
 	"deltapath/internal/callgraph"
@@ -58,6 +60,11 @@ type Options struct {
 	// MaxID is the inclusive encoding-integer limit pieces must fit in.
 	// Zero means 2^63-1, matching core.Encode's default.
 	MaxID uint64
+	// Workers sets how many goroutines prove territory obligations
+	// concurrently (the per-territory interval checks are independent).
+	// 0 or 1 means serial. Reports are byte-identical for every worker
+	// count: obligations are merged back in start order.
+	Workers int
 }
 
 // Diagnostic is one finding: a violated invariant, located as precisely as
@@ -108,6 +115,11 @@ type Report struct {
 	Stats  Stats  `json:"stats"`
 	// Findings is empty iff the analysis is certified sound.
 	Findings []Diagnostic `json:"findings"`
+	// Delta is set by CheckDelta only: how much proof work was reused.
+	Delta *DeltaInfo `json:"delta,omitempty"`
+	// Certificate is the reusable proof state, set iff the report is clean
+	// (see certificate.go). Excluded from the rendered surfaces.
+	Certificate *Certificate `json:"-"`
 }
 
 // Clean reports whether no invariant was violated.
@@ -186,17 +198,24 @@ func Check(spec *encoding.Spec, plan *cpt.Plan, opts Options) *Report {
 
 	// Interval verification needs a topological order of the forward
 	// (non-push) graph; its existence is itself the recursion invariant.
+	var nodeFP []uint64
+	var obligations []territoryObligation
 	topo, err := g.TopoOrder(pushEdgeSet(spec))
 	if err != nil {
 		reportForwardCycle(rep, spec)
 	} else if pushOK {
-		checkCoverage(rep, spec, starts)
-		checkIntervals(rep, spec, starts, topo, maxID)
+		nodeFP = nodeFingerprints(spec)
+		obligations = proveTerritories(spec, starts, topo, maxID, opts.Workers)
+		checkCoverage(rep, spec, obligations)
+		mergeObligations(rep, obligations)
 	}
 
 	checkCPT(rep, spec, plan)
 	if plan != nil {
 		rep.Stats.CPTSets = plan.NumSets
+	}
+	if rep.Clean() && nodeFP != nil {
+		rep.Certificate = buildCertificate(spec, maxID, nodeFP, starts, obligations)
 	}
 	return rep
 }
@@ -313,12 +332,13 @@ func hasForwardSelfLoop(g *callgraph.Graph, push map[callgraph.Edge]bool, n call
 // checkCoverage verifies that every node lies in at least one piece start's
 // territory: a node outside every territory has no anchor-relative encoding
 // space, so no piece ending there could ever decode (core.addOrphanAnchors
-// exists precisely to prevent this).
-func checkCoverage(rep *Report, spec *encoding.Spec, starts []callgraph.NodeID) {
+// exists precisely to prevent this). Membership comes from the already-walked
+// territory obligations, so the DFS runs once per territory, not twice.
+func checkCoverage(rep *Report, spec *encoding.Spec, obs []territoryObligation) {
 	g := spec.Graph
 	covered := make([]bool, g.NumNodes())
-	for _, s := range starts {
-		for _, n := range territoryNodes(spec, s) {
+	for _, ob := range obs {
+		for _, n := range ob.members {
 			covered[n] = true
 		}
 	}
@@ -337,92 +357,156 @@ type interval struct {
 	width uint64
 }
 
-// checkIntervals is the injectivity core: per piece start, recompute every
-// territory node's inflated calling-context count (ICC) bottom-up from the
-// spec's addition values, and require the incoming intervals to be pairwise
-// disjoint with ICC their tight bound. Disjoint intervals make the
+// territoryObligation is the unit of proof work the verifier partitions by:
+// one piece start's territory walk plus its interval check, with the
+// findings and statistics it contributes to the report. Obligations over
+// different starts are independent — the basis of both the Workers parallel
+// mode and CheckDelta's reuse.
+type territoryObligation struct {
+	start    callgraph.NodeID
+	members  []callgraph.NodeID // territory nodes, increasing order
+	findings []Diagnostic       // capacity/interval findings, emission order
+
+	intervals int    // in-edge intervals derived (Stats.IntervalsChecked)
+	holes     uint64 // unused encoding IDs (Stats.CoverageHoles)
+	maxCap    uint64 // largest ICC, ≥1 (Stats.MaxCapacity is the max over all)
+}
+
+// proveTerritory is the injectivity core for one piece start: recompute
+// every territory node's inflated calling-context count (ICC) bottom-up
+// from the spec's addition values, and require the incoming intervals to be
+// pairwise disjoint with ICC their tight bound. Disjoint intervals make the
 // decoder's greedy rule — largest addition value not exceeding the
 // remaining ID — invert every path sum uniquely (Section 3.1); recomputing
 // ICC rather than trusting a stored one means a tampered addition value
 // cannot hide.
-func checkIntervals(rep *Report, spec *encoding.Spec, starts []callgraph.NodeID,
-	topo []callgraph.NodeID, maxID uint64) {
+func proveTerritory(spec *encoding.Spec, start callgraph.NodeID,
+	topo []callgraph.NodeID, maxID uint64) territoryObligation {
 
 	g := spec.Graph
-	for _, start := range starts {
-		nodes, edges := territory(spec, start)
-		icc := make(map[callgraph.NodeID]uint64, len(nodes))
-		icc[start] = 1
-		if rep.Stats.MaxCapacity < 1 {
-			rep.Stats.MaxCapacity = 1
+	ob := territoryObligation{start: start, maxCap: 1}
+	sub := &Report{}
+	nodes, edges := territory(spec, start)
+	icc := make(map[callgraph.NodeID]uint64, len(nodes))
+	icc[start] = 1
+	for _, n := range topo {
+		if n == start || !nodes[n] {
+			continue
 		}
-		for _, n := range topo {
-			if n == start || !nodes[n] {
+		var in []interval
+		for _, e := range g.In(n) {
+			if !edges[e] {
 				continue
 			}
-			var in []interval
-			for _, e := range g.In(n) {
-				if !edges[e] {
-					continue
-				}
-				w, ok := icc[e.Caller]
-				if !ok {
-					// Caller is a boundary anchor of this territory: paths
-					// within the piece do not continue through it, so the
-					// edge contributes no range here.
-					continue
-				}
-				in = append(in, interval{e: e, av: spec.AV(e), width: w})
+			w, ok := icc[e.Caller]
+			if !ok {
+				// Caller is a boundary anchor of this territory: paths
+				// within the piece do not continue through it, so the
+				// edge contributes no range here.
+				continue
 			}
-			if len(in) == 0 {
-				continue // territory-boundary anchor: in-territory in-edges all retreat
+			in = append(in, interval{e: e, av: spec.AV(e), width: w})
+		}
+		if len(in) == 0 {
+			continue // territory-boundary anchor: in-territory in-edges all retreat
+		}
+		sort.Slice(in, func(i, j int) bool {
+			if in[i].av != in[j].av {
+				return in[i].av < in[j].av
 			}
-			sort.Slice(in, func(i, j int) bool {
-				if in[i].av != in[j].av {
-					return in[i].av < in[j].av
-				}
-				return less(in[i].e, in[j].e)
-			})
-			rep.Stats.IntervalsChecked += len(in)
-			nodeOK := true
-			var iccN uint64
-			for i, iv := range in {
-				if iv.av > maxID-iv.width {
-					rep.add("capacity", nameOf(g, n), siteName(g, iv.e.Site()),
-						"piece capacity overflows the integer limit: addition value %d + width %d > %d (territory of %s)",
-						iv.av, iv.width, maxID, nameOf(g, start))
+			return less(in[i].e, in[j].e)
+		})
+		ob.intervals += len(in)
+		nodeOK := true
+		var iccN uint64
+		for i, iv := range in {
+			if iv.av > maxID-iv.width {
+				sub.add("capacity", nameOf(g, n), siteName(g, iv.e.Site()),
+					"piece capacity overflows the integer limit: addition value %d + width %d > %d (territory of %s)",
+					iv.av, iv.width, maxID, nameOf(g, start))
+				nodeOK = false
+				iccN = maxID // clamp so downstream arithmetic stays defined
+				continue
+			}
+			if end := iv.av + iv.width; end > iccN {
+				iccN = end
+			}
+			if i+1 < len(in) {
+				next := in[i+1]
+				if gap := next.av - iv.av; gap < iv.width {
+					sub.add("intervals", nameOf(g, n), siteName(g, iv.e.Site()),
+						"in-edge ranges overlap in territory of %s: [%d,%d) from %s collides with [%d,...) from %s — two paths share an encoding",
+						nameOf(g, start), iv.av, iv.av+iv.width, nameOf(g, iv.e.Caller),
+						next.av, nameOf(g, next.e.Caller))
 					nodeOK = false
-					iccN = maxID // clamp so downstream arithmetic stays defined
-					continue
-				}
-				if end := iv.av + iv.width; end > iccN {
-					iccN = end
-				}
-				if i+1 < len(in) {
-					next := in[i+1]
-					if gap := next.av - iv.av; gap < iv.width {
-						rep.add("intervals", nameOf(g, n), siteName(g, iv.e.Site()),
-							"in-edge ranges overlap in territory of %s: [%d,%d) from %s collides with [%d,...) from %s — two paths share an encoding",
-							nameOf(g, start), iv.av, iv.av+iv.width, nameOf(g, iv.e.Caller),
-							next.av, nameOf(g, next.e.Caller))
-						nodeOK = false
-					}
 				}
 			}
-			icc[n] = iccN
-			if iccN > rep.Stats.MaxCapacity {
-				rep.Stats.MaxCapacity = iccN
+		}
+		icc[n] = iccN
+		if iccN > ob.maxCap {
+			ob.maxCap = iccN
+		}
+		if nodeOK {
+			// Unused IDs below the bound: the price of one addition
+			// value per virtual site (ICC inflation), reported as a
+			// statistic. Disjointness makes the subtraction safe.
+			used := uint64(0)
+			for _, iv := range in {
+				used += iv.width
 			}
-			if nodeOK {
-				// Unused IDs below the bound: the price of one addition
-				// value per virtual site (ICC inflation), reported as a
-				// statistic. Disjointness makes the subtraction safe.
-				used := uint64(0)
-				for _, iv := range in {
-					used += iv.width
+			ob.holes += iccN - used
+		}
+	}
+	ob.members = sortedNodes(nodes)
+	ob.findings = sub.Findings
+	return ob
+}
+
+// proveTerritories runs every obligation, optionally across a worker pool.
+// The result slice is indexed like starts, so the merge order — and with it
+// every rendered byte of the report — is identical for any worker count.
+func proveTerritories(spec *encoding.Spec, starts []callgraph.NodeID,
+	topo []callgraph.NodeID, maxID uint64, workers int) []territoryObligation {
+
+	obs := make([]territoryObligation, len(starts))
+	if workers > len(starts) {
+		workers = len(starts)
+	}
+	if workers <= 1 {
+		for i, s := range starts {
+			obs[i] = proveTerritory(spec, s, topo, maxID)
+		}
+		return obs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(starts) {
+					return
 				}
-				rep.Stats.CoverageHoles += iccN - used
+				obs[i] = proveTerritory(spec, starts[i], topo, maxID)
 			}
+		}()
+	}
+	wg.Wait()
+	return obs
+}
+
+// mergeObligations folds the proven obligations into the report in start
+// order: interval/capacity findings after the coverage findings (the order
+// the serial verifier has always emitted), and the additive statistics.
+func mergeObligations(rep *Report, obs []territoryObligation) {
+	for _, ob := range obs {
+		rep.Findings = append(rep.Findings, ob.findings...)
+		rep.Stats.IntervalsChecked += ob.intervals
+		rep.Stats.CoverageHoles += ob.holes
+		if ob.maxCap > rep.Stats.MaxCapacity {
+			rep.Stats.MaxCapacity = ob.maxCap
 		}
 	}
 }

@@ -2,8 +2,10 @@ package deltapath
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand"
 	"os"
+	"reflect"
 	"strconv"
 	"testing"
 
@@ -19,7 +21,8 @@ import (
 // TestScaleSmoke is the CI scale-smoke gate: one reduced huge-graph tier run
 // end to end — generate, analyze with the level-parallel engine and the
 // serial reference, prove the serialized .dpa byte-identical, certify the
-// spec with the verifier, compile, and decode sampled contexts — every
+// spec with the verifier both serially and on 4 workers (byte-identical
+// reports, under -race in CI), compile, and decode sampled contexts — every
 // verdict the full 10⁵–10⁶-node curve (dpbench -experiment scale) relies
 // on. SCALE_SMOKE_NODES overrides the tier size (CI uses 50000).
 func TestScaleSmoke(t *testing.T) {
@@ -78,8 +81,34 @@ func TestScaleSmoke(t *testing.T) {
 			pb.Len(), sb.Len())
 	}
 
-	if rep := verify.Check(par.Spec, plan, verify.Options{}); !rep.Clean() {
+	// Serial and level-parallel verification must agree byte for byte: same
+	// rendered report, same JSON document, same certificate — the verifier's
+	// analogue of the .dpa identity above. CI runs this under -race, so the
+	// parallel proof pool is also exercised for data races here.
+	rep := verify.Check(par.Spec, plan, verify.Options{})
+	if !rep.Clean() {
 		t.Errorf("verifier reported %d findings; first: %v", len(rep.Findings), rep.Findings[0])
+	}
+	prep := verify.Check(par.Spec, plan, verify.Options{Workers: 4})
+	if rep.Text() != prep.Text() {
+		t.Errorf("parallel verifier text diverged from serial:\n%s\nvs\n%s", prep.Text(), rep.Text())
+	}
+	rj, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rj, pj) {
+		t.Error("parallel verifier JSON report diverged from serial")
+	}
+	if !reflect.DeepEqual(rep.Certificate, prep.Certificate) {
+		t.Error("parallel verifier certificate diverged from serial")
+	}
+	if rep.Certificate == nil {
+		t.Error("clean verification emitted no certificate")
 	}
 
 	// Decode sampled random-walk contexts through the compiled tables.
