@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build test test-short test-shuffle race bench chaos eval profile-baseline fuzz \
 	examples clean lint lint-invariants verify-encodings bench-smoke bench-baseline \
 	decode-baseline scale-baseline golden-freshness ci-local serve-smoke ingest-stress \
-	extend-soak scale-smoke
+	extend-soak scale-smoke ingest-bench-smoke
 
 all: build test
 
@@ -48,6 +48,15 @@ serve-smoke:
 # visible backpressure sheds are asserted (internal/server).
 ingest-stress:
 	$(GO) test -race -count=1 -run TestServerIngestStress ./internal/server -v
+
+# Ingest fast-path smoke: the ingest-throughput experiment at a tiny
+# configuration end to end (both commit policies over real durable state),
+# plus the LSM segment store's flush/recovery round-trip under the race
+# detector. The throughput *ratio* is gated by bench-smoke, not here — a
+# loaded CI box can't promise one.
+ingest-bench-smoke:
+	$(GO) test -count=1 -run TestIngestThroughputSmoke ./internal/eval -v
+	$(GO) test -race -count=1 -run 'TestSegmentRoundTrip|TestSegmentRecoveryRoundTrip|TestGroupCommit' ./internal/server -v
 
 # Incremental-encoding soak: ≥200 random interleavings of class loads,
 # calls, Extend publications, and mid-run Adopts, frame-exact against a
@@ -130,12 +139,14 @@ bench-smoke:
 # gate re-measures only its ≤10⁵-node tiers, and only the machine-
 # independent bytes/node plus the identity/verify verdicts. The extend
 # experiment contributes the delta-verify-vs-full obligation fractions —
-# deterministic counts, so they gate exactly.
+# deterministic counts, so they gate exactly. The ingest experiment
+# contributes the group-commit/per-batch throughput ratios at 4 and 8
+# agents (the 1-agent row is informational; see cmd/dpbench/compare.go).
 bench-baseline:
 	mkdir -p results
-	$(GO) run ./cmd/dpbench -experiment encode,profile,decode,scale,extend \
+	$(GO) run ./cmd/dpbench -experiment encode,profile,decode,scale,extend,ingest \
 		-bench compress,sunflow,mpegaudio -scale 0.4 -repeats 5 -workers 4 -json \
-		> results/BENCH_0009.json
+		> results/BENCH_0010.json
 
 # Regenerate the full million-node scale curve (results/scale.txt) — the
 # human-readable companion of the scale rows in the bench baseline, and the
@@ -161,7 +172,7 @@ golden-freshness:
 		{ echo "golden files drifted: review and commit the regenerated files"; exit 1; }
 
 # Everything CI runs, in CI's order — reproduce a red workflow offline.
-ci-local: lint lint-invariants build test-shuffle race verify-encodings serve-smoke ingest-stress extend-soak golden-freshness bench-smoke scale-smoke
+ci-local: lint lint-invariants build test-shuffle race verify-encodings serve-smoke ingest-stress ingest-bench-smoke extend-soak golden-freshness bench-smoke scale-smoke
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalContext -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 5s ./internal/encoding
 	$(GO) test -run '^$$' -fuzz FuzzCompiledDecode -fuzztime 5s ./internal/encoding

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	dpbench -experiment table1|fig8|table2|decode|profile|encode|graph|extend|all
+//	dpbench -experiment table1|fig8|table2|decode|profile|encode|graph|extend|ingest|all
 //	        [-scale 0.2] [-repeats 3] [-workers 1]
 //	        [-bench compress,sunflow] [-json]
 //	dpbench -experiment scale [-scale 1.0] [-workers 4] [-json]
@@ -50,6 +50,12 @@
 // whole-program re-analysis it replaces, how much of the graph the delta
 // dirtied, and fresh-session hazard pushes before and after the absorption
 // — the steady-state run-time rent an unanalysed class charges.
+//
+// The ingest experiment measures dprofiled's write fast path: for 1, 4,
+// and 8 concurrent agents pushing to one tenant over HTTP, the acked-batch
+// throughput and ack-latency quantiles under the group-commit WAL versus
+// per-batch fsync, plus the fsyncs each policy issued. The gated metric is
+// the group/per-batch throughput ratio at each agent count.
 //
 // The encode experiment measures the observability layer's hot-path cost:
 // whole-run ns per probe event with metrics off (the nil-sink default) and
@@ -98,7 +104,7 @@ func loadPrograms(glob string) ([]eval.NamedProgram, error) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "comma-separated subset of table1, fig8, table2, decode, profile, encode, graph, extend; or all; scale is opt-in (huge graphs)")
+	experiment := flag.String("experiment", "all", "comma-separated subset of table1, fig8, table2, decode, profile, encode, graph, extend, ingest; or all; scale is opt-in (huge graphs)")
 	scale := flag.Float64("scale", 0.2, "workload scale factor (1.0 = full runs)")
 	repeats := flag.Int("repeats", 3, "throughput repetitions per configuration (fig8, decode, encode, -compare)")
 	workers := flag.Int("workers", 1, "concurrent benchmark worker threads (fig8)")
@@ -203,6 +209,16 @@ func main() {
 			return err
 		}
 		return emit("graph", rows, eval.RenderGraph(rows))
+	})
+	// The ingest experiment boots real dprofiled servers over temp durable
+	// state, so its absolute numbers are storage-bound; the gated metric is
+	// the group-commit/per-batch throughput ratio.
+	run("ingest", func() error {
+		rows, err := eval.IngestThroughput(*scale, *repeats, []int{1, 4, 8})
+		if err != nil {
+			return err
+		}
+		return emit("ingest", rows, eval.RenderIngest(rows))
 	})
 	// The extend experiment needs programs with dynamic classes: the
 	// built-in corpus plus any -mv programs that declare them.

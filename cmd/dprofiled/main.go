@@ -8,13 +8,16 @@
 //
 //	dprofiled -data DIR -analysis name=app.dpa [-analysis other=lib.dpa]
 //	          [-addr 127.0.0.1:7077] [-queue-depth N] [-wal-max-bytes N]
+//	          [-memtable-max-bytes N] [-compact-min-segments N]
+//	          [-no-group-commit] [-pprof-addr ADDR]
 //	          [-drain-timeout D] [-retry-after SECS] [-max-body N]
 //
 // Each -analysis flag registers one tenant: a name for queries and a
 // persisted .dpa analysis whose graph digest routes ingest. Durable state
-// lives under DIR/<name>/ (WAL + snapshot) and is recovered on start;
-// state recorded under a different analysis is refused, never silently
-// replayed.
+// lives under DIR/<name>/ (WAL + segment manifest) and is recovered on
+// start; state recorded under a different analysis is refused, never
+// silently replayed. A legacy monolithic snapshot.dps is migrated into the
+// segment layout on first start.
 //
 // Endpoints:
 //
@@ -24,8 +27,13 @@
 //	GET  /top?tenant=N&n=K            hottest K decoded contexts
 //	GET  /decode?tenant=N&record=HEX  decode one context record
 //	GET  /profile?tenant=N            aggregate streamed back as .dpp
+//	GET  /query?tenant=N[&top=K][&class=C]  decoded rows as NDJSON,
+//	                                  streamed with O(segments) memory
 //	GET  /healthz                     per-tenant counters, JSON
 //	GET  /metrics                     Prometheus text (dp_server_*)
+//
+// -pprof-addr starts net/http/pprof on a separate listener (off by
+// default; keep it on a loopback or otherwise private address).
 //
 // SIGINT/SIGTERM shut down gracefully: intake is refused, queued batches
 // drain under -drain-timeout, and every tenant flushes a final snapshot.
@@ -39,6 +47,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -75,7 +84,11 @@ func main() {
 	data := flag.String("data", "", "durable state directory (required)")
 	flag.Var(&analyses, "analysis", "tenant as name=path.dpa (repeatable, at least one)")
 	queueDepth := flag.Int("queue-depth", 64, "per-tenant ingest queue bound in batches")
-	walMax := flag.Int64("wal-max-bytes", 1<<20, "WAL size that triggers snapshot + truncate")
+	walMax := flag.Int64("wal-max-bytes", 1<<20, "WAL size that triggers memtable flush + truncate")
+	memMax := flag.Int64("memtable-max-bytes", 4<<20, "memtable size that triggers a segment flush")
+	compactMin := flag.Int("compact-min-segments", 4, "live segment count that triggers compaction")
+	noGroupCommit := flag.Bool("no-group-commit", false, "fsync every batch individually (benchmark baseline)")
+	pprofAddr := flag.String("pprof-addr", "", "serve /debug/pprof on this address (empty = off)")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds advertised on 429/503")
 	maxBody := flag.Int64("max-body", 32<<20, "largest accepted ingest body in bytes")
@@ -89,16 +102,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dprofiled: "+format+"\n", args...)
 	}
 	s, err := server.New(server.Config{
-		DataDir:           *data,
-		QueueDepth:        *queueDepth,
-		WALMaxBytes:       *walMax,
-		RetryAfterSeconds: *retryAfter,
-		MaxBodyBytes:      *maxBody,
-		Registry:          obs.NewRegistry(),
-		Logf:              logf,
+		DataDir:            *data,
+		QueueDepth:         *queueDepth,
+		WALMaxBytes:        *walMax,
+		MemtableMaxBytes:   *memMax,
+		CompactMinSegments: *compactMin,
+		NoGroupCommit:      *noGroupCommit,
+		RetryAfterSeconds:  *retryAfter,
+		MaxBodyBytes:       *maxBody,
+		Registry:           obs.NewRegistry(),
+		Logf:               logf,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the default mux; serve that mux on
+		// its own listener so profiling stays off the ingest address.
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		logf("pprof listening on %s", pl.Addr())
+		go http.Serve(pl, nil)
 	}
 	for _, a := range analyses {
 		f, err := os.Open(a.path)

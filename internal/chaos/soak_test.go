@@ -41,7 +41,10 @@ type soakServer struct {
 	data string
 	dpa  string
 	addr string
-	cmd  *exec.Cmd
+	// extra appends daemon flags (tiny flush/compaction thresholds for
+	// the kill-during-flush soak).
+	extra []string
+	cmd   *exec.Cmd
 }
 
 // start launches the daemon and blocks until it reports listening. A
@@ -51,7 +54,8 @@ func (s *soakServer) start() {
 	s.t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		cmd := exec.Command(s.bin, "-data", s.data, "-analysis", "app="+s.dpa, "-addr", s.addr)
+		args := append([]string{"-data", s.data, "-analysis", "app=" + s.dpa, "-addr", s.addr}, s.extra...)
+		cmd := exec.Command(s.bin, args...)
 		cmd.Stderr = os.Stderr
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
@@ -116,6 +120,9 @@ type soakHealth struct {
 		DupBatches     uint64 `json:"duplicate_batches"`
 		TruncatedTails uint64 `json:"wal_truncated_tails"`
 		Quarantined    uint64 `json:"quarantined_unparseable"`
+		Segments       int    `json:"segments"`
+		Compactions    uint64 `json:"compactions"`
+		Orphans        uint64 `json:"orphan_segments_discarded"`
 	} `json:"tenants"`
 }
 
@@ -305,6 +312,169 @@ func TestSoakKillRecovery(t *testing.T) {
 	}
 	if !strings.Contains(top.Rows[0].Context, "fib") {
 		t.Fatalf("decoded context looks wrong: %q", top.Rows[0].Context)
+	}
+}
+
+// TestSoakKillDuringFlushAndCompaction runs the same zero-loss ledger
+// audit with thresholds cranked so low that the daemon spends its life
+// flushing memtables and compacting segments — SIGKILLs land mid-flush and
+// mid-compaction, not just mid-WAL-append. Partially written segments
+// (both a planted fake and whatever the kills leave behind) must be
+// discarded on recovery, never counted.
+func TestSoakKillDuringFlushAndCompaction(t *testing.T) {
+	cycles := 8
+	if testing.Short() {
+		t.Log("-short: trimming to 3 kill cycles")
+		cycles = 3
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dprofiled")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/dprofiled")
+	build.Dir = filepath.Join("..", "..")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building dprofiled: %v\n%s", err, out)
+	}
+
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "recursion.mv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := deltapath.ParseProgram(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := deltapath.Analyze(prog, deltapath.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpaPath := filepath.Join(dir, "app.dpa")
+	var dpa bytes.Buffer
+	if err := an.SaveAnalysis(&dpa); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dpaPath, dpa.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := analysisio.Load(bytes.NewReader(dpa.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs, err := an.Run(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []profile.Record
+	for _, c := range ctxs {
+		if rec, err := c.MarshalBinary(); err == nil {
+			records = append(records, profile.Record{Key: rec, Count: 1})
+		}
+	}
+	if len(records) == 0 {
+		t.Fatal("fixture emitted no records")
+	}
+	var perBatch uint64
+	for _, r := range records {
+		perBatch += r.Count
+	}
+
+	srv := &soakServer{
+		t:    t,
+		bin:  bin,
+		data: filepath.Join(dir, "data"),
+		dpa:  dpaPath,
+		addr: freePort(t),
+		// Memtable of 1 byte: every committed batch triggers a segment
+		// flush. Compaction at 2 segments: the compactor runs
+		// continuously. Kills land inside both paths.
+		extra: []string{"-memtable-max-bytes", "1", "-compact-min-segments", "2",
+			"-wal-max-bytes", "4096"},
+	}
+	url := "http://" + srv.addr
+	srv.start()
+
+	client, err := agentclient.New(agentclient.Config{
+		URL:         url,
+		MaxAttempts: 10000,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		stop       atomic.Bool
+		acked      atomic.Uint64
+		ackedBatch atomic.Uint64
+		wg         sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if _, err := client.PushRecords(context.Background(), bundle.Digest, records); err != nil {
+				t.Errorf("push: %v", err)
+				return
+			}
+			acked.Add(perBatch)
+			ackedBatch.Add(1)
+		}
+	}()
+
+	tenantDir := filepath.Join(srv.data, "app")
+	for cycle := 0; cycle < cycles; cycle++ {
+		time.Sleep(100 * time.Millisecond)
+		srv.kill()
+		srv.start()
+	}
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		srv.kill()
+		return
+	}
+
+	srv.kill()
+	// A crash can die between segment temp-write and manifest install;
+	// plant exactly that wreckage and require the audit restart to
+	// discard it (the orphan counter is per-process, so plant just
+	// before the startup whose health we inspect).
+	if err := os.WriteFile(filepath.Join(tenantDir, "seg-77777777.dps"), []byte("DPS2\npartial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tenantDir, "seg-77777778.dps.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv.start()
+	defer srv.kill()
+	h := getHealth(t, url)
+	tn := h.Tenants[0]
+	t.Logf("flush soak: %d cycles, %d batches acked (%d records)", cycles, ackedBatch.Load(), acked.Load())
+	t.Logf("flush soak: recovered %d records, %d segments live, %d compactions, %d orphans discarded",
+		tn.Records, tn.Segments, tn.Compactions, tn.Orphans)
+	if tn.Records != acked.Load() {
+		t.Fatalf("LEDGER MISMATCH: client acked %d records, server recovered %d (lost %d)",
+			acked.Load(), tn.Records, int64(acked.Load())-int64(tn.Records))
+	}
+	if tn.Quarantined != 0 {
+		t.Fatalf("valid records were quarantined: %d", tn.Quarantined)
+	}
+	if tn.Segments < 1 {
+		t.Fatalf("flush soak never produced a live segment (thresholds not exercised)")
+	}
+	if tn.Orphans < 2 {
+		t.Fatalf("planted partial segments were not discarded (orphans=%d)", tn.Orphans)
+	}
+	// No torn temp files may survive recovery.
+	entries, err := os.ReadDir(tenantDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("torn temp file survived recovery: %s", e.Name())
+		}
 	}
 }
 

@@ -1,0 +1,366 @@
+package eval
+
+// The ingest-throughput experiment: what does the group-commit WAL buy on
+// the dprofiled write path? For each agent count it boots two in-process
+// servers over real durable state — one with group commit (the default),
+// one fsyncing every batch individually — drives the same fixed batch
+// count per agent through the HTTP ingest protocol (prebuilt .dpp bodies:
+// the server commit path is under test, not client-side marshalling),
+// and reports acked-batch throughput, ack-latency quantiles,
+// and the fsyncs each policy actually issued. Speedup is the
+// group/per-batch throughput ratio — the machine-independent number the
+// bench-smoke gate compares, since absolute fsync cost is a property of
+// the box's storage, not of the code.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"deltapath"
+	"deltapath/internal/analysisio"
+	"deltapath/internal/obs"
+	"deltapath/internal/profile"
+	"deltapath/internal/server"
+)
+
+// ingestCorpusSrc is the fixture program: recursion gives the batch a
+// realistic spread of context records (hundreds of distinct keys, variable
+// length) without a large analysis.
+const ingestCorpusSrc = `
+entry G.main
+class G {
+  method main {
+    call G.fib
+    call Even.check
+    loop 3 { call G.leaf }
+    emit done
+  }
+  method fib { rcall 7 G.fib; rcall 8 G.fib; emit fib }
+  method leaf { work 1; emit leaf }
+}
+class Even { method check { rcall 9 Odd.check; emit even } }
+class Odd { method check { rcall 9 Even.check; emit odd } }
+`
+
+// IngestRow is one agent count's paired measurement: the same workload
+// under group commit and under per-batch fsync.
+type IngestRow struct {
+	Agents       int `json:"agents"`
+	BatchRecords int `json:"batch_records"` // records per batch
+	Batches      int `json:"batches"`       // total acked batches per mode
+	// Group-commit mode (the production default).
+	GroupBPS    float64 `json:"group_batches_per_sec"`
+	GroupP50Ms  float64 `json:"group_p50_ack_ms"`
+	GroupP99Ms  float64 `json:"group_p99_ack_ms"`
+	GroupFsyncs uint64  `json:"group_fsyncs"`
+	// Per-batch-fsync mode (server.Config.NoGroupCommit).
+	PerBatchBPS    float64 `json:"per_batch_batches_per_sec"`
+	PerBatchP50Ms  float64 `json:"per_batch_p50_ack_ms"`
+	PerBatchP99Ms  float64 `json:"per_batch_p99_ack_ms"`
+	PerBatchFsyncs uint64  `json:"per_batch_fsyncs"`
+	// Speedup is GroupBPS / PerBatchBPS — the gated ratio.
+	Speedup float64 `json:"speedup"`
+}
+
+// ingestBatchRecords bounds one pushed batch. Small batches are the shape
+// group commit exists for — many agents acking frequent small pushes, where
+// the fsync (not batch parsing) is the per-ack cost. Larger batches shift
+// the bottleneck to CPU and flatten the policies together.
+const ingestBatchRecords = 16
+
+// IngestThroughput runs the experiment for each agent count. scale sets the
+// batches each agent pushes (600 at scale 1.0, floor 10, cap 120), so a
+// smoke run stays cheap while the baseline gets stable quantiles. The cap
+// exists because the run is fsync-bound: the policy ratio stabilizes after
+// ~100 batches per agent, and longer runs only accumulate disk-state drift
+// (journal warm-up, file growth) that moves both modes' absolutes without
+// informing the gated ratio. All agents push the same record set to one
+// tenant; batch IDs are unique per push, so every batch is fresh work for
+// the WAL.
+//
+// repeats runs each agent count's (group, per-batch) pair that many times
+// and keeps the MEDIAN-speedup row. Median, not best: the ratio's noise
+// comes from either arm hitting a slow disk moment, and a best-of rule
+// would systematically keep the repetitions where the per-batch arm
+// stalled — recording an inflated ratio no honest re-measurement could
+// reproduce. The -compare gate's fresh side still takes its best
+// repetition, which only errs toward passing.
+func IngestThroughput(scale float64, repeats int, agentCounts []int) ([]IngestRow, error) {
+	if len(agentCounts) == 0 {
+		agentCounts = []int{1, 4, 8}
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	batchesPerAgent := int(scale * 600)
+	if batchesPerAgent < 10 {
+		batchesPerAgent = 10
+	}
+	if batchesPerAgent > 120 {
+		batchesPerAgent = 120
+	}
+
+	prog, err := deltapath.ParseProgram(ingestCorpusSrc)
+	if err != nil {
+		return nil, fmt.Errorf("eval: ingest corpus: %w", err)
+	}
+	an, err := deltapath.Analyze(prog, deltapath.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("eval: ingest corpus: %w", err)
+	}
+	var dpa bytes.Buffer
+	if err := an.SaveAnalysis(&dpa); err != nil {
+		return nil, err
+	}
+	bundle, err := analysisio.Load(bytes.NewReader(dpa.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	ctxs, err := an.Run(1, nil)
+	if err != nil {
+		return nil, err
+	}
+	var recs []profile.Record
+	for _, c := range ctxs {
+		key, err := c.MarshalBinary()
+		if err != nil {
+			continue
+		}
+		recs = append(recs, profile.Record{Key: key, Count: 1})
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("eval: ingest corpus emitted no records")
+	}
+	if len(recs) > ingestBatchRecords {
+		recs = recs[:ingestBatchRecords]
+	}
+
+	var rows []IngestRow
+	for _, agents := range agentCounts {
+		if agents < 1 {
+			return nil, fmt.Errorf("eval: agent count %d < 1", agents)
+		}
+		var reps []IngestRow
+		for rep := 0; rep < repeats; rep++ {
+			grp, err := measureIngest(false, agents, batchesPerAgent, dpa.Bytes(), bundle.Digest, recs)
+			if err != nil {
+				return nil, fmt.Errorf("eval: ingest group agents=%d: %w", agents, err)
+			}
+			per, err := measureIngest(true, agents, batchesPerAgent, dpa.Bytes(), bundle.Digest, recs)
+			if err != nil {
+				return nil, fmt.Errorf("eval: ingest per-batch agents=%d: %w", agents, err)
+			}
+			row := IngestRow{
+				Agents:         agents,
+				BatchRecords:   len(recs),
+				Batches:        agents * batchesPerAgent,
+				GroupBPS:       grp.bps,
+				GroupP50Ms:     grp.p50ms,
+				GroupP99Ms:     grp.p99ms,
+				GroupFsyncs:    grp.fsyncs,
+				PerBatchBPS:    per.bps,
+				PerBatchP50Ms:  per.p50ms,
+				PerBatchP99Ms:  per.p99ms,
+				PerBatchFsyncs: per.fsyncs,
+			}
+			if per.bps > 0 {
+				row.Speedup = grp.bps / per.bps
+			}
+			reps = append(reps, row)
+		}
+		sort.Slice(reps, func(i, j int) bool { return reps[i].Speedup < reps[j].Speedup })
+		rows = append(rows, reps[len(reps)/2])
+	}
+	return rows, nil
+}
+
+// ingestMeasure is one mode's result.
+type ingestMeasure struct {
+	bps, p50ms, p99ms float64
+	fsyncs            uint64
+}
+
+// measureIngest boots a fresh server over a temp data dir, pushes
+// batchesPerAgent batches from each of agents concurrent clients, and
+// tears everything down. WAL and memtable thresholds are set high so the
+// measurement isolates the commit policy — no flush lands mid-run.
+func measureIngest(noGroup bool, agents, batchesPerAgent int, dpa []byte, digest analysisio.GraphDigest, recs []profile.Record) (ingestMeasure, error) {
+	dir, err := os.MkdirTemp("", "dp-ingest-*")
+	if err != nil {
+		return ingestMeasure{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := server.New(server.Config{
+		DataDir:          dir,
+		QueueDepth:       64,
+		WALMaxBytes:      256 << 20,
+		MemtableMaxBytes: 256 << 20,
+		NoGroupCommit:    noGroup,
+		Registry:         obs.NewRegistry(),
+	})
+	if err != nil {
+		return ingestMeasure{}, err
+	}
+	if _, err := srv.AddTenant("bench", bytes.NewReader(dpa)); err != nil {
+		return ingestMeasure{}, err
+	}
+	// One .dpp body, built once: the server's commit path is under test, so
+	// the pushing side must not spend the box's single CPU re-marshalling a
+	// body that never changes. Batch identity still changes per push — the
+	// X-Batch-ID header is what the dedupe set keys on.
+	var body bytes.Buffer
+	pw, err := profile.NewWriter(&body, digest)
+	if err != nil {
+		return ingestMeasure{}, err
+	}
+	for _, r := range recs {
+		if err := pw.Add(r.Key, r.Count); err != nil {
+			return ingestMeasure{}, err
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		return ingestMeasure{}, err
+	}
+
+	// Agents drive the handler directly rather than through a TCP socket:
+	// the full ingest path runs — routing, parse, queue, group commit,
+	// fsync, ack — but the box's single CPU is not also spent on kernel
+	// networking, which is identical under both commit policies and only
+	// dilutes the ratio this experiment measures.
+	handler := srv.Handler()
+	lats := make([][]time.Duration, agents)
+	errs := make([]error, agents)
+	startGate := make(chan struct{})
+	var wg sync.WaitGroup
+	for a := 0; a < agents; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			<-startGate
+			for i := 0; i < batchesPerAgent; i++ {
+				t0 := time.Now()
+				if err := postBatch(handler, body.Bytes(), fmt.Sprintf("bench-%d-%d", a, i)); err != nil {
+					errs[a] = err
+					return
+				}
+				lats[a] = append(lats[a], time.Since(t0))
+			}
+		}(a)
+	}
+	start := time.Now()
+	close(startGate)
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ingestMeasure{}, err
+		}
+	}
+
+	fsyncs, err := tenantFsyncs(handler)
+	if err != nil {
+		return ingestMeasure{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		return ingestMeasure{}, err
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	total := agents * batchesPerAgent
+	return ingestMeasure{
+		bps:    float64(total) / wall.Seconds(),
+		p50ms:  float64(quantile(all, 0.50).Nanoseconds()) / 1e6,
+		p99ms:  float64(quantile(all, 0.99).Nanoseconds()) / 1e6,
+		fsyncs: fsyncs,
+	}, nil
+}
+
+// postBatch sends one prebuilt .dpp body under a fresh batch ID, retrying
+// backpressure sheds (429) and transient unavailability (503) until the
+// batch is acked — the same contract agentclient keeps, minus its
+// per-push marshalling.
+func postBatch(handler http.Handler, body []byte, batchID string) error {
+	for {
+		req := httptest.NewRequest("POST", "/ingest", bytes.NewReader(body))
+		req.Header.Set("X-Batch-ID", batchID)
+		req.Header.Set("Content-Type", "application/octet-stream")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+			return nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			time.Sleep(time.Millisecond)
+		default:
+			return fmt.Errorf("ingest batch %s: status %d: %s", batchID, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// quantile indexes a sorted latency slice at q (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// tenantFsyncs reads the single tenant's group_fsyncs counter from
+// /healthz: the number of WAL fsyncs the commit loop issued. Under
+// per-batch mode every fresh batch is its own group, so the same counter
+// is the per-batch fsync count.
+func tenantFsyncs(handler http.Handler) (uint64, error) {
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		return 0, fmt.Errorf("healthz status %d", rec.Code)
+	}
+	var h struct {
+		Tenants []struct {
+			GroupFsyncs uint64 `json:"group_fsyncs"`
+		} `json:"tenants"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&h); err != nil {
+		return 0, err
+	}
+	if len(h.Tenants) != 1 {
+		return 0, fmt.Errorf("healthz reported %d tenants, want 1", len(h.Tenants))
+	}
+	return h.Tenants[0].GroupFsyncs, nil
+}
+
+// RenderIngest prints the ingest-throughput table.
+func RenderIngest(rows []IngestRow) string {
+	var b strings.Builder
+	b.WriteString("Ingest fast path: group-commit WAL vs per-batch fsync (one tenant, fixed batches per agent)\n")
+	fmt.Fprintf(&b, "%6s %7s %7s | %9s %8s %8s %7s | %9s %8s %8s %7s | %7s\n",
+		"agents", "batches", "rec/bat",
+		"grp b/s", "p50 ms", "p99 ms", "fsyncs",
+		"solo b/s", "p50 ms", "p99 ms", "fsyncs",
+		"speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %7d %7d | %9.1f %8.2f %8.2f %7d | %9.1f %8.2f %8.2f %7d | %6.2fx\n",
+			r.Agents, r.Batches, r.BatchRecords,
+			r.GroupBPS, r.GroupP50Ms, r.GroupP99Ms, r.GroupFsyncs,
+			r.PerBatchBPS, r.PerBatchP50Ms, r.PerBatchP99Ms, r.PerBatchFsyncs,
+			r.Speedup)
+	}
+	return b.String()
+}

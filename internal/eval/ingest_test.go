@@ -1,0 +1,43 @@
+package eval
+
+import "testing"
+
+// TestIngestThroughputSmoke runs a tiny configuration end to end: both
+// commit modes over real durable state and the HTTP protocol. It asserts
+// the deterministic facts — batch accounting and the per-batch mode's
+// one-fsync-per-batch identity — not the throughput ratio, which a loaded
+// CI box can't promise. The ratio is gated by dpbench -compare against a
+// real baseline instead.
+func TestIngestThroughputSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fsync-bound; skipped in -short")
+	}
+	rows, err := IngestThroughput(0.05, 1, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Agents != 2 || r.Batches != 60 { // scale 0.05 → 30 batches per agent
+		t.Fatalf("row accounting: agents=%d batches=%d, want 2/60", r.Agents, r.Batches)
+	}
+	if r.BatchRecords == 0 {
+		t.Fatal("empty batch corpus")
+	}
+	if r.GroupBPS <= 0 || r.PerBatchBPS <= 0 || r.Speedup <= 0 {
+		t.Fatalf("degenerate throughput: group=%.1f per-batch=%.1f speedup=%.2f",
+			r.GroupBPS, r.PerBatchBPS, r.Speedup)
+	}
+	// Per-batch mode commits every fresh batch alone: fsyncs == batches,
+	// exactly. Group mode can only do better or equal.
+	if r.PerBatchFsyncs != uint64(r.Batches) {
+		t.Fatalf("per-batch mode issued %d fsyncs for %d batches", r.PerBatchFsyncs, r.Batches)
+	}
+	if r.GroupFsyncs == 0 || r.GroupFsyncs > uint64(r.Batches) {
+		t.Fatalf("group mode issued %d fsyncs for %d batches", r.GroupFsyncs, r.Batches)
+	}
+	t.Logf("smoke: group %.1f b/s (%d fsyncs), per-batch %.1f b/s (%d fsyncs), speedup %.2fx",
+		r.GroupBPS, r.GroupFsyncs, r.PerBatchBPS, r.PerBatchFsyncs, r.Speedup)
+}

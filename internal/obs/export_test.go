@@ -21,12 +21,27 @@ func exportFixture() *Registry {
 	r.Counter(MetricServerBatches).Add(78)
 	r.Counter(MetricServerShed).Add(9)
 	r.Counter(MetricServerQuarantined).Add(2)
+	r.Counter(MetricServerGroupFsyncs).Add(17)
+	r.Counter(MetricServerCompactions).Add(4)
+	r.Counter(MetricServerCompactedPairs).Add(512)
+	r.Counter(MetricServerCompactNs).Add(73000)
+	r.Counter(MetricServerOrphanSegments).Add(1)
 	r.Gauge(MetricGraphNodes).Set(420)
 	r.Gauge(MetricMaxID).Set(987654)
 	r.Gauge(MetricServerQueueDepth).Set(11)
+	r.Gauge(MetricServerSegments).Set(3)
+	r.Gauge(MetricServerMemtableBytes).Set(4096)
 	h := r.Histogram(MetricEncoderPieceDepth, []uint64{1, 2, 4, 8})
 	for _, v := range []uint64{1, 1, 2, 3, 5, 8, 13} {
 		h.Observe(v)
+	}
+	gb := r.Histogram(MetricServerGroupBatches, nil)
+	for _, v := range []uint64{1, 3, 8, 8, 12} {
+		gb.Observe(v)
+	}
+	cw := r.Histogram(MetricServerCommitWaitNs, CommitWaitBuckets)
+	for _, v := range []uint64{250_000, 900_000, 4_000_000, 40_000_000} {
+		cw.Observe(v)
 	}
 	return r
 }

@@ -82,11 +82,26 @@ const (
 	MetricServerWALReplayed  = "dp_server_wal_replayed_records_total"
 	MetricServerWALTruncated = "dp_server_wal_truncated_tails_total"
 	MetricServerSnapshots    = "dp_server_snapshots_total"
+	// Group-commit WAL: fsyncs issued (one per commit group), how many
+	// batches each fsync amortized (histogram), and how long an acked
+	// batch waited from enqueue to commit (nanoseconds, histogram).
+	MetricServerGroupFsyncs  = "dp_server_group_fsyncs_total"
+	MetricServerGroupBatches = "dp_server_group_batches_per_fsync"
+	MetricServerCommitWaitNs = "dp_server_commit_wait_ns"
+	// Segment store: compaction passes run, (key,count) pairs written by
+	// compaction merges, nanoseconds spent compacting, and partially
+	// written segment files discarded during recovery.
+	MetricServerCompactions    = "dp_server_compactions_total"
+	MetricServerCompactedPairs = "dp_server_compaction_merged_pairs_total"
+	MetricServerCompactNs      = "dp_server_compaction_ns_total"
+	MetricServerOrphanSegments = "dp_server_orphan_segments_discarded_total"
 	// Gauges: live queue occupancy across tenants, WAL bytes on disk,
-	// registered tenants.
-	MetricServerQueueDepth = "dp_server_queue_depth"
-	MetricServerWALBytes   = "dp_server_wal_bytes"
-	MetricServerTenants    = "dp_server_tenants"
+	// registered tenants, live segment files, approximate memtable bytes.
+	MetricServerQueueDepth    = "dp_server_queue_depth"
+	MetricServerWALBytes      = "dp_server_wal_bytes"
+	MetricServerTenants       = "dp_server_tenants"
+	MetricServerSegments      = "dp_server_segments"
+	MetricServerMemtableBytes = "dp_server_memtable_bytes"
 
 	// Static analysis shape (gauges, set once per analysis).
 	MetricGraphNodes = "dp_graph_nodes"
@@ -179,6 +194,13 @@ type Histogram struct {
 
 // DefaultDepthBuckets suits piece-stack and frame-count distributions.
 var DefaultDepthBuckets = []uint64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// CommitWaitBuckets covers enqueue-to-commit latencies from 100µs to 1s
+// in nanoseconds — the range a group-commit fsync loop actually produces.
+var CommitWaitBuckets = []uint64{
+	100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
+	50_000_000, 100_000_000, 500_000_000, 1_000_000_000,
+}
 
 // Observe records one observation of v. Safe on nil.
 func (h *Histogram) Observe(v uint64) {

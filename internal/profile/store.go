@@ -49,6 +49,7 @@ type Store struct {
 	total  atomic.Uint64 // every successful Intern/AddCount sample
 	unique atomic.Uint64 // distinct records interned
 	nextID atomic.Uint64 // next interned ID
+	bytes  atomic.Uint64 // approximate resident size of interned records
 
 	// Observability hooks (nil = no-op): intern rate, and how often a
 	// writer found its shard lock held — the signal that the shard count
@@ -138,6 +139,7 @@ func (s *Store) AddCount(record []byte, n uint64) uint64 {
 		e = &entry{id: s.nextID.Add(1) - 1}
 		sh.m[string(record)] = e
 		s.unique.Add(1)
+		s.bytes.Add(uint64(len(record)) + entryOverheadBytes)
 	}
 	e.count += n
 	sh.mu.Unlock()
@@ -145,8 +147,19 @@ func (s *Store) AddCount(record []byte, n uint64) uint64 {
 	return e.id
 }
 
+// entryOverheadBytes approximates the per-record bookkeeping cost beyond
+// the key bytes themselves: the entry struct, its pointer, and the map
+// cell. The absolute number only needs to be stable — Bytes feeds a flush
+// threshold, not an accountant.
+const entryOverheadBytes = 48
+
 // Total reports the aggregate hit count across all records.
 func (s *Store) Total() uint64 { return s.total.Load() }
+
+// Bytes reports the approximate resident size of the store: key bytes plus
+// a fixed per-record overhead. Counts are monotone (records are never
+// evicted), so Bytes is a cheap memtable-flush trigger.
+func (s *Store) Bytes() uint64 { return s.bytes.Load() }
 
 // Unique reports the number of distinct records interned.
 func (s *Store) Unique() uint64 { return s.unique.Load() }

@@ -1,0 +1,99 @@
+// Background segment compaction for one ingestion tenant.
+package server
+
+import (
+	"io"
+	"time"
+)
+
+// kickCompact wakes the compactor if it is idle. The channel holds one
+// pending kick; further kicks while one is pending are absorbed (the
+// compactor re-reads the live segment list each pass, so one wake-up
+// covers any number of flushes).
+func (t *tenant) kickCompact() {
+	select {
+	case t.compactKick <- struct{}{}:
+	default:
+	}
+}
+
+// compactLoop runs until shutdown, merging segments whenever a flush kicks
+// it and the live list has reached the compaction threshold.
+func (t *tenant) compactLoop(m *metrics) {
+	defer t.compactWG.Done()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-t.compactKick:
+			if err := t.compact(m); err != nil {
+				m.logf("tenant %s: compaction failed: %v", t.name, err)
+			}
+		}
+	}
+}
+
+// compact merges the current live segments into one when there are at
+// least compactMin of them. Counts of equal keys are summed, so the merged
+// segment is observationally identical to its inputs. The merge streams:
+// O(segments) memory regardless of store size.
+//
+// Only the compactor replaces segments and flushes only append, so the
+// input list read here stays a prefix of the live list until
+// replaceCompacted swaps it — no lock is held across the (long) merge.
+func (t *tenant) compact(m *metrics) error {
+	old := t.segs.list()
+	if len(old) < t.compactMin || t.compactMin <= 0 {
+		return nil
+	}
+	start := time.Now()
+	iters := make([]pairIter, 0, len(old))
+	for _, sg := range old {
+		it, err := sg.iter(t.digest)
+		if err != nil {
+			for _, o := range iters {
+				o.close()
+			}
+			return err
+		}
+		iters = append(iters, it)
+	}
+	mi, err := newMergeIter(iters)
+	if err != nil {
+		return err
+	}
+	defer mi.close()
+	w, err := newSegmentWriter(t.dir, t.digest, t.segs.allocSeq())
+	if err != nil {
+		return err
+	}
+	for {
+		key, count, err := mi.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Abort()
+			return err
+		}
+		if err := w.Add(key, count); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	merged, err := w.Close()
+	if err != nil {
+		return err
+	}
+	if err := t.segs.replaceCompacted(old, merged); err != nil {
+		// The merged segment never became visible; recovery (or the next
+		// orphan sweep) deletes it.
+		return err
+	}
+	t.compactions.Add(1)
+	m.compactions.Inc()
+	m.compactedPairs.Add(merged.Pairs)
+	m.compactNs.Add(uint64(time.Since(start).Nanoseconds()))
+	m.segments.Set(uint64(t.segs.count()))
+	return nil
+}

@@ -1,0 +1,184 @@
+// GET /query — the bulk read path: the tenant's full aggregate (segments
+// k-way-merged with the memtable) decoded and streamed as NDJSON.
+//
+// Unlike /top, which materializes the whole report before answering,
+// /query streams: in its default mode server memory is O(segments) —
+// independent of how many pairs the store holds. Filters are pushed into
+// the merge loop:
+//
+//	tenant=NAME   required
+//	top=K         keep only the K hottest rows, aggregated by decoded
+//	              context exactly as /top reports them (count descending,
+//	              context ascending). Distinct records can render to the
+//	              same display context (recursion pieces collapse), so
+//	              this mode aggregates decoded strings — memory is
+//	              O(distinct decoded contexts), the same bound /top pays,
+//	              but nothing else is materialized.
+//	class=C       keep only contexts with a frame in class C
+//
+// Without top= the rows stream one line per merged record in merge
+// (record-byte) order, flushed incrementally: server memory is
+// O(segments), so a client can consume a store much larger than either
+// side's memory.
+package server
+
+import (
+	"container/heap"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// QueryRow is one /query NDJSON line.
+type QueryRow struct {
+	Context string `json:"context"`
+	Count   uint64 `json:"count"`
+}
+
+// queryHeap is a bounded min-heap of the K best rows seen so far. The
+// root is the weakest row — smallest count, and among equal counts the
+// byte-largest context — so pushing a better row and popping the root
+// maintains exactly the K rows /top would report, and popping everything
+// at the end yields them in reverse report order.
+type queryHeap []QueryRow
+
+func (h queryHeap) Len() int { return len(h) }
+func (h queryHeap) Less(i, j int) bool {
+	if h[i].Count != h[j].Count {
+		return h[i].Count < h[j].Count
+	}
+	return h[i].Context > h[j].Context
+}
+func (h queryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *queryHeap) Push(x any)   { *h = append(*h, x.(QueryRow)) }
+func (h *queryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// matchesClass reports whether any frame of a decoded context ("A.m > B.n")
+// belongs to class c.
+func matchesClass(ctx, c string) bool {
+	for _, frame := range strings.Split(ctx, " > ") {
+		if cls, _, ok := strings.Cut(frame, "."); ok && cls == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantByName(r.URL.Query().Get("tenant"))
+	if t == nil {
+		httpError(w, http.StatusNotFound, "unknown tenant %q", r.URL.Query().Get("tenant"))
+		return
+	}
+	topK := 0
+	if v := r.URL.Query().Get("top"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			httpError(w, http.StatusBadRequest, "bad top %q", v)
+			return
+		}
+		topK = parsed
+	}
+	class := r.URL.Query().Get("class")
+
+	mi, err := t.openMerge()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	defer mi.close()
+
+	ctx, cancel := mergeContexts(r.Context(), s.queryCtx)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+
+	// Aggregate decoded-context counts only in top-K mode; the plain
+	// stream never holds more than one row.
+	var agg map[string]uint64
+	if topK > 0 {
+		agg = make(map[string]uint64)
+	}
+	rows := 0
+	for {
+		if rows%256 == 0 && ctx.Err() != nil {
+			return // stream already started; just stop
+		}
+		key, count, err := mi.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			enc.Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		rows++
+		ctxStr, err := t.decodeRecord(key)
+		if err != nil {
+			// canonicalize only passes records that decode, so this is
+			// state corruption, not client error — surface it.
+			enc.Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		if class != "" && !matchesClass(ctxStr, class) {
+			continue
+		}
+		if topK > 0 {
+			agg[ctxStr] += count
+			continue
+		}
+		if err := enc.Encode(QueryRow{Context: ctxStr, Count: count}); err != nil {
+			return
+		}
+		if flusher != nil && rows%256 == 0 {
+			flusher.Flush()
+		}
+	}
+	if topK > 0 {
+		// A bounded min-heap over the aggregated contexts keeps only K
+		// rows; popping yields reverse report order (count descending,
+		// context ascending — exactly profile.Report.Top's sort).
+		var best queryHeap
+		for ctxStr, count := range agg {
+			row := QueryRow{Context: ctxStr, Count: count}
+			if len(best) < topK {
+				heap.Push(&best, row)
+			} else if rowBeats(row, best[0]) {
+				best[0] = row
+				heap.Fix(&best, 0)
+			}
+		}
+		out := make([]QueryRow, len(best))
+		for i := len(best) - 1; i >= 0; i-- {
+			out[i] = heap.Pop(&best).(QueryRow)
+		}
+		for _, row := range out {
+			if err := enc.Encode(row); err != nil {
+				return
+			}
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// rowBeats reports whether candidate outranks cur in report order (count
+// descending, context ascending) — i.e. whether it deserves cur's heap
+// slot.
+func rowBeats(candidate, cur QueryRow) bool {
+	if candidate.Count != cur.Count {
+		return candidate.Count > cur.Count
+	}
+	return candidate.Context < cur.Context
+}

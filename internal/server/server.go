@@ -10,10 +10,15 @@
 //     shed so overload is visible, not silent.
 //
 //   - Durability: a batch is acknowledged only after its records are
-//     fsynced to the tenant's write-ahead log. kill -9 at any instant
-//     loses no acknowledged batch; restart replays the WAL (dropping at
-//     most a half-written unacknowledged tail) after re-certifying the
-//     analysis digest, and periodic snapshots bound replay time.
+//     fsynced to the tenant's write-ahead log. The worker group-commits:
+//     every batch that queued while the previous fsync ran rides the next
+//     one, so the fsync cost amortizes across the group without weakening
+//     the fsync-before-ack contract. kill -9 at any instant loses no
+//     acknowledged batch; restart replays the WAL tail (dropping at most a
+//     half-written unacknowledged suffix) after re-certifying the analysis
+//     digest. Memtable flushes into immutable sorted segments (an
+//     LSM-style manifest + background compaction) bound replay time and
+//     keep reads streaming.
 //
 //   - Graceful degradation: records that fail to decode (corrupt
 //     encoding, no matching edge, residual ID) are quarantined with
@@ -27,7 +32,8 @@
 //
 // Endpoints: POST /ingest (a .dpp stream; routed to the tenant whose
 // analysis digest matches the profile header), GET /top, GET /decode,
-// GET /profile (the store streamed back as .dpp), GET /healthz,
+// GET /profile (the store streamed back as .dpp), GET /query (decoded
+// rows streamed as NDJSON with O(segments) server memory), GET /healthz,
 // GET /metrics (Prometheus).
 package server
 
@@ -69,6 +75,16 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxBatchRecords bounds the records in one batch (default 100000).
 	MaxBatchRecords int
+	// MemtableMaxBytes flushes a tenant's memtable to a segment once its
+	// approximate resident size passes it (default 4 MiB).
+	MemtableMaxBytes int64
+	// CompactMinSegments triggers background compaction once a tenant has
+	// at least this many live segments (default 4).
+	CompactMinSegments int
+	// NoGroupCommit restores the per-batch fsync path: every batch gets
+	// its own WAL append + fsync instead of riding a commit group. Only
+	// useful for measuring what group commit buys.
+	NoGroupCommit bool
 	// Registry receives the dp_server_* metrics (nil = metrics off).
 	Registry *obs.Registry
 	// Logf receives operational log lines (nil = silent).
@@ -94,6 +110,12 @@ func (c *Config) fill() error {
 	if c.MaxBatchRecords <= 0 {
 		c.MaxBatchRecords = 100000
 	}
+	if c.MemtableMaxBytes <= 0 {
+		c.MemtableMaxBytes = 4 << 20
+	}
+	if c.CompactMinSegments <= 0 {
+		c.CompactMinSegments = 4
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -111,10 +133,21 @@ type metrics struct {
 	walReplayed *obs.Counter
 	walTrunc    *obs.Counter
 	snapshots   *obs.Counter
-	queueDepth  *obs.Gauge
-	walBytes    *obs.Gauge
-	tenants     *obs.Gauge
-	logf        func(string, ...any)
+
+	groupFsyncs    *obs.Counter
+	groupBatches   *obs.Histogram
+	commitWait     *obs.Histogram
+	compactions    *obs.Counter
+	compactedPairs *obs.Counter
+	compactNs      *obs.Counter
+	orphanSegs     *obs.Counter
+
+	queueDepth    *obs.Gauge
+	walBytes      *obs.Gauge
+	tenants       *obs.Gauge
+	segments      *obs.Gauge
+	memtableBytes *obs.Gauge
+	logf          func(string, ...any)
 }
 
 func newMetrics(reg *obs.Registry, logf func(string, ...any)) *metrics {
@@ -128,10 +161,21 @@ func newMetrics(reg *obs.Registry, logf func(string, ...any)) *metrics {
 		walReplayed: reg.Counter(obs.MetricServerWALReplayed),
 		walTrunc:    reg.Counter(obs.MetricServerWALTruncated),
 		snapshots:   reg.Counter(obs.MetricServerSnapshots),
-		queueDepth:  reg.Gauge(obs.MetricServerQueueDepth),
-		walBytes:    reg.Gauge(obs.MetricServerWALBytes),
-		tenants:     reg.Gauge(obs.MetricServerTenants),
-		logf:        logf,
+
+		groupFsyncs:    reg.Counter(obs.MetricServerGroupFsyncs),
+		groupBatches:   reg.Histogram(obs.MetricServerGroupBatches, nil),
+		commitWait:     reg.Histogram(obs.MetricServerCommitWaitNs, obs.CommitWaitBuckets),
+		compactions:    reg.Counter(obs.MetricServerCompactions),
+		compactedPairs: reg.Counter(obs.MetricServerCompactedPairs),
+		compactNs:      reg.Counter(obs.MetricServerCompactNs),
+		orphanSegs:     reg.Counter(obs.MetricServerOrphanSegments),
+
+		queueDepth:    reg.Gauge(obs.MetricServerQueueDepth),
+		walBytes:      reg.Gauge(obs.MetricServerWALBytes),
+		tenants:       reg.Gauge(obs.MetricServerTenants),
+		segments:      reg.Gauge(obs.MetricServerSegments),
+		memtableBytes: reg.Gauge(obs.MetricServerMemtableBytes),
+		logf:          logf,
 	}
 }
 
@@ -196,13 +240,14 @@ func (s *Server) AddTenant(name string, r io.Reader) (TenantHealth, error) {
 		return TenantHealth{}, fmt.Errorf("server: tenant %s: digest %s already served by tenant %s",
 			name, bundle.Digest, prev.name)
 	}
-	t, err := newTenant(name, bundle, filepath.Join(s.cfg.DataDir, name),
-		s.cfg.QueueDepth, s.cfg.WALMaxBytes, s.reg)
+	t, err := newTenant(name, bundle, filepath.Join(s.cfg.DataDir, name), s.cfg, s.reg)
 	if err != nil {
 		return TenantHealth{}, fmt.Errorf("server: %w", err)
 	}
 	s.m.walReplayed.Add(t.replayed.Load())
 	s.m.walTrunc.Add(t.truncatedTails.Load())
+	s.m.orphanSegs.Add(t.orphans.Load())
+	s.m.segments.Set(uint64(t.segs.count()))
 	s.byName[name] = t
 	s.byDigest[t.digest] = t
 	s.m.tenants.Set(uint64(len(s.byName)))
@@ -273,6 +318,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /top", s.handleTop)
 	mux.HandleFunc("GET /decode", s.handleDecode)
 	mux.HandleFunc("GET /profile", s.handleProfile)
+	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -328,6 +374,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			"no tenant serves analysis digest %s (stale analysis or unregistered program?)", pr.Digest())
 		return
 	}
+	// From here until the batch reaches the queue (or is refused) this
+	// handler is a pusher the tenant's worker can wait for: raising
+	// inflight tells it that holding the current commit group open can
+	// still gain a joiner. The gauge must drop at enqueue-resolution, NOT
+	// at handler return — after enqueueing we block on the worker's own
+	// ack, and counting ourselves as still inbound would make the worker
+	// wait out its full window cap on every group. The deferred form only
+	// covers the early-return paths below.
+	t.inflight.Add(1)
+	pending := true
+	defer func() {
+		if pending {
+			t.inflight.Add(-1)
+		}
+	}()
 	var recs []profile.Record
 	for {
 		rec, count, err := pr.Next()
@@ -367,8 +428,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	b := &batch{id: id, recs: recs, done: make(chan batchResult, 1)}
+	// Canonicalize here, in the handler goroutine, not in the worker: the
+	// decode+re-marshal is the CPU-heavy half of application, and running
+	// it before enqueue lets it overlap the worker's fsync of the previous
+	// commit group instead of serializing behind it. An all-quarantined
+	// batch still enqueues (possibly empty) so its ID enters the dedupe
+	// window and the ack carries the full accounting.
+	nRecs := len(recs)
+	clean, quarantined := t.canonicalize(recs)
+	b := &batch{id: id, recs: clean, quarantined: quarantined, done: make(chan batchResult, 1)}
 	ok, draining := t.enqueue(b)
+	pending = false
+	t.inflight.Add(-1)
 	if draining {
 		// Close began after the handler's draining check above — the
 		// tenant refuses cleanly rather than racing the shutdown.
@@ -399,7 +470,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Status:      "ok",
 			Batch:       id,
 			Tenant:      t.name,
-			Records:     len(recs),
+			Records:     nRecs,
 			Applied:     res.applied,
 			Quarantined: res.quarantined,
 			Duplicate:   res.duplicate,
@@ -459,7 +530,7 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	if err := pw.WriteSnapshot(t.store); err != nil {
+	if err := writeMerged(pw, t); err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -527,10 +598,33 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		return
 	}
-	if err := pw.WriteSnapshot(t.store); err != nil {
+	if err := writeMerged(pw, t); err != nil {
 		return
 	}
 	pw.Flush()
+}
+
+// writeMerged streams the tenant's full aggregate — segments merged with
+// the memtable — into a profile writer. Memory is O(segments), not
+// O(store).
+func writeMerged(pw *profile.Writer, t *tenant) error {
+	mi, err := t.openMerge()
+	if err != nil {
+		return err
+	}
+	defer mi.close()
+	for {
+		key, count, err := mi.next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := pw.Add(key, count); err != nil {
+			return err
+		}
+	}
 }
 
 // HealthResponse is the /healthz payload.

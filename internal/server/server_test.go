@@ -465,8 +465,7 @@ func TestServerShedsWhenQueueFull(t *testing.T) {
 	}
 	// Construct the tenant by hand WITHOUT starting its worker, so the
 	// queue fills deterministically.
-	tn, err := newTenant("app", bundle, filepath.Join(s.cfg.DataDir, "app"),
-		s.cfg.QueueDepth, s.cfg.WALMaxBytes, s.reg)
+	tn, err := newTenant("app", bundle, filepath.Join(s.cfg.DataDir, "app"), s.cfg, s.reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -545,8 +544,7 @@ func TestServerDrainAppliesQueued(t *testing.T) {
 	}
 	// Tenant by hand, worker deliberately not started: the queue fills and
 	// stays full until the drain runs.
-	tn, err := newTenant("app", bundle, filepath.Join(s.cfg.DataDir, "app"),
-		s.cfg.QueueDepth, s.cfg.WALMaxBytes, s.reg)
+	tn, err := newTenant("app", bundle, filepath.Join(s.cfg.DataDir, "app"), s.cfg, s.reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -591,7 +589,7 @@ func TestServerDrainAppliesQueued(t *testing.T) {
 	for i := 1; i <= depth; i++ {
 		want += uint64(i)
 	}
-	if got := tn.store.Total(); got != want {
+	if got := tn.records(); got != want {
 		t.Fatalf("drained store total %d, want %d", got, want)
 	}
 
@@ -613,8 +611,7 @@ func TestServerDrainDeadlineRefuses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tn, err := newTenant("app", bundle, filepath.Join(s.cfg.DataDir, "app"),
-		s.cfg.QueueDepth, s.cfg.WALMaxBytes, s.reg)
+	tn, err := newTenant("app", bundle, filepath.Join(s.cfg.DataDir, "app"), s.cfg, s.reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -631,7 +628,7 @@ func TestServerDrainDeadlineRefuses(t *testing.T) {
 	tn.wg.Add(1)
 	go tn.run(s.m)
 	tn.wg.Wait()
-	if got := tn.store.Total(); got != 0 {
+	if got := tn.records(); got != 0 {
 		t.Fatalf("expired drain applied %d records, want 0", got)
 	}
 }

@@ -143,18 +143,31 @@ func openWALForAppend(path string, digest analysisio.GraphDigest, offset int64) 
 // would corrupt the committed prefix and make every subsequently acked
 // batch unrecoverable on replay.
 func (w *WAL) Append(id string, recs []profile.Record) error {
+	return w.AppendGroup([]WALBatch{{ID: id, Records: recs}})
+}
+
+// AppendGroup is the group-commit form of Append: every batch in the group
+// is framed into one buffer, written with one Write, and made durable with
+// one fsync — the call that amortizes the dominant per-ack cost across all
+// batches queued during the previous fsync. All-or-nothing: on any error
+// the file is rolled back to the previous committed boundary (the
+// per-entry commit markers mean replay would also drop a torn group tail),
+// and no batch in the group may be acknowledged.
+func (w *WAL) AppendGroup(batches []WALBatch) error {
 	if w.failed {
 		return fmt.Errorf("wal append: %w", ErrWALFailed)
 	}
 	buf := w.buf[:0]
-	buf = append(buf, walBatchBegin)
-	buf = binary.AppendUvarint(buf, uint64(len(id)))
-	buf = append(buf, id...)
-	buf = binary.AppendUvarint(buf, uint64(len(recs)))
-	for _, r := range recs {
-		buf = profile.AppendRecord(buf, r.Key, r.Count)
+	for _, b := range batches {
+		buf = append(buf, walBatchBegin)
+		buf = binary.AppendUvarint(buf, uint64(len(b.ID)))
+		buf = append(buf, b.ID...)
+		buf = binary.AppendUvarint(buf, uint64(len(b.Records)))
+		for _, r := range b.Records {
+			buf = profile.AppendRecord(buf, r.Key, r.Count)
+		}
+		buf = append(buf, walBatchCommit)
 	}
-	buf = append(buf, walBatchCommit)
 	w.buf = buf
 	if _, err := w.f.Write(buf); err != nil {
 		w.rollback()
@@ -238,6 +251,16 @@ func ReplayWAL(path string, want analysisio.GraphDigest) (*WALReplay, error) {
 	br := bufio.NewReader(cr)
 	head := make([]byte, len(walMagic))
 	if _, err := io.ReadFull(br, head); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// The file ends inside the header: a crash landed between
+			// WAL creation (or a post-flush Reset's truncate) and the
+			// header hitting disk. Everything the WAL ever held is
+			// already durable in the manifest — Reset runs only after
+			// the flush installs it — so an unreadable-short header is
+			// an empty WAL, not corruption. CommittedSize 0 tells the
+			// caller to recreate the file rather than append to it.
+			return &WALReplay{TruncatedTail: true}, nil
+		}
 		return nil, fmt.Errorf("wal %s: truncated header: %w", path, err)
 	}
 	if string(head) != walMagic {
@@ -245,6 +268,9 @@ func ReplayWAL(path string, want analysisio.GraphDigest) (*WALReplay, error) {
 	}
 	digest, err := profile.ReadDigest(br)
 	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return &WALReplay{TruncatedTail: true}, nil // torn mid-header, as above
+		}
 		return nil, fmt.Errorf("wal %s: %w", path, err)
 	}
 	if digest != want {

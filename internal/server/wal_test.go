@@ -121,10 +121,13 @@ func TestWALDigestMismatch(t *testing.T) {
 }
 
 // TestWALEveryPrefixTruncation is the crash-safety core: for EVERY byte
-// prefix of a committed WAL, replay must either fail cleanly (header cut)
-// or return exactly the batches whose commit markers made it to disk,
-// flagging a dropped tail for any mid-entry cut. No prefix may panic,
-// error structurally, or invent a batch.
+// prefix of a committed WAL, replay must return exactly the batches whose
+// commit markers made it to disk, flagging a dropped tail for any
+// mid-entry cut. A cut inside the header — a crash between a post-flush
+// Reset's truncate and the fresh header reaching disk — is an empty torn
+// WAL (CommittedSize 0), since Reset only runs after the flush made its
+// contents durable elsewhere. No prefix may panic, error structurally, or
+// invent a batch.
 func TestWALEveryPrefixTruncation(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.log")
@@ -154,8 +157,12 @@ func TestWALEveryPrefixTruncation(t *testing.T) {
 		}
 		rep, err := ReplayWAL(cutPath, walDigest())
 		if int64(cut) < headerEnd {
-			if err == nil {
-				t.Fatalf("cut %d (mid-header): replay succeeded", cut)
+			if err != nil {
+				t.Fatalf("cut %d (mid-header): %v", cut, err)
+			}
+			if len(rep.Batches) != 0 || !rep.TruncatedTail || rep.CommittedSize != 0 {
+				t.Fatalf("cut %d (mid-header): batches=%d tail=%v committed=%d, want empty torn replay",
+					cut, len(rep.Batches), rep.TruncatedTail, rep.CommittedSize)
 			}
 			continue
 		}
